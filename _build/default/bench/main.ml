@@ -1,0 +1,256 @@
+(* Benchmark harness for the Resource Containers reproduction.
+
+   Part 1 — Table 1: Bechamel micro-benchmarks of the container primitives
+   (the paper invoked each new system call 10 000 times and averaged; here
+   each primitive gets a proper OLS fit over monotonic-clock samples).
+
+   Part 2 — every figure and experiment of §5, regenerated through the
+   experiment harnesses and printed as aligned tables.
+
+   Run with: dune exec bench/main.exe            (full sweeps, ~minutes)
+             dune exec bench/main.exe -- --fast  (reduced sweeps)          *)
+
+open Bechamel
+open Toolkit
+module Simtime = Engine.Simtime
+module Container = Rescont.Container
+module Attrs = Rescont.Attrs
+module Binding = Rescont.Binding
+module Desc_table = Rescont.Desc_table
+module Ops = Rescont.Ops
+
+(* {1 Part 1: Table 1 micro-benchmarks} *)
+
+let bench_create =
+  Test.make ~name:"create+destroy container"
+    (Staged.stage (fun () ->
+         let c = Container.create_detached ~name:"bench" () in
+         Container.destroy c))
+
+let bench_rebind =
+  let root = Container.create_root () in
+  let parent = Container.create ~parent:root ~attrs:(Attrs.fixed_share ~share:1.0 ()) () in
+  let a = Container.create ~parent () in
+  let b = Container.create ~parent () in
+  let binding = Binding.create ~now:Simtime.zero a in
+  let flip = ref false in
+  Test.make ~name:"change thread's resource binding"
+    (Staged.stage (fun () ->
+         flip := not !flip;
+         Binding.set_resource_binding binding ~now:Simtime.zero (if !flip then b else a)))
+
+let bench_get_usage =
+  let root = Container.create_root () in
+  let table = Desc_table.create () in
+  let d = Ops.rc_create table ~parent:root () in
+  Test.make ~name:"obtain container resource usage"
+    (Staged.stage (fun () -> ignore (Ops.rc_get_usage table d)))
+
+let bench_attrs =
+  let root = Container.create_root () in
+  let table = Desc_table.create () in
+  let d = Ops.rc_create table ~parent:root () in
+  let hi = Attrs.timeshare ~priority:9 () and lo = Attrs.timeshare ~priority:5 () in
+  let flip = ref false in
+  Test.make ~name:"set-get container attributes"
+    (Staged.stage (fun () ->
+         flip := not !flip;
+         Ops.rc_set_attrs table d (if !flip then hi else lo);
+         ignore (Ops.rc_get_attrs table d)))
+
+let bench_move =
+  let root = Container.create_root () in
+  let src = Desc_table.create () in
+  let dst = Desc_table.create () in
+  let d = Ops.rc_create src ~parent:root () in
+  Test.make ~name:"move container between processes"
+    (Staged.stage (fun () ->
+         let d' = Ops.rc_transfer ~src ~dst d in
+         Desc_table.close dst d'))
+
+let bench_handle =
+  let root = Container.create_root () in
+  let table = Desc_table.create () in
+  let d = Ops.rc_create table ~parent:root () in
+  let c = Desc_table.lookup table d in
+  Test.make ~name:"obtain handle for existing container"
+    (Staged.stage (fun () ->
+         let d' = Ops.rc_get_handle table c in
+         Desc_table.close table d'))
+
+let bench_charge =
+  let root = Container.create_root () in
+  let mid = Container.create ~parent:root ~attrs:(Attrs.fixed_share ~share:1.0 ()) () in
+  let leaf = Container.create ~parent:mid () in
+  Test.make ~name:"charge cpu through 3-level hierarchy"
+    (Staged.stage (fun () -> Container.charge_cpu leaf ~kernel:true (Simtime.us 1)))
+
+let run_table1_microbench () =
+  let tests =
+    [
+      bench_create; bench_rebind; bench_get_usage; bench_attrs; bench_move; bench_handle;
+      bench_charge;
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"table1" tests) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Engine.Series.table
+      ~title:"Table 1: container primitive costs (Bechamel, this library) vs paper"
+      ~columns:[ "operation"; "this library (ns/op)"; "paper on 500MHz Alpha (us)" ]
+  in
+  let paper_of name =
+    if name = "table1/create+destroy container" then "2.36 + 2.10"
+    else if name = "table1/change thread's resource binding" then "1.04"
+    else if name = "table1/obtain container resource usage" then "2.04"
+    else if name = "table1/set-get container attributes" then "2.10"
+    else if name = "table1/move container between processes" then "3.15"
+    else if name = "table1/obtain handle for existing container" then "1.90"
+    else "-"
+  in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      let estimate =
+        match Analyze.OLS.estimates result with
+        | Some (ns :: _) -> Printf.sprintf "%.1f" ns
+        | Some [] | None -> "-"
+      in
+      Engine.Series.add_row table [ name; estimate; paper_of name ])
+    (List.sort compare rows);
+  Format.printf "%a@." Engine.Series.pp_table table
+
+(* {1 Part 1b: scheduler capacity micro-benchmarks}
+
+   How expensive is a scheduling decision as the container population
+   grows?  One pick+charge round trip of the prototype's multilevel
+   scheduler and of the flat decay-usage scheduler, against 10 / 100 /
+   1000 runnable containers. *)
+
+let sched_bench_policy name make_policy n =
+  let root = Container.create_root () in
+  let class_parent =
+    Container.create ~parent:root ~attrs:(Attrs.fixed_share ~share:1.0 ()) ()
+  in
+  let policy = make_policy root in
+  for i = 1 to n do
+    let c = Container.create ~parent:class_parent ~name:(Printf.sprintf "c%d" i) () in
+    let task = Sched.Task.create ~name:(Printf.sprintf "t%d" i) (Binding.create ~now:Simtime.zero c) in
+    policy.Sched.Policy.enqueue task
+  done;
+  let now = ref 0 in
+  Test.make
+    ~name:(Printf.sprintf "%s pick+charge, %d containers" name n)
+    (Staged.stage (fun () ->
+         incr now;
+         match policy.Sched.Policy.pick ~now:(Simtime.of_ns !now) with
+         | Some task ->
+             policy.Sched.Policy.charge
+               ~container:(Sched.Task.container task)
+               ~now:(Simtime.of_ns !now) (Simtime.us 10)
+         | None -> ()))
+
+let run_sched_microbench () =
+  let tests =
+    List.concat_map
+      (fun n ->
+        [
+          sched_bench_policy "multilevel" (fun root -> Sched.Multilevel.make ~root ()) n;
+          sched_bench_policy "timeshare" (fun _ -> Sched.Timeshare.make ()) n;
+        ])
+      [ 10; 100; 1000 ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"sched" tests) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Engine.Series.table ~title:"Scheduler decision cost vs runnable containers"
+      ~columns:[ "configuration"; "ns per pick+charge" ]
+  in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      let estimate =
+        match Analyze.OLS.estimates result with
+        | Some (ns :: _) -> Printf.sprintf "%.0f" ns
+        | Some [] | None -> "-"
+      in
+      Engine.Series.add_row table [ name; estimate ])
+    (List.sort compare rows);
+  Format.printf "%a@." Engine.Series.pp_table table
+
+(* {1 Part 2: the evaluation section} *)
+
+let print_figure fig = Format.printf "%a@." Engine.Series.pp_figure fig
+let print_table t = Format.printf "%a@." Engine.Series.pp_table t
+
+let run_experiments ~fast =
+  let measure_short = if fast then Simtime.sec 2 else Simtime.sec 5 in
+  Format.printf "--- §5.3 baseline ---@.";
+  let baseline =
+    Engine.Series.table ~title:"Baseline throughput (§5.3)"
+      ~columns:[ "connection mode"; "req/s"; "paper"; "CPU/request (us)"; "paper (us)" ]
+  in
+  List.iter
+    (fun persistent ->
+      let r = Experiments.Exp_baseline.run ~measure:measure_short ~persistent () in
+      Engine.Series.add_row baseline
+        [
+          (if persistent then "persistent" else "connection per request");
+          Printf.sprintf "%.0f" r.Experiments.Exp_baseline.throughput;
+          (if persistent then "9487" else "2954");
+          Printf.sprintf "%.1f" r.Experiments.Exp_baseline.cpu_per_request_us;
+          (if persistent then "105" else "338");
+        ])
+    [ false; true ];
+  print_table baseline;
+  Format.printf "--- Table 1 (simulated-kernel charges use the paper's values) ---@.";
+  print_table (Experiments.Exp_table1.table ());
+  Format.printf "--- Figure 11 ---@.";
+  let low_counts = if fast then [ 0; 10; 20; 35 ] else [ 0; 5; 10; 15; 20; 25; 30; 35 ] in
+  print_figure (Experiments.Exp_fig11.figure ~low_counts ~measure:measure_short ());
+  Format.printf "--- Figures 12 and 13 ---@.";
+  let cgi_counts = if fast then [ 0; 2; 4 ] else [ 0; 1; 2; 3; 4; 5 ] in
+  let f12, f13 =
+    Experiments.Exp_fig12_13.figures ~cgi_counts
+      ~measure:(if fast then Simtime.sec 10 else Simtime.sec 15)
+      ()
+  in
+  print_figure f12;
+  print_figure f13;
+  Format.printf "--- Figure 14 ---@.";
+  let rates =
+    if fast then [ 0.; 10_000.; 40_000.; 70_000. ]
+    else [ 0.; 5_000.; 10_000.; 20_000.; 30_000.; 40_000.; 50_000.; 60_000.; 70_000. ]
+  in
+  print_figure (Experiments.Exp_fig14.figure ~rates ~measure:measure_short ());
+  Format.printf "--- §5.8 virtual servers ---@.";
+  print_table (Experiments.Exp_virtual.table ());
+  Format.printf "--- §5.4 container overhead ---@.";
+  print_table (Experiments.Exp_overhead.table ());
+  Format.printf "--- disk-bandwidth extension (§4.4) ---@.";
+  print_table (Experiments.Exp_disk.architecture_table ());
+  print_table (Experiments.Exp_disk.pool_table ());
+  print_table (Experiments.Exp_disk.isolation_table ());
+  Format.printf "--- ablations ---@.";
+  print_table
+    (Experiments.Exp_ablation.scheduler_family_table
+       ~measure:(if fast then Simtime.sec 3 else Simtime.sec 10)
+       ());
+  print_table (Experiments.Exp_ablation.binding_prune_table ());
+  print_table (Experiments.Exp_ablation.quantum_table ());
+  print_table (Experiments.Exp_ablation.smp_scaling_table ());
+  print_table (Experiments.Exp_ablation.softirq_charging_table ())
+
+let () =
+  let fast = Array.exists (String.equal "--fast") Sys.argv in
+  Format.printf "=== Part 1: primitive costs (real wall clock, Bechamel OLS) ===@.";
+  run_table1_microbench ();
+  run_sched_microbench ();
+  Format.printf "@.=== Part 2: reproduction of the paper's evaluation (simulated) ===@.";
+  run_experiments ~fast

@@ -1,0 +1,193 @@
+(* rc_sim — command-line driver for the Resource Containers reproduction.
+
+   One subcommand per reproduced table/figure, plus [all].  The [--fast]
+   flag shrinks sweeps and windows for quick runs; [--csv] emits
+   machine-readable output for figures. *)
+
+open Cmdliner
+module Simtime = Engine.Simtime
+
+let chart_mode = ref false
+
+let print_figure ~csv fig =
+  if csv then print_string (Engine.Series.figure_to_csv fig)
+  else if !chart_mode then Format.printf "%a@." Engine.Series.pp_figure_chart fig
+  else Format.printf "%a@." Engine.Series.pp_figure fig
+
+let print_table ~csv table =
+  if csv then print_string (Engine.Series.table_to_csv table)
+  else Format.printf "%a@." Engine.Series.pp_table table
+
+let fast_flag =
+  let doc = "Shrink sweeps and measurement windows for a quick run." in
+  Arg.(value & flag & info [ "fast" ] ~doc)
+
+let csv_flag =
+  let doc = "Emit CSV instead of aligned tables." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let chart_flag =
+  let doc = "Render figures as ASCII bar charts." in
+  Arg.(value & flag & info [ "chart" ] ~doc)
+
+let run_baseline fast csv =
+  let measure = if fast then Simtime.sec 2 else Simtime.sec 5 in
+  let t =
+    Engine.Series.table ~title:"Baseline throughput (paper §5.3, unmodified kernel, 1KB cached)"
+      ~columns:
+        [ "connection mode"; "throughput (req/s)"; "paper (req/s)"; "CPU/request (us)";
+          "paper (us)" ]
+  in
+  List.iter
+    (fun persistent ->
+      let r = Experiments.Exp_baseline.run ~measure ~persistent () in
+      Engine.Series.add_row t
+        [
+          (if persistent then "persistent (HTTP/1.1)" else "connection per request");
+          Printf.sprintf "%.0f" r.Experiments.Exp_baseline.throughput;
+          (if persistent then "9487" else "2954");
+          Printf.sprintf "%.1f" r.Experiments.Exp_baseline.cpu_per_request_us;
+          (if persistent then "105" else "338");
+        ])
+    [ false; true ];
+  print_table ~csv t
+
+let run_table1 _fast csv = print_table ~csv (Experiments.Exp_table1.table ())
+
+let run_fig11 fast csv =
+  let low_counts = if fast then [ 0; 10; 20; 35 ] else [ 0; 5; 10; 15; 20; 25; 30; 35 ] in
+  let measure = if fast then Simtime.sec 3 else Simtime.sec 5 in
+  print_figure ~csv (Experiments.Exp_fig11.figure ~low_counts ~measure ())
+
+let fig12_13 fast =
+  let cgi_counts = if fast then [ 0; 2; 4 ] else [ 0; 1; 2; 3; 4; 5 ] in
+  let measure = if fast then Simtime.sec 10 else Simtime.sec 15 in
+  Experiments.Exp_fig12_13.figures ~cgi_counts ~measure ()
+
+let run_fig12 fast csv = print_figure ~csv (fst (fig12_13 fast))
+let run_fig13 fast csv = print_figure ~csv (snd (fig12_13 fast))
+
+let run_fig14 fast csv =
+  let rates =
+    if fast then [ 0.; 10_000.; 40_000.; 70_000. ]
+    else [ 0.; 5_000.; 10_000.; 20_000.; 30_000.; 40_000.; 50_000.; 60_000.; 70_000. ]
+  in
+  let measure = if fast then Simtime.sec 3 else Simtime.sec 5 in
+  print_figure ~csv (Experiments.Exp_fig14.figure ~rates ~measure ())
+
+let run_virtual _fast csv = print_table ~csv (Experiments.Exp_virtual.table ())
+let run_overhead _fast csv = print_table ~csv (Experiments.Exp_overhead.table ())
+
+let run_disk fast csv =
+  print_table ~csv (Experiments.Exp_disk.architecture_table ());
+  print_table ~csv
+    (Experiments.Exp_disk.pool_table
+       ?workers_list:(if fast then Some [ 1; 4; 16 ] else None)
+       ());
+  print_table ~csv (Experiments.Exp_disk.isolation_table ())
+
+let run_latency fast csv =
+  let client_counts = if fast then [ 1; 4; 16; 64 ] else [ 1; 2; 4; 8; 16; 32; 64 ] in
+  let measure = if fast then Simtime.sec 2 else Simtime.sec 4 in
+  print_figure ~csv (Experiments.Exp_latency.figure ~client_counts ~measure Experiments.Harness.Unmodified)
+
+(* A small traced scenario: two client classes on the RC kernel, tracing
+   enabled; prints the tail of the kernel trace. *)
+let run_trace _fast _csv =
+  let module Container = Rescont.Container in
+  let module Machine = Procsim.Machine in
+  let sim = Engine.Sim.create () in
+  let root = Container.create_root () in
+  let trace = Engine.Tracelog.create ~enabled:true ~capacity:64 () in
+  let machine =
+    Machine.create ~trace ~sim ~policy:(Sched.Multilevel.make ~root ()) ~root ()
+  in
+  let proc = Procsim.Process.create machine ~name:"httpd" () in
+  let stack =
+    Netsim.Stack.create ~machine ~mode:Netsim.Stack.Rc
+      ~owner:(Procsim.Process.default_container proc) ()
+  in
+  let cache = Httpsim.File_cache.create () in
+  Httpsim.File_cache.add_document cache ~path:"/doc/1k" ~bytes:1024;
+  Httpsim.File_cache.warm cache;
+  let hi =
+    Container.create ~parent:root ~name:"premium"
+      ~attrs:(Rescont.Attrs.timeshare ~priority:90 ())
+      ()
+  in
+  let listens =
+    [
+      Netsim.Socket.make_listen ~port:80 ~filter:(Netsim.Filter.host (Netsim.Ipaddr.v 10 9 9 9))
+        ~container:hi ();
+      Netsim.Socket.make_listen ~port:80 ();
+    ]
+  in
+  let server =
+    Httpsim.Event_server.create ~stack ~process:proc ~cache
+      ~policy:Httpsim.Event_server.Inherit_listen ~listens ()
+  in
+  ignore (Httpsim.Event_server.start server);
+  let clients =
+    Workload.Sclient.create ~stack ~port:80 ~path:"/doc/1k" ~count:2 ()
+  in
+  let vip =
+    Workload.Sclient.create ~stack ~name:"vip" ~src_base:(Netsim.Ipaddr.v 10 9 9 9) ~port:80
+      ~path:"/doc/1k" ~count:1 ()
+  in
+  Workload.Sclient.start clients;
+  Workload.Sclient.start vip;
+  Machine.run_until machine (Engine.Simtime.add Engine.Simtime.zero (Engine.Simtime.ms 10));
+  Format.printf "Kernel trace of the first 10 simulated milliseconds (last 64 events):@.";
+  List.iter
+    (fun e -> Format.printf "  %a@." Engine.Tracelog.pp_entry e)
+    (Engine.Tracelog.entries trace)
+
+let run_ablation fast csv =
+  let measure = if fast then Simtime.sec 3 else Simtime.sec 10 in
+  print_table ~csv (Experiments.Exp_ablation.scheduler_family_table ~measure ());
+  print_table ~csv (Experiments.Exp_ablation.binding_prune_table ());
+  print_table ~csv (Experiments.Exp_ablation.quantum_table ());
+  print_table ~csv (Experiments.Exp_ablation.smp_scaling_table ());
+  print_table ~csv (Experiments.Exp_ablation.softirq_charging_table ())
+
+let run_all fast csv =
+  run_baseline fast csv;
+  run_table1 fast csv;
+  run_fig11 fast csv;
+  let f12, f13 = fig12_13 fast in
+  print_figure ~csv f12;
+  print_figure ~csv f13;
+  run_fig14 fast csv;
+  run_virtual fast csv;
+  run_overhead fast csv;
+  run_disk fast csv;
+  run_latency fast csv;
+  run_ablation fast csv
+
+let subcommand name doc f =
+  let apply fast csv chart =
+    chart_mode := chart;
+    f fast csv
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const apply $ fast_flag $ csv_flag $ chart_flag)
+
+let cmds =
+  [
+    subcommand "baseline" "Reproduce §5.3 baseline throughput." run_baseline;
+    subcommand "table1" "Reproduce Table 1 primitive costs." run_table1;
+    subcommand "fig11" "Reproduce Figure 11 (prioritised clients)." run_fig11;
+    subcommand "fig12" "Reproduce Figure 12 (CGI vs static throughput)." run_fig12;
+    subcommand "fig13" "Reproduce Figure 13 (CGI CPU share)." run_fig13;
+    subcommand "fig14" "Reproduce Figure 14 (SYN-flood immunity)." run_fig14;
+    subcommand "virtual" "Reproduce §5.8 virtual-server isolation." run_virtual;
+    subcommand "overhead" "Reproduce §5.4 per-request container overhead." run_overhead;
+    subcommand "disk" "Run the §4.4 disk-bandwidth extension experiments." run_disk;
+    subcommand "latency" "Run the latency-vs-load extension sweep." run_latency;
+    subcommand "trace" "Dump a kernel trace of a small RC scenario." run_trace;
+    subcommand "ablation" "Run the design-choice ablations." run_ablation;
+    subcommand "all" "Run every experiment." run_all;
+  ]
+
+let () =
+  let doc = "Reproduction of 'Resource Containers' (Banga, Druschel & Mogul, OSDI '99)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "rc_sim" ~doc) cmds))

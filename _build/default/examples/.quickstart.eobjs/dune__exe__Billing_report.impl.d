@@ -1,0 +1,1 @@
+examples/billing_report.ml: Disksim Engine Format Httpsim List Netsim Printf Procsim Rescont Sched Workload

@@ -1,0 +1,1 @@
+examples/cgi_sandbox.ml: Engine Format Httpsim Netsim Procsim Rescont Sched Workload

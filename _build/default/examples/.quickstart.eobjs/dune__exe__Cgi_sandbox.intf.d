@@ -1,0 +1,1 @@
+examples/cgi_sandbox.mli:

@@ -1,0 +1,1 @@
+examples/prioritized_clients.ml: Engine Format Httpsim Netsim Procsim Rescont Sched Workload

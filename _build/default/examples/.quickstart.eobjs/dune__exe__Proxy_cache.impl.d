@@ -1,0 +1,1 @@
+examples/proxy_cache.ml: Engine Format Hashtbl Httpsim List Netsim Printf Procsim Queue Rescont Sched Workload

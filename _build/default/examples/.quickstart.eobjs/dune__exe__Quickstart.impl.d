@@ -1,0 +1,1 @@
+examples/quickstart.ml: Engine Format List Procsim Rescont Sched

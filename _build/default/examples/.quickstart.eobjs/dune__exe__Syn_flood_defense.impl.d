@@ -1,0 +1,1 @@
+examples/syn_flood_defense.ml: Engine Format Hashtbl Httpsim List Netsim Option Procsim Rescont Sched String Workload

@@ -1,0 +1,1 @@
+examples/syn_flood_defense.mli:

@@ -1,0 +1,1 @@
+examples/virtual_hosting.ml: Engine Format Httpsim List Netsim Procsim Rescont Sched Workload

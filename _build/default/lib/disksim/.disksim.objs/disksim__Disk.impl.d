@@ -1,0 +1,1 @@
+lib/disksim/disk.ml: Engine Float Hashtbl Procsim Queue Rescont

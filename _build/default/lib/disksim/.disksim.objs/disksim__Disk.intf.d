@@ -1,0 +1,1 @@
+lib/disksim/disk.mli: Engine Procsim Rescont

@@ -1,0 +1,1 @@
+lib/engine/series.ml: Buffer Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/engine/tracelog.ml: Array Format List Simtime String

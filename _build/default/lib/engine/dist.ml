@@ -1,0 +1,83 @@
+type t =
+  | Constant of float
+  | Uniform of float * float
+  | Exponential of float
+  | Pareto of float * float
+  | Zipf of { values : float array; cdf : float array }
+  | Empirical of { values : float array; cdf : float array }
+
+let constant v = Constant v
+
+let uniform ~lo ~hi =
+  if hi < lo then invalid_arg "Dist.uniform: hi < lo";
+  Uniform (lo, hi)
+
+let exponential ~mean =
+  if mean <= 0. then invalid_arg "Dist.exponential: mean must be positive";
+  Exponential mean
+
+let pareto ~shape ~scale =
+  if shape <= 0. || scale <= 0. then invalid_arg "Dist.pareto: parameters must be positive";
+  Pareto (shape, scale)
+
+let normalized_cdf weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Dist: total weight must be positive";
+  let acc = ref 0. in
+  Array.map
+    (fun w ->
+      acc := !acc +. (w /. total);
+      !acc)
+    weights
+
+let zipf ~n ~s =
+  if n <= 0 then invalid_arg "Dist.zipf: n must be positive";
+  let weights = Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** s)) in
+  let values = Array.init n (fun i -> float_of_int (i + 1)) in
+  Zipf { values; cdf = normalized_cdf weights }
+
+let empirical pairs =
+  if Array.length pairs = 0 then invalid_arg "Dist.empirical: empty";
+  let weights = Array.map fst pairs and values = Array.map snd pairs in
+  Empirical { values; cdf = normalized_cdf weights }
+
+(* Smallest index whose cdf value is >= u. *)
+let cdf_index cdf u =
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (Array.length cdf - 1)
+
+let sample t rng =
+  match t with
+  | Constant v -> v
+  | Uniform (lo, hi) -> lo +. Rng.float rng (hi -. lo)
+  | Exponential mean ->
+      let u = 1. -. Rng.float rng 1. in
+      -.mean *. log u
+  | Pareto (shape, scale) ->
+      let u = 1. -. Rng.float rng 1. in
+      scale /. (u ** (1. /. shape))
+  | Zipf { values; cdf } | Empirical { values; cdf } ->
+      values.(cdf_index cdf (Rng.float rng 1.))
+
+let sample_int t rng =
+  let v = sample t rng in
+  if v <= 0. then 0 else int_of_float (Float.round v)
+
+let mean = function
+  | Constant v -> v
+  | Uniform (lo, hi) -> (lo +. hi) /. 2.
+  | Exponential m -> m
+  | Pareto (shape, scale) -> if shape <= 1. then infinity else shape *. scale /. (shape -. 1.)
+  | Zipf { values; cdf } | Empirical { values; cdf } ->
+      let acc = ref 0. and prev = ref 0. in
+      Array.iteri
+        (fun i c ->
+          acc := !acc +. ((c -. !prev) *. values.(i));
+          prev := c)
+        cdf;
+      !acc

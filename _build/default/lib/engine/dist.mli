@@ -1,0 +1,32 @@
+(** Sampling from the distributions used by the workload generators. *)
+
+type t
+(** A distribution over non-negative floats. *)
+
+val constant : float -> t
+val uniform : lo:float -> hi:float -> t
+
+val exponential : mean:float -> t
+(** Memoryless inter-arrival times; used for open-loop (Poisson) packet
+    sources such as the SYN flooders. *)
+
+val pareto : shape:float -> scale:float -> t
+(** Heavy-tailed; Web object sizes are classically Pareto-distributed. *)
+
+val zipf : n:int -> s:float -> t
+(** Zipf over ranks [1..n] with exponent [s] (returned as a float rank);
+    used for document popularity.  Sampling is O(log n) by inverting the
+    precomputed CDF. *)
+
+val empirical : (float * float) array -> t
+(** [empirical [| (w1, v1); ... |]] samples value [vi] with probability
+    proportional to weight [wi].  @raise Invalid_argument on empty or
+    non-positive total weight. *)
+
+val sample : t -> Rng.t -> float
+val sample_int : t -> Rng.t -> int
+(** [sample_int] rounds the sample to the nearest integer, clamped at 0. *)
+
+val mean : t -> float
+(** Analytic mean where available; for [zipf] and [empirical] the exact
+    finite mean is computed. *)

@@ -1,0 +1,102 @@
+(* A classic array-backed binary heap.  Each inserted element gets a node
+   record; cancellation marks the node dead and decrements [live], and dead
+   nodes are discarded when they reach the top.  This keeps cancel O(1) at
+   the cost of dead nodes lingering in the array, which is fine for the
+   simulator (cancellations are rare relative to insertions). *)
+
+type 'a node = { prio : int; seq : int; value : 'a; mutable alive : bool }
+type handle = H : 'a node -> handle
+
+type 'a t = {
+  mutable arr : 'a node option array;
+  mutable size : int; (* slots used in [arr], live or dead *)
+  mutable live : int;
+  mutable next_seq : int;
+}
+
+let create () = { arr = Array.make 64 None; size = 0; live = 0; next_seq = 0 }
+let length q = q.live
+let is_empty q = q.live = 0
+
+let node_lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow q =
+  let arr = Array.make (2 * Array.length q.arr) None in
+  Array.blit q.arr 0 arr 0 q.size;
+  q.arr <- arr
+
+let get q i =
+  match q.arr.(i) with
+  | Some n -> n
+  | None -> assert false
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    let np = get q parent and ni = get q i in
+    if node_lt ni np then begin
+      q.arr.(parent) <- Some ni;
+      q.arr.(i) <- Some np;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && node_lt (get q l) (get q !smallest) then smallest := l;
+  if r < q.size && node_lt (get q r) (get q !smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = get q i in
+    q.arr.(i) <- q.arr.(!smallest);
+    q.arr.(!smallest) <- Some tmp;
+    sift_down q !smallest
+  end
+
+let insert q ~prio value =
+  let node = { prio; seq = q.next_seq; value; alive = true } in
+  q.next_seq <- q.next_seq + 1;
+  if q.size = Array.length q.arr then grow q;
+  q.arr.(q.size) <- Some node;
+  q.size <- q.size + 1;
+  q.live <- q.live + 1;
+  sift_up q (q.size - 1);
+  H node
+
+let cancel q (H node) =
+  if node.alive then begin
+    node.alive <- false;
+    q.live <- q.live - 1;
+    true
+  end
+  else false
+
+let remove_top q =
+  let top = get q 0 in
+  q.size <- q.size - 1;
+  q.arr.(0) <- q.arr.(q.size);
+  q.arr.(q.size) <- None;
+  if q.size > 0 then sift_down q 0;
+  top
+
+(* Discard dead nodes at the top until a live one (or nothing) remains. *)
+let rec skim q = if q.size > 0 && not (get q 0).alive then (ignore (remove_top q); skim q)
+
+let pop_min q =
+  skim q;
+  if q.size = 0 then None
+  else begin
+    let top = remove_top q in
+    top.alive <- false;
+    q.live <- q.live - 1;
+    Some (top.prio, top.value)
+  end
+
+let peek_min_prio q =
+  skim q;
+  if q.size = 0 then None else Some (get q 0).prio
+
+let clear q =
+  Array.fill q.arr 0 q.size None;
+  q.size <- 0;
+  q.live <- 0

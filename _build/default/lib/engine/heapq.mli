@@ -1,0 +1,38 @@
+(** A binary min-heap keyed by [(priority, sequence)] with O(log n) insert
+    and extract-min, plus O(1) lazy cancellation.
+
+    The heap is the backbone of the event queue: priorities are simulated
+    timestamps and the monotonically increasing sequence number makes
+    extraction stable (events scheduled earlier at the same instant fire
+    first), which keeps every simulation run deterministic. *)
+
+type 'a t
+
+type handle
+(** A handle onto an inserted element, usable to cancel it later. *)
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) elements. *)
+
+val is_empty : 'a t -> bool
+
+val insert : 'a t -> prio:int -> 'a -> handle
+(** [insert q ~prio v] adds [v] with priority [prio] and returns a handle
+    for cancellation.  Smaller priorities are extracted first; ties are
+    broken by insertion order. *)
+
+val cancel : 'a t -> handle -> bool
+(** [cancel q h] removes the element behind [h] if it is still queued.
+    Returns [false] if the element was already extracted or cancelled.
+    Cancellation is lazy: the slot is skipped on a later extraction. *)
+
+val pop_min : 'a t -> (int * 'a) option
+(** Remove and return the live element with the smallest priority, or
+    [None] when the heap holds no live elements. *)
+
+val peek_min_prio : 'a t -> int option
+(** Priority of the next live element without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,42 @@
+(* splitmix64 (Steele, Lea & Flood 2014).  State is a single 64-bit word
+   advanced by the golden-gamma; output is a finalizing hash of the state. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed64 = bits64 t in
+  { state = mix seed64 }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over the top 62 bits avoids modulo bias. *)
+  let mask = Int64.shift_right_logical (bits64 t) 2 in
+  let v = Int64.to_int mask in
+  let bucket = max_int / bound * bound in
+  if v < bucket then v mod bound
+  else
+    (* Extremely rare; loop via recursion. *)
+    let rec retry () =
+      let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+      if v < bucket then v mod bound else retry ()
+    in
+    retry ()
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L

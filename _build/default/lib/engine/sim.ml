@@ -1,0 +1,76 @@
+type t = { mutable clock : Simtime.t; queue : (unit -> unit) Heapq.t }
+
+type event_body = { mutable cancelled : bool; mutable handle : Heapq.handle option }
+type event = event_body
+
+let create () = { clock = Simtime.zero; queue = Heapq.create () }
+let now t = t.clock
+
+let at t time f =
+  if Simtime.(time < t.clock) then
+    invalid_arg
+      (Format.asprintf "Sim.at: %a is before current time %a" Simtime.pp time Simtime.pp t.clock);
+  let body = { cancelled = false; handle = None } in
+  let handle = Heapq.insert t.queue ~prio:(Simtime.to_ns time) f in
+  body.handle <- Some handle;
+  body
+
+let after t span f =
+  let span = Simtime.span_max span Simtime.span_zero in
+  at t (Simtime.add t.clock span) f
+
+let cancel t event =
+  if event.cancelled then false
+  else begin
+    event.cancelled <- true;
+    match event.handle with None -> false | Some h -> Heapq.cancel t.queue h
+  end
+
+let pending t = Heapq.length t.queue
+
+let fire t prio f =
+  t.clock <- Simtime.of_ns prio;
+  f ()
+
+let step t =
+  match Heapq.pop_min t.queue with
+  | None -> false
+  | Some (prio, f) ->
+      fire t prio f;
+      true
+
+let run_until t horizon =
+  let rec loop () =
+    match Heapq.peek_min_prio t.queue with
+    | Some prio when Simtime.(of_ns prio <= horizon) -> (
+        match Heapq.pop_min t.queue with
+        | Some (p, f) ->
+            fire t p f;
+            loop ()
+        | None -> ())
+    | Some _ | None -> ()
+  in
+  loop ();
+  if Simtime.(horizon > t.clock) then t.clock <- horizon
+
+let run t = while step t do () done
+
+let every t period f =
+  if not (Simtime.span_is_positive period) then invalid_arg "Sim.every: period must be positive";
+  let body = { cancelled = false; handle = None } in
+  let rec arm () =
+    if not body.cancelled then begin
+      let h =
+        Heapq.insert t.queue
+          ~prio:(Simtime.to_ns (Simtime.add t.clock period))
+          (fun () ->
+            if not body.cancelled then begin
+              f ();
+              arm ()
+            end)
+      in
+      body.handle <- Some h
+    end
+  in
+  arm ();
+  body

@@ -1,0 +1,46 @@
+type t = int
+type span = int
+
+let zero = 0
+let ( <= ) (a : t) b = Stdlib.( <= ) a b
+let ( < ) (a : t) b = Stdlib.( < ) a b
+let ( >= ) (a : t) b = Stdlib.( >= ) a b
+let ( > ) (a : t) b = Stdlib.( > ) a b
+let equal (a : t) b = Stdlib.( = ) a b
+let compare (a : t) b = Stdlib.compare a b
+let min (a : t) (b : t) = Stdlib.min a b
+let max (a : t) (b : t) = Stdlib.max a b
+let add t d = t + d
+let diff a b = a - b
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let sec n = n * 1_000_000_000
+let sec_f s = int_of_float (Float.round (s *. 1e9))
+let span_zero = 0
+let span_add a b = a + b
+let span_sub a b = a - b
+let span_min (a : span) (b : span) = Stdlib.min a b
+let span_max (a : span) (b : span) = Stdlib.max a b
+let span_scale f d = int_of_float (Float.round (f *. float_of_int d))
+let span_compare (a : span) b = Stdlib.compare a b
+let span_is_positive d = Stdlib.( > ) d 0
+let to_ns t = t
+let of_ns n = n
+let span_to_ns d = d
+let span_of_ns n = n
+let to_sec_f t = float_of_int t /. 1e9
+let span_to_sec_f d = float_of_int d /. 1e9
+let span_to_us_f d = float_of_int d /. 1e3
+let span_to_ms_f d = float_of_int d /. 1e6
+let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den
+
+let pp_value ppf v =
+  let abs = Stdlib.abs v in
+  if abs >= 1_000_000_000 then Format.fprintf ppf "%.3fs" (float_of_int v /. 1e9)
+  else if abs >= 1_000_000 then Format.fprintf ppf "%.3fms" (float_of_int v /. 1e6)
+  else if abs >= 1_000 then Format.fprintf ppf "%.3fus" (float_of_int v /. 1e3)
+  else Format.fprintf ppf "%dns" v
+
+let pp = pp_value
+let pp_span = pp_value

@@ -1,0 +1,66 @@
+(** Simulated time.
+
+    All simulated clocks in the repository use a single representation: an
+    integer count of nanoseconds since the start of the simulation.  On a
+    64-bit platform this covers ~292 years of simulated time, far beyond any
+    experiment in the paper.  Wrapping the integer in an abstract type
+    prevents accidental mixing of times, durations and plain counters. *)
+
+type t
+(** An absolute instant in simulated time. *)
+
+type span
+(** A duration (difference between two instants).  Spans may be negative as
+    intermediate values but most API points expect non-negative spans. *)
+
+val zero : t
+(** The simulation epoch. *)
+
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+val add : t -> span -> t
+(** [add t d] is the instant [d] after [t]. *)
+
+val diff : t -> t -> span
+(** [diff a b] is the span from [b] to [a]; positive when [a] is later. *)
+
+val ns : int -> span
+val us : int -> span
+val ms : int -> span
+val sec : int -> span
+val sec_f : float -> span
+(** Span constructors.  [sec_f] rounds to the nearest nanosecond. *)
+
+val span_zero : span
+val span_add : span -> span -> span
+val span_sub : span -> span -> span
+val span_min : span -> span -> span
+val span_max : span -> span -> span
+val span_scale : float -> span -> span
+val span_compare : span -> span -> int
+val span_is_positive : span -> bool
+(** [span_is_positive d] is [true] iff [d] is strictly greater than zero. *)
+
+val to_ns : t -> int
+val of_ns : int -> t
+val span_to_ns : span -> int
+val span_of_ns : int -> span
+
+val to_sec_f : t -> float
+val span_to_sec_f : span -> float
+val span_to_us_f : span -> float
+val span_to_ms_f : span -> float
+
+val ratio : span -> span -> float
+(** [ratio num den] is [num / den] as a float; [0.] when [den] is zero. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_span : Format.formatter -> span -> unit
+(** Human-readable printers choosing an appropriate unit. *)

@@ -1,0 +1,155 @@
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+    mutable total : float;
+  }
+
+  let create () = { count = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity; total = 0. }
+
+  let add t x =
+    t.count <- t.count + 1;
+    t.total <- t.total +. x;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0. else t.mean
+  let variance t = if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+  let total t = t.total
+
+  let merge a b =
+    if a.count = 0 then { b with count = b.count }
+    else if b.count = 0 then { a with count = a.count }
+    else begin
+      let count = a.count + b.count in
+      let delta = b.mean -. a.mean in
+      let mean = a.mean +. (delta *. float_of_int b.count /. float_of_int count) in
+      let m2 =
+        a.m2 +. b.m2
+        +. (delta *. delta *. float_of_int a.count *. float_of_int b.count /. float_of_int count)
+      in
+      {
+        count;
+        mean;
+        m2;
+        min = Stdlib.min a.min b.min;
+        max = Stdlib.max a.max b.max;
+        total = a.total +. b.total;
+      }
+    end
+
+  let pp ppf t =
+    Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.count (mean t) (stddev t)
+      t.min t.max
+end
+
+module Reservoir = struct
+  type t = { capacity : int; rng : Rng.t; mutable seen : int; sample : float array }
+
+  let create ?(capacity = 4096) rng =
+    if capacity <= 0 then invalid_arg "Reservoir.create: capacity must be positive";
+    { capacity; rng; seen = 0; sample = Array.make capacity 0. }
+
+  let add t x =
+    if t.seen < t.capacity then t.sample.(t.seen) <- x
+    else begin
+      (* Vitter's algorithm R: keep each element with probability k/n. *)
+      let j = Rng.int t.rng (t.seen + 1) in
+      if j < t.capacity then t.sample.(j) <- x
+    end;
+    t.seen <- t.seen + 1
+
+  let count t = t.seen
+
+  let sorted t =
+    let n = Stdlib.min t.seen t.capacity in
+    let a = Array.sub t.sample 0 n in
+    Array.sort compare a;
+    a
+
+  let percentile t frac =
+    if t.seen = 0 then invalid_arg "Reservoir.percentile: empty";
+    if frac < 0. || frac > 1. then invalid_arg "Reservoir.percentile: fraction out of range";
+    let a = sorted t in
+    let n = Array.length a in
+    if n = 1 then a.(0)
+    else begin
+      let pos = frac *. float_of_int (n - 1) in
+      let lo = int_of_float (floor pos) in
+      let hi = Stdlib.min (lo + 1) (n - 1) in
+      let w = pos -. float_of_int lo in
+      ((1. -. w) *. a.(lo)) +. (w *. a.(hi))
+    end
+
+  let median t = percentile t 0.5
+end
+
+module Histogram = struct
+  type t = { lo : float; hi : float; counts : int array; mutable total : int }
+
+  let create ~lo ~hi ~buckets =
+    if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+    if buckets <= 0 then invalid_arg "Histogram.create: buckets must be positive";
+    { lo; hi; counts = Array.make buckets 0; total = 0 }
+
+  let add t x =
+    let buckets = Array.length t.counts in
+    let idx =
+      if x <= t.lo then 0
+      else if x >= t.hi then buckets - 1
+      else int_of_float (float_of_int buckets *. (x -. t.lo) /. (t.hi -. t.lo))
+    in
+    let idx = Stdlib.min idx (buckets - 1) in
+    t.counts.(idx) <- t.counts.(idx) + 1;
+    t.total <- t.total + 1
+
+  let count t = t.total
+  let bucket_counts t = Array.copy t.counts
+
+  let pp ppf t =
+    let buckets = Array.length t.counts in
+    let width = (t.hi -. t.lo) /. float_of_int buckets in
+    let peak = Array.fold_left Stdlib.max 1 t.counts in
+    Array.iteri
+      (fun i c ->
+        let bar = String.make (40 * c / peak) '#' in
+        Format.fprintf ppf "[%8.3f,%8.3f) %6d %s@." (t.lo +. (width *. float_of_int i))
+          (t.lo +. (width *. float_of_int (i + 1)))
+          c bar)
+      t.counts
+end
+
+module Rate = struct
+  type t = { mutable marks : (Simtime.t * int) list; mutable count : int }
+
+  let create () = { marks = []; count = 0 }
+
+  let mark t ?(weight = 1) now =
+    t.marks <- (now, weight) :: t.marks;
+    t.count <- t.count + weight
+
+  let count t = t.count
+
+  let rate_over t window =
+    let secs = Simtime.span_to_sec_f window in
+    if secs <= 0. then 0. else float_of_int t.count /. secs
+
+  let rate_between t t0 t1 =
+    let in_window =
+      List.fold_left
+        (fun acc (ts, w) -> if Simtime.(ts >= t0) && Simtime.(ts < t1) then acc + w else acc)
+        0 t.marks
+    in
+    let secs = Simtime.span_to_sec_f (Simtime.diff t1 t0) in
+    if secs <= 0. then 0. else float_of_int in_window /. secs
+end

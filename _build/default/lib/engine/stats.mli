@@ -1,0 +1,69 @@
+(** Online statistics used by the experiment harnesses. *)
+
+module Summary : sig
+  (** Streaming count/mean/variance/min/max (Welford's algorithm). *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val total : t -> float
+
+  val merge : t -> t -> t
+  (** Combine two summaries as if their streams were concatenated. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Reservoir : sig
+  (** Fixed-size uniform sample of a stream, for percentile estimates on
+      long runs without unbounded memory. *)
+
+  type t
+
+  val create : ?capacity:int -> Rng.t -> t
+  val add : t -> float -> unit
+  val count : t -> int
+
+  val percentile : t -> float -> float
+  (** [percentile r 0.99] estimates the 99th percentile by linear
+      interpolation over the retained sample.  @raise Invalid_argument when
+      empty or when the fraction is outside [0, 1]. *)
+
+  val median : t -> float
+end
+
+module Histogram : sig
+  (** Fixed-width-bucket histogram over a known range. *)
+
+  type t
+
+  val create : lo:float -> hi:float -> buckets:int -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val bucket_counts : t -> int array
+  val pp : Format.formatter -> t -> unit
+end
+
+module Rate : sig
+  (** Event counting over simulated time, e.g. requests per second. *)
+
+  type t
+
+  val create : unit -> t
+  val mark : t -> ?weight:int -> Simtime.t -> unit
+  val count : t -> int
+
+  val rate_over : t -> Simtime.span -> float
+  (** [rate_over t window] is the count divided by [window] in seconds. *)
+
+  val rate_between : t -> Simtime.t -> Simtime.t -> float
+  (** Events with timestamps inside the half-open interval, per second.
+      Retains all marks; intended for bounded experiment runs. *)
+end

@@ -1,0 +1,47 @@
+type entry = { time : Simtime.t; category : string; message : string }
+
+type t = {
+  mutable on : bool;
+  capacity : int;
+  buffer : entry option array;
+  mutable head : int; (* next write slot *)
+  mutable count : int;
+}
+
+let create ?(enabled = false) ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Tracelog.create: capacity must be positive";
+  { on = enabled; capacity; buffer = Array.make capacity None; head = 0; count = 0 }
+
+let enabled t = t.on
+let set_enabled t v = t.on <- v
+
+let emit t time ~category message =
+  if t.on then begin
+    t.buffer.(t.head) <- Some { time; category; message };
+    t.head <- (t.head + 1) mod t.capacity;
+    if t.count < t.capacity then t.count <- t.count + 1
+  end
+
+let emitf t time ~category fmt =
+  Format.kasprintf
+    (fun message -> emit t time ~category message)
+    fmt
+
+let entries t =
+  let result = ref [] in
+  let start = (t.head - t.count + t.capacity) mod t.capacity in
+  for i = t.count - 1 downto 0 do
+    match t.buffer.((start + i) mod t.capacity) with
+    | Some e -> result := e :: !result
+    | None -> ()
+  done;
+  !result
+
+let find t ~category = List.filter (fun e -> String.equal e.category category) (entries t)
+
+let clear t =
+  Array.fill t.buffer 0 t.capacity None;
+  t.head <- 0;
+  t.count <- 0
+
+let pp_entry ppf e = Format.fprintf ppf "[%a] %s: %s" Simtime.pp e.time e.category e.message

@@ -1,0 +1,30 @@
+(** Lightweight in-simulation tracing.
+
+    Subsystems emit timestamped, categorised events; tests and debugging
+    sessions subscribe or dump them.  Tracing defaults to disabled and then
+    costs one branch per call site. *)
+
+type t
+
+type entry = { time : Simtime.t; category : string; message : string }
+
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
+(** [capacity] bounds retained entries; the oldest are dropped first. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val emit : t -> Simtime.t -> category:string -> string -> unit
+(** Record an entry (no-op when disabled). *)
+
+val emitf :
+  t -> Simtime.t -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted emission; the format arguments are only evaluated when
+    tracing is enabled. *)
+
+val entries : t -> entry list
+(** Retained entries, oldest first. *)
+
+val find : t -> category:string -> entry list
+val clear : t -> unit
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Engine Float Format Harness Httpsim List Netsim Printf Procsim Rescont Sched Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_baseline.ml: Engine Harness Httpsim Netsim Printf Procsim Workload

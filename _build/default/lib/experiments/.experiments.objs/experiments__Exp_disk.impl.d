@@ -1,0 +1,1 @@
+lib/experiments/exp_disk.ml: Disksim Engine Harness Httpsim List Netsim Printf Rescont Workload

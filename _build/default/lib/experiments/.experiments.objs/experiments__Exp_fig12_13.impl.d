@@ -1,0 +1,1 @@
+lib/experiments/exp_fig12_13.ml: Engine Harness Httpsim List Netsim Printf Rescont Workload

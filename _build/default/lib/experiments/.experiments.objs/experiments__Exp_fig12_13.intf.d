@@ -1,0 +1,1 @@
+lib/experiments/exp_fig12_13.mli: Engine

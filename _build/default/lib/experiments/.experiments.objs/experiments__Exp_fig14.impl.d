@@ -1,0 +1,1 @@
+lib/experiments/exp_fig14.ml: Engine Harness Httpsim List Netsim Rescont Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_latency.ml: Engine Harness Httpsim List Netsim Printf Workload

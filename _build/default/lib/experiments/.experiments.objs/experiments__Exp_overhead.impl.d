@@ -1,0 +1,1 @@
+lib/experiments/exp_overhead.ml: Engine Harness Httpsim Netsim Printf Procsim Rescont Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_table1.ml: Array Engine Httpsim List Printf Rescont Sys

@@ -1,0 +1,1 @@
+lib/experiments/exp_virtual.ml: Engine Harness Httpsim List Netsim Printf Procsim Rescont Workload

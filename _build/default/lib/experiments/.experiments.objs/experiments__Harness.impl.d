@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Engine Httpsim Netsim Procsim Rescont Sched

@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Engine Httpsim Netsim Procsim Rescont

@@ -1,0 +1,19 @@
+(** §5.3 — baseline throughput of the event-driven server on the
+    unmodified kernel, for cached 1 KB documents.
+
+    Paper: 2 954 requests/s with one connection per request (338 µs of CPU
+    per request) and 9 487 requests/s over persistent connections (105 µs
+    per request), both CPU-saturated. *)
+
+type result = {
+  persistent : bool;
+  throughput : float;  (** requests per second at saturation *)
+  cpu_per_request_us : float;  (** measured busy CPU divided by requests *)
+  mean_latency_ms : float;
+}
+
+val run : ?clients:int -> ?warmup:Engine.Simtime.span -> ?measure:Engine.Simtime.span ->
+  persistent:bool -> unit -> result
+
+val table : unit -> Engine.Series.table
+(** Both rows, with the paper's numbers alongside. *)

@@ -1,0 +1,48 @@
+(** Disk-bandwidth extension experiments (paper §4.4).
+
+    The paper claims resource containers generalise beyond CPU: "the use
+    of other system resources such as physical memory, disk bandwidth and
+    socket buffers can be conveniently controlled by resource containers".
+    These experiments exercise the disk substrate:
+
+    - {b Architecture under a cold cache}: a Zipf-popular document set
+      larger than the file cache forces disk reads.  The single-threaded
+      event-driven server blocks on every miss (no overlap), while the
+      multi-threaded server overlaps misses with other requests — the
+      classic architectural trade-off from §2 that the warm-cache
+      experiments hide.
+    - {b Disk-bandwidth isolation}: two client classes with different
+      container priorities issue miss-heavy workloads; the disk queue is
+      drained in container-priority order, so the premium class sees
+      far lower response times at equal demand. *)
+
+type arch_point = { architecture : string; throughput : float; mean_latency_ms : float }
+
+val architecture_run :
+  ?warmup:Engine.Simtime.span ->
+  ?measure:Engine.Simtime.span ->
+  [ `Event_driven | `Multi_threaded ] ->
+  arch_point
+
+val architecture_table : unit -> Engine.Series.table
+
+val pool_table :
+  ?workers_list:int list ->
+  ?warmup:Engine.Simtime.span ->
+  ?measure:Engine.Simtime.span ->
+  unit ->
+  Engine.Series.table
+(** Worker-pool sizing: throughput of the threaded server over a
+    miss-heavy workload as the pool grows — more threads overlap more
+    blocking disk reads, until the spindle saturates. *)
+
+type isolation_point = {
+  premium_latency_ms : float;
+  standard_latency_ms : float;
+  premium_disk_share : float;  (** premium fraction of disk-busy time *)
+}
+
+val isolation_run :
+  ?warmup:Engine.Simtime.span -> ?measure:Engine.Simtime.span -> unit -> isolation_point
+
+val isolation_table : unit -> Engine.Series.table

@@ -1,0 +1,33 @@
+(** Extension: the latency/throughput trade-off of the baseline server.
+
+    The paper reports mean response times at fixed load points; this
+    experiment sweeps the number of closed-loop clients and records
+    throughput alongside mean, median and tail (p99) latency — the classic
+    hockey-stick curve that shows where the §5.3 saturation points sit.
+    Run under any of the three kernel configurations. *)
+
+type point = {
+  clients : int;
+  throughput : float;
+  mean_ms : float;
+  p50_ms : float;
+  p99_ms : float;
+}
+
+val run :
+  ?warmup:Engine.Simtime.span ->
+  ?measure:Engine.Simtime.span ->
+  ?persistent:bool ->
+  Harness.system ->
+  clients:int ->
+  point
+
+val figure :
+  ?client_counts:int list ->
+  ?warmup:Engine.Simtime.span ->
+  ?measure:Engine.Simtime.span ->
+  ?persistent:bool ->
+  Harness.system ->
+  Engine.Series.figure
+(** Curves: throughput, mean, p50, p99 over the client sweep (default
+    1, 2, 4, 8, 16, 32, 64). *)

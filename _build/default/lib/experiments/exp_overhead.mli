@@ -1,0 +1,21 @@
+(** §5.4 — overhead of using resource containers.
+
+    The paper verifies that creating a new resource container for every
+    HTTP request leaves server throughput "effectively unchanged".  This
+    experiment runs the RC system with and without per-connection
+    containers and reports both throughputs and the relative difference. *)
+
+type result = {
+  without_containers : float;
+  with_containers : float;
+  relative_change : float;  (** (with - without) / without *)
+}
+
+val run :
+  ?clients:int ->
+  ?warmup:Engine.Simtime.span ->
+  ?measure:Engine.Simtime.span ->
+  unit ->
+  result
+
+val table : unit -> Engine.Series.table

@@ -1,0 +1,26 @@
+(** Table 1 — cost of resource container primitives (paper §5.4).
+
+    The paper invoked each new system call 10 000 times and reported the
+    mean warm-cache cost on a 500 MHz Alpha.  This module repeats that
+    methodology against this library's in-process implementations of the
+    same primitives, and reports both: the paper's number is also what the
+    simulated kernel charges when applications invoke a primitive.
+
+    (The Bechamel harness in [bench/main.ml] measures the same operations
+    with proper statistical rigour; this module is the quick, paper-
+    faithful version usable from tests and the CLI.) *)
+
+type row = {
+  operation : string;
+  paper_us : float;
+  measured_ns : float;  (** mean wall-clock cost of our implementation *)
+}
+
+val rows : ?iterations:int -> unit -> row list
+(** Default 10 000 iterations per primitive, as in the paper. *)
+
+val table : ?iterations:int -> unit -> Engine.Series.table
+
+val max_primitive_vs_request : unit -> float
+(** max(paper cost of any primitive) / (non-persistent request cost) —
+    the paper's point is that this ratio is tiny. *)

@@ -1,0 +1,29 @@
+(** §5.8 — isolation of virtual servers (Rent-A-Server).
+
+    Three guest Web servers run on one machine, each rooted in a top-level
+    container with a fixed CPU share (50 / 30 / 20 %).  Each guest serves
+    its own port with its own server process and CGI back-ends, under
+    deliberately unequal client load.  The paper reports that the CPU
+    consumed by each guest exactly matched its allocation; this experiment
+    makes that quantitative, and also shows each guest re-dividing its own
+    allocation internally (a per-guest CGI sandbox). *)
+
+type guest_result = {
+  name : string;
+  allocated_share : float;
+  measured_share : float;
+  static_throughput : float;
+  cgi_share_within_guest : float;  (** CGI CPU over total guest CPU. *)
+}
+
+val run :
+  ?shares:float list ->
+  ?clients_per_guest:int list ->
+  ?warmup:Engine.Simtime.span ->
+  ?measure:Engine.Simtime.span ->
+  unit ->
+  guest_result list
+(** Defaults: shares [0.5; 0.3; 0.2], client counts [16; 16; 16] (all
+    saturating, so measured share should equal allocation). *)
+
+val table : unit -> Engine.Series.table

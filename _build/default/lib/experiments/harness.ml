@@ -1,0 +1,66 @@
+module Simtime = Engine.Simtime
+module Sim = Engine.Sim
+module Container = Rescont.Container
+module Machine = Procsim.Machine
+module Process = Procsim.Process
+module Stack = Netsim.Stack
+
+type system = Unmodified | Lrp_sys | Rc_sys
+
+let system_name = function
+  | Unmodified -> "Unmodified"
+  | Lrp_sys -> "LRP"
+  | Rc_sys -> "RC"
+
+type rig = {
+  sim : Sim.t;
+  root : Container.t;
+  machine : Machine.t;
+  server_proc : Process.t;
+  stack : Stack.t;
+  cache : Httpsim.File_cache.t;
+}
+
+let default_port = 80
+let doc_path = "/doc/1k"
+let cgi_path = "/cgi/run"
+
+let make_rig ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(limit_window = Simtime.ms 100)
+    ?server_attrs system =
+  let sim = Sim.create () in
+  let root = Container.create_root () in
+  let policy =
+    match system with
+    | Unmodified | Lrp_sys -> Sched.Timeshare.make ()
+    | Rc_sys -> Sched.Multilevel.make ~window:limit_window ~root ()
+  in
+  let machine = Machine.create ~cpus ~quantum ~sim ~policy ~root () in
+  let server_proc = Process.create machine ?container_attrs:server_attrs ~name:"httpd" () in
+  let mode =
+    match system with Unmodified -> Stack.Softirq | Lrp_sys -> Stack.Lrp | Rc_sys -> Stack.Rc
+  in
+  let stack =
+    Stack.create ~machine ~mode ~owner:(Process.default_container server_proc) ()
+  in
+  let cache = Httpsim.File_cache.create () in
+  Httpsim.File_cache.add_document cache ~path:doc_path ~bytes:1024;
+  Httpsim.File_cache.add_document cache ~path:"/doc/8k" ~bytes:8192;
+  Httpsim.File_cache.add_document cache ~path:"/doc/64k" ~bytes:65536;
+  Httpsim.File_cache.add_document cache ~path:cgi_path ~bytes:0;
+  Httpsim.File_cache.warm cache;
+  { sim; root; machine; server_proc; stack; cache }
+
+let run_for rig span = Machine.run_until rig.machine (Simtime.add (Sim.now rig.sim) span)
+
+let measure_window rig ~warmup ~measure counter =
+  run_for rig warmup;
+  let start = counter () in
+  run_for rig measure;
+  let finish = counter () in
+  (finish -. start) /. Simtime.span_to_sec_f measure
+
+let cpu_share_between rig container ~t0 ~busy0 ~subtree0 =
+  ignore busy0;
+  let wall = Simtime.diff (Sim.now rig.sim) t0 in
+  let used = Simtime.span_sub (Container.subtree_cpu container) subtree0 in
+  Simtime.ratio used wall

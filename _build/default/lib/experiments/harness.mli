@@ -1,0 +1,63 @@
+(** Shared rig construction for the reproduction experiments.
+
+    A rig is one simulated server machine: event engine, CPU dispatcher
+    with the scheduling policy matching the system under test, network
+    stack in the matching processing mode, a server process, and a warmed
+    document cache.  The three system configurations correspond to the
+    curves in the paper's evaluation:
+
+    - [Unmodified]: classic decay-usage timeshare scheduler over process
+      principals; softirq network processing (misaccounted, FIFO).
+    - [Lrp_sys]: same scheduler; LRP network processing (charged to the
+      receiving process).
+    - [Rc_sys]: the prototype's multi-level container scheduler; RC network
+      processing (per-container queues in priority order). *)
+
+type system = Unmodified | Lrp_sys | Rc_sys
+
+val system_name : system -> string
+
+type rig = {
+  sim : Engine.Sim.t;
+  root : Rescont.Container.t;
+  machine : Procsim.Machine.t;
+  server_proc : Procsim.Process.t;
+  stack : Netsim.Stack.t;
+  cache : Httpsim.File_cache.t;
+}
+
+val make_rig :
+  ?cpus:int ->
+  ?quantum:Engine.Simtime.span ->
+  ?limit_window:Engine.Simtime.span ->
+  ?server_attrs:Rescont.Attrs.t ->
+  system ->
+  rig
+(** Build a rig.  The cache is pre-loaded with "/doc/1k" (1 024 bytes,
+    warm) and a few other documents.  [server_attrs] sets the server
+    process's default container attributes (default: fixed-share class
+    with share 0 — i.e. a node that may own child containers but competes
+    via the timeshare residual; see {!Sched.Multilevel}). *)
+
+val run_for : rig -> Engine.Simtime.span -> unit
+(** Advance the simulation by a span. *)
+
+val measure_window :
+  rig -> warmup:Engine.Simtime.span -> measure:Engine.Simtime.span -> (unit -> float) -> float
+(** [measure_window rig ~warmup ~measure counter] runs the warmup, samples
+    [counter], runs the measurement window, and returns the counter delta
+    divided by the window length in seconds (a rate). *)
+
+val cpu_share_between :
+  rig ->
+  Rescont.Container.t ->
+  t0:Engine.Simtime.t ->
+  busy0:Engine.Simtime.span ->
+  subtree0:Engine.Simtime.span ->
+  float
+(** Fraction of {e wall-clock} time the container's subtree consumed since
+    the recorded starting point. *)
+
+val default_port : int
+val doc_path : string
+val cgi_path : string

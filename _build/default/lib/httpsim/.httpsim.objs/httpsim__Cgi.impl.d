@@ -1,0 +1,1 @@
+lib/httpsim/cgi.ml: Costs Engine Http List Netsim Printf Procsim Queue Rescont

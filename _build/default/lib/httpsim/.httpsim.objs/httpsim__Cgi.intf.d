@@ -1,0 +1,1 @@
+lib/httpsim/cgi.mli: Engine Http Netsim Procsim Rescont

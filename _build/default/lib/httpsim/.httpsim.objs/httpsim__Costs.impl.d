@@ -1,0 +1,1 @@
+lib/httpsim/costs.ml: Engine List Netsim

@@ -1,0 +1,1 @@
+lib/httpsim/costs.mli: Engine Netsim

@@ -1,0 +1,1 @@
+lib/httpsim/event_server.ml: Costs Disksim Engine File_cache Http List Netsim Printf Procsim Rescont Serve

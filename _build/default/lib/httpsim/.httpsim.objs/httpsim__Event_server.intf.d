@@ -1,0 +1,1 @@
+lib/httpsim/event_server.mli: Disksim File_cache Http Netsim Procsim Rescont

@@ -1,0 +1,1 @@
+lib/httpsim/file_cache.mli: Engine

@@ -1,0 +1,1 @@
+lib/httpsim/forked_server.ml: Costs Disksim Engine Event_server File_cache List Netsim Printf Procsim Rescont Serve

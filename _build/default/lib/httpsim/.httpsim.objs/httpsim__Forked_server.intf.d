@@ -1,0 +1,1 @@
+lib/httpsim/forked_server.mli: Disksim Event_server File_cache Netsim Procsim

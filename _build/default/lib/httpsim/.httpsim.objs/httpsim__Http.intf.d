@@ -1,0 +1,1 @@
+lib/httpsim/http.mli: Engine Netsim

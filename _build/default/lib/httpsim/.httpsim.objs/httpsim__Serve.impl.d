@@ -1,0 +1,1 @@
+lib/httpsim/serve.ml: Costs Disksim Engine File_cache Http Netsim Procsim Rescont

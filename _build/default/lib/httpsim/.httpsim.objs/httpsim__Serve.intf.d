@@ -1,0 +1,1 @@
+lib/httpsim/serve.mli: Disksim File_cache Http Netsim

@@ -1,0 +1,1 @@
+lib/httpsim/threaded_server.ml: Costs Disksim Engine Event_server File_cache Http List Netsim Printf Procsim Rescont Serve

@@ -1,0 +1,1 @@
+lib/httpsim/threaded_server.mli: Disksim Event_server File_cache Http Netsim Procsim

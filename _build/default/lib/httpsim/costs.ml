@@ -1,0 +1,52 @@
+module Simtime = Engine.Simtime
+
+let net = Netsim.Stack.default_costs
+let accept_syscall = Simtime.us 30
+let conn_setup_misc = Simtime.us 26
+let read_parse = Simtime.us 25
+let cache_hit = Simtime.us 8
+let cache_miss = Simtime.ms 3
+let write_syscall = Simtime.us 15
+let request_misc = Simtime.us 4
+let close_syscall = Simtime.us 10
+let select_base = Simtime.us 5
+let select_per_fd = Simtime.ns 2_000
+let event_api_base = Simtime.us 2
+let event_api_per_event = Simtime.us 1
+let fork = Simtime.us 300
+let ipc_descriptor_pass = Simtime.us 20
+let cgi_dispatch = Simtime.us 50
+let cgi_compute_default = Simtime.sec 2
+
+let sum = List.fold_left Simtime.span_add Simtime.span_zero
+let per_packet_overhead = sum [ net.Netsim.Stack.irq_per_packet; net.Netsim.Stack.demux ]
+
+let persistent_request_total =
+  sum
+    [
+      per_packet_overhead;
+      net.Netsim.Stack.data_rx_process;
+      read_parse;
+      cache_hit;
+      write_syscall;
+      request_misc;
+      net.Netsim.Stack.tx_per_packet;
+    ]
+
+let nonpersistent_request_total =
+  sum
+    [
+      persistent_request_total;
+      per_packet_overhead;
+      net.Netsim.Stack.syn_process;
+      per_packet_overhead;
+      net.Netsim.Stack.ack_process;
+      accept_syscall;
+      conn_setup_misc;
+      close_syscall;
+      net.Netsim.Stack.fin_process;
+      net.Netsim.Stack.conn_teardown;
+    ]
+
+let unfiltered_syn_total = sum [ per_packet_overhead; net.Netsim.Stack.syn_process ]
+let filtered_syn_total = per_packet_overhead

@@ -1,0 +1,85 @@
+(** The calibrated CPU cost model (paper §5.2–§5.3).
+
+    The paper's server — a 500 MHz Alpha 21164 running Digital UNIX — spent
+    about 338 µs of CPU per connection-per-request HTTP transaction for a
+    cached 1 KB document, and about 105 µs per request over a persistent
+    connection (§5.3: 2 954 and 9 487 requests/second at saturation).
+    The constants below split those budgets over the simulated kernel
+    network path ({!net}, shared with {!Netsim.Stack}) and the
+    application-visible system calls, such that:
+
+    - persistent-request total = data rx + read/parse + cache hit + write +
+      misc + response tx ≈ 105 µs;
+    - connection-per-request total adds SYN, ACK, accept, connection setup,
+      close and teardown ≈ 338 µs;
+    - an unfiltered SYN costs ≈ 99 µs at interrupt level in the unmodified
+      kernel (saturation at ≈ 10 100 SYNs/s, Fig. 14)
+    - a filtered (early-demux) SYN costs ≈ 3.9 µs (≈ 73 % residual capacity
+      at 70 000 SYNs/s, Fig. 14).
+
+    Tests in [test_costs.ml] pin these derived totals. *)
+
+val net : Netsim.Stack.costs
+(** Kernel network-path costs (equal to {!Netsim.Stack.default_costs}). *)
+
+(** {1 Application-level system call costs} *)
+
+val accept_syscall : Engine.Simtime.span
+val conn_setup_misc : Engine.Simtime.span
+(** Descriptor allocation, PCB setup and other per-connection overheads. *)
+
+val read_parse : Engine.Simtime.span
+(** [read()] plus HTTP request parsing. *)
+
+val cache_hit : Engine.Simtime.span
+val cache_miss : Engine.Simtime.span  (** Disk read for an uncached document. *)
+
+val write_syscall : Engine.Simtime.span
+
+val request_misc : Engine.Simtime.span
+(** Logging and bookkeeping per request. *)
+
+val close_syscall : Engine.Simtime.span
+
+(** {1 Event-notification costs (paper §5.5)} *)
+
+val select_base : Engine.Simtime.span
+val select_per_fd : Engine.Simtime.span
+(** Each [select()] scans the whole interest set: cost =
+    [select_base + select_per_fd * nfds] — the inherent linear overhead the
+    paper attributes to the select() API. *)
+
+val event_api_base : Engine.Simtime.span
+val event_api_per_event : Engine.Simtime.span
+(** The scalable event API of citation [5]: cost depends only on the number
+    of {e ready} events. *)
+
+(** {1 Process and CGI costs (paper §5.6)} *)
+
+val fork : Engine.Simtime.span
+
+val ipc_descriptor_pass : Engine.Simtime.span
+(** Handing a connection (and optionally its container) from the master
+    process to a pre-forked worker over a UNIX-domain socket. *)
+
+val cgi_dispatch : Engine.Simtime.span
+(** Marshalling a request to a CGI process over the CGI/FastCGI interface. *)
+
+val cgi_compute_default : Engine.Simtime.span
+(** CPU consumed by one CGI request in §5.6: about 2 seconds. *)
+
+(** {1 Derived per-request budgets (§5.3)} *)
+
+val persistent_request_total : Engine.Simtime.span
+(** ≈ 105 µs: every cost on the path of one request on a warm persistent
+    connection (excluding event-notification overhead, which depends on
+    load). *)
+
+val nonpersistent_request_total : Engine.Simtime.span
+(** ≈ 338 µs: [persistent_request_total] plus connection setup/teardown. *)
+
+val unfiltered_syn_total : Engine.Simtime.span
+(** Interrupt-level cost of one SYN in the unmodified kernel. *)
+
+val filtered_syn_total : Engine.Simtime.span
+(** Interrupt+demux cost of a SYN steered to an idle-class container. *)

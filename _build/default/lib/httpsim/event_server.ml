@@ -1,0 +1,249 @@
+module Simtime = Engine.Simtime
+module Machine = Procsim.Machine
+module Process = Procsim.Process
+module Container = Rescont.Container
+module Attrs = Rescont.Attrs
+module Ops = Rescont.Ops
+module Socket = Netsim.Socket
+module Stack = Netsim.Stack
+
+type api = Select | Event_api
+
+type policy =
+  | No_containers
+  | Inherit_listen
+  | Per_connection of {
+      parent : Rescont.Container.t;
+      priority_of : Netsim.Socket.conn -> int;
+    }
+
+type tracked = {
+  conn : Socket.conn;
+  mutable desc : Rescont.Desc_table.desc option; (* per-connection container handle *)
+}
+
+type t = {
+  stack : Stack.t;
+  process : Process.t;
+  cache : File_cache.t;
+  disk : Disksim.Disk.t option;
+  api : api;
+  policy : policy;
+  user_preference : Socket.conn -> int;
+  dynamic_handler : (Socket.conn -> Http.meta -> unit) option;
+  listens : Socket.listen list;
+  mutable conns : tracked list; (* accept order = fd order *)
+  wq : Machine.Waitq.t;
+  mutable static_served : int;
+  mutable accepts : int;
+  mutable poll_rounds : int;
+  mutable started : bool;
+}
+
+let create ~stack ~process ~cache ?disk ?(api = Select) ?(policy = No_containers)
+    ?(user_preference = fun _ -> 0) ?dynamic_handler ~listens () =
+  let machine = Stack.machine stack in
+  let t =
+    {
+      stack;
+      process;
+      cache;
+      disk;
+      api;
+      policy;
+      user_preference;
+      dynamic_handler;
+      listens;
+      conns = [];
+      wq = Machine.Waitq.create ~name:"http-server" machine;
+      static_served = 0;
+      accepts = 0;
+      poll_rounds = 0;
+      started = false;
+    }
+  in
+  List.iter (Stack.add_listen stack) listens;
+  Stack.set_on_event stack (fun () -> Machine.Waitq.signal t.wq);
+  t
+
+let static_served t = t.static_served
+let open_conns t = List.length t.conns
+let accepts t = t.accepts
+let poll_rounds t = t.poll_rounds
+let process t = t.process
+
+let uses_containers t =
+  match t.policy with No_containers -> false | Inherit_listen | Per_connection _ -> true
+
+let conn_container tracked =
+  match tracked.conn.Socket.container with Some c -> Some c | None -> None
+
+let conn_priority t tracked =
+  match t.policy with
+  | No_containers -> t.user_preference tracked.conn
+  | Inherit_listen | Per_connection _ -> (
+      match conn_container tracked with
+      | Some c -> (Container.attrs c).Attrs.priority
+      | None -> 0)
+
+let listen_priority t l =
+  match t.policy with
+  | No_containers -> 0
+  | Inherit_listen | Per_connection _ -> (
+      match l.Socket.listen_container with
+      | Some c -> (Container.attrs c).Attrs.priority
+      | None -> 0)
+
+(* Charge the event-notification cost for one poll (paper §5.5). *)
+let charge_poll t ~ready_count =
+  match t.api with
+  | Select ->
+      let nfds = List.length t.listens + List.length t.conns in
+      Machine.cpu ~kernel:true
+        (Simtime.span_add Costs.select_base
+           (Simtime.span_scale (float_of_int nfds) Costs.select_per_fd))
+  | Event_api ->
+      Machine.cpu ~kernel:true
+        (Simtime.span_add Costs.event_api_base
+           (Simtime.span_scale (float_of_int ready_count) Costs.event_api_per_event))
+
+(* Rebind the server thread to a connection's container, paying the
+   Table 1 rebind cost. *)
+let rebind_to t container =
+  let machine = Stack.machine t.stack in
+  Machine.cpu ~kernel:true Ops.Cost.rebind_thread;
+  Machine.rebind machine (Machine.self ()) container
+
+let rebind_default t =
+  if uses_containers t then rebind_to t (Process.default_container t.process)
+
+let drop_tracking t tracked =
+  t.conns <- List.filter (fun x -> x.conn.Socket.conn_id <> tracked.conn.Socket.conn_id) t.conns;
+  match tracked.desc with
+  | Some desc ->
+      Machine.cpu ~kernel:true Ops.Cost.destroy;
+      Ops.rc_release (Process.descriptors t.process) desc;
+      tracked.desc <- None
+  | None -> ()
+
+let close_conn t tracked =
+  Machine.cpu ~kernel:true Costs.close_syscall;
+  Stack.close t.stack tracked.conn;
+  drop_tracking t tracked
+
+let accept_one t listen conn =
+  Machine.cpu ~kernel:true (Simtime.span_add Costs.accept_syscall Costs.conn_setup_misc);
+  t.accepts <- t.accepts + 1;
+  let tracked = { conn; desc = None } in
+  (match t.policy with
+  | No_containers -> ()
+  | Inherit_listen -> (
+      match listen.Socket.listen_container with
+      | Some c -> Socket.bind_container conn c
+      | None -> ())
+  | Per_connection { parent; priority_of } ->
+      Machine.cpu ~kernel:true Ops.Cost.create;
+      let attrs = Attrs.timeshare ~priority:(priority_of conn) () in
+      let desc =
+        Ops.rc_create (Process.descriptors t.process) ~parent
+          ~name:(Printf.sprintf "conn-%d" conn.Socket.conn_id)
+          ~attrs ()
+      in
+      tracked.desc <- Some desc;
+      Socket.bind_container conn (Rescont.Desc_table.lookup (Process.descriptors t.process) desc));
+  t.conns <- t.conns @ [ tracked ]
+
+let respond t tracked meta =
+  let close_now = Serve.static ~stack:t.stack ~cache:t.cache ?disk:t.disk tracked.conn meta in
+  t.static_served <- t.static_served + 1;
+  if close_now then close_conn t tracked
+
+let handle_request t tracked payload =
+  let meta = Serve.parse_request payload in
+  match (Http.is_dynamic meta, t.dynamic_handler) with
+  | true, Some handler -> handler tracked.conn meta
+  | (true | false), _ -> respond t tracked meta
+
+let handle_conn t tracked =
+  (match conn_container tracked with
+  | Some c when uses_containers t -> rebind_to t c
+  | Some _ | None -> ());
+  match Stack.recv t.stack tracked.conn with
+  | Some payload -> handle_request t tracked payload
+  | None -> (
+      match tracked.conn.Socket.state with
+      | Socket.Close_wait | Socket.Closed -> close_conn t tracked
+      | Socket.Established | Socket.Syn_rcvd -> ())
+
+type event = Ev_accept of Socket.listen | Ev_conn of tracked
+
+let ready_events t =
+  let listen_events =
+    List.filter_map
+      (fun l ->
+        if Socket.accept_ready l then Some (listen_priority t l, 0, Ev_accept l) else None)
+      t.listens
+  in
+  let conn_events =
+    List.filter_map
+      (fun tracked ->
+        let ready =
+          Socket.readable tracked.conn
+          || tracked.conn.Socket.state = Socket.Closed
+        in
+        if ready then Some (conn_priority t tracked, 1, Ev_conn tracked) else None)
+      t.conns
+  in
+  (* Higher priority first; accepts before data at equal priority (the
+     listen descriptor has the lowest fd); then fd order. *)
+  let events = listen_events @ conn_events in
+  List.stable_sort
+    (fun (pa, ka, _) (pb, kb, _) ->
+      match compare pb pa with 0 -> compare ka kb | n -> n)
+    events
+
+(* How much of the ready set one poll round works through.
+
+   - With select() the application gets the whole ready bitmap and works
+     through it, thttpd-style (accepting at most one connection per listen
+     socket per round, as thttpd does); a request arriving mid-batch waits
+     for the round to finish, whatever its priority.
+   - The scalable event API dequeues one (priority-ordered) event at a
+     time, so freshly arrived high-priority work overtakes everything that
+     arrived before it. *)
+let serve_round t events =
+  let events = match (t.api, events) with Event_api, e :: _ -> [ e ] | _, es -> es in
+  List.iter
+    (fun (_, _, ev) ->
+      match ev with
+      | Ev_accept l -> (
+          (* One accept per listen socket per round (thttpd behaviour). *)
+          match Stack.accept t.stack l with
+          | Some conn -> accept_one t l conn
+          | None -> ())
+      | Ev_conn tracked ->
+          if tracked.conn.Socket.state = Socket.Closed then drop_tracking t tracked
+          else handle_conn t tracked)
+    events
+
+let body t () =
+  let rec loop () =
+    let events = ready_events t in
+    if events = [] then begin
+      Machine.Waitq.wait t.wq;
+      loop ()
+    end
+    else begin
+      rebind_default t;
+      t.poll_rounds <- t.poll_rounds + 1;
+      charge_poll t ~ready_count:(List.length events);
+      serve_round t events;
+      loop ()
+    end
+  in
+  loop ()
+
+let start t =
+  if t.started then invalid_arg "Event_server.start: already started";
+  t.started <- true;
+  Process.spawn_thread t.process ~name:(Process.name t.process ^ "-loop") (body t)

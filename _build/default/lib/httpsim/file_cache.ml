@@ -1,0 +1,95 @@
+type entry = { bytes : int; mutable cached : bool; mutable last_used : int }
+
+type t = {
+  capacity : int;
+  docs : (string, entry) Hashtbl.t;
+  mutable order : string list; (* registration order, for [warm] *)
+  mutable cached_bytes : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity_bytes = 64 * 1024 * 1024) () =
+  if capacity_bytes <= 0 then invalid_arg "File_cache.create: capacity must be positive";
+  {
+    capacity = capacity_bytes;
+    docs = Hashtbl.create 256;
+    order = [];
+    cached_bytes = 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let add_document t ~path ~bytes =
+  if bytes < 0 then invalid_arg "File_cache.add_document: negative size";
+  if not (Hashtbl.mem t.docs path) then begin
+    Hashtbl.replace t.docs path { bytes; cached = false; last_used = 0 };
+    t.order <- t.order @ [ path ]
+  end
+
+let document_size t ~path =
+  match Hashtbl.find_opt t.docs path with Some e -> Some e.bytes | None -> None
+
+type outcome = Hit of int | Miss of int | Not_found_doc
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun path e acc ->
+        if not e.cached then acc
+        else
+          match acc with
+          | Some (_, best) when best.last_used <= e.last_used -> acc
+          | Some _ | None -> Some (path, e))
+      t.docs None
+  in
+  match victim with
+  | None -> false
+  | Some (_, e) ->
+      e.cached <- false;
+      t.cached_bytes <- t.cached_bytes - e.bytes;
+      true
+
+let load t e =
+  let rec make_room () =
+    if t.cached_bytes + e.bytes > t.capacity then if evict_lru t then make_room ()
+  in
+  if e.bytes <= t.capacity then begin
+    make_room ();
+    e.cached <- true;
+    t.cached_bytes <- t.cached_bytes + e.bytes
+  end
+
+let lookup t ~path =
+  t.clock <- t.clock + 1;
+  match Hashtbl.find_opt t.docs path with
+  | None -> Not_found_doc
+  | Some e ->
+      e.last_used <- t.clock;
+      if e.cached then begin
+        t.hits <- t.hits + 1;
+        Hit e.bytes
+      end
+      else begin
+        t.misses <- t.misses + 1;
+        load t e;
+        Miss e.bytes
+      end
+
+let lookup_cost = function
+  | Hit _ | Not_found_doc -> Costs.cache_hit
+  | Miss _ -> Costs.cache_miss
+
+let warm t =
+  List.iter
+    (fun path ->
+      match Hashtbl.find_opt t.docs path with
+      | Some e when not e.cached -> load t e
+      | Some _ | None -> ())
+    t.order
+
+let hits t = t.hits
+let misses t = t.misses
+let cached_bytes t = t.cached_bytes

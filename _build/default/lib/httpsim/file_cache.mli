@@ -1,0 +1,35 @@
+(** The server's document store and in-memory file cache.
+
+    The paper's experiments serve a cached 1 KB static file; this module
+    also models misses (a disk read costing {!Costs.cache_miss}) so that
+    tests and examples can exercise cold-cache behaviour.  Eviction is LRU
+    over a byte-capacity budget. *)
+
+type t
+
+val create : ?capacity_bytes:int -> unit -> t
+(** Default capacity 64 MB (the paper's machine had 128 MB of RAM). *)
+
+val add_document : t -> path:string -> bytes:int -> unit
+(** Register a servable document.  Documents start uncached. *)
+
+val document_size : t -> path:string -> int option
+
+type outcome = Hit of int | Miss of int | Not_found_doc
+
+val lookup : t -> path:string -> outcome
+(** Look a path up, updating cache state: a [Miss] loads the document
+    (evicting LRU entries if needed) so a repeat lookup hits.  The [int]
+    is the document size in bytes. *)
+
+val lookup_cost : outcome -> Engine.Simtime.span
+(** CPU to charge for the lookup: {!Costs.cache_hit}, {!Costs.cache_miss},
+    or a hit-priced scan for misses of unknown documents. *)
+
+val warm : t -> unit
+(** Load every registered document that fits (in registration order), as
+    the paper's warm-cache experiments assume. *)
+
+val hits : t -> int
+val misses : t -> int
+val cached_bytes : t -> int

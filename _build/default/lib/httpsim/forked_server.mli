@@ -1,0 +1,37 @@
+(** The process-per-connection Web server with a master process (paper §2,
+    Fig. 1 — the NCSA-httpd model).
+
+    A master process accepts connections and hands each to one of a pool
+    of pre-forked worker processes over an IPC channel (costing
+    {!Costs.ipc_descriptor_pass}); the worker serves the connection to
+    completion and returns to the pool.  Connections that arrive while all
+    workers are busy queue inside the master.
+
+    With the [Per_connection] policy, the master creates a container per
+    connection and passes it to the worker along with the connection
+    (paying the Table 1 move cost) — the §4.8 pattern of moving an
+    activity between protection domains while keeping one resource
+    principal. *)
+
+type t
+
+val create :
+  stack:Netsim.Stack.t ->
+  master:Procsim.Process.t ->
+  cache:File_cache.t ->
+  ?disk:Disksim.Disk.t ->
+  ?workers:int ->
+  ?policy:Event_server.policy ->
+  listens:Netsim.Socket.listen list ->
+  unit ->
+  t
+(** Default: 8 pre-forked workers, [No_containers]. *)
+
+val start : t -> unit
+(** Fork the workers and spawn the master's accept loop.  Call once. *)
+
+val served : t -> int
+val accepts : t -> int
+val idle_workers : t -> int
+val backlog : t -> int
+(** Accepted connections waiting for a free worker. *)

@@ -1,0 +1,22 @@
+module Payload = Netsim.Payload
+
+type meta = { path : string; keep_alive : bool }
+
+let request_bytes = 250
+let header_bytes = 200
+
+let request ~now ?(keep_alive = false) ~path () =
+  let tag = Printf.sprintf "GET %s HTTP/%s" path (if keep_alive then "1.1" else "1.0") in
+  Payload.make ~tag ~bytes:request_bytes now
+
+let parse payload =
+  match String.split_on_char ' ' payload.Payload.tag with
+  | [ "GET"; path; version ] ->
+      { path; keep_alive = String.equal version "HTTP/1.1" }
+  | _ -> invalid_arg (Printf.sprintf "Http.parse: not a request: %S" payload.Payload.tag)
+
+let response ~now meta ~body_bytes =
+  Payload.make ~tag:("200 " ^ meta.path) ~bytes:(body_bytes + header_bytes) now
+
+let is_dynamic meta =
+  String.length meta.path >= 4 && String.equal (String.sub meta.path 0 4) "/cgi"

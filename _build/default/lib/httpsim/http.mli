@@ -1,0 +1,24 @@
+(** Message-level HTTP: requests and responses as payload tags.
+
+    The simulator never moves bytes, so an HTTP request is its metadata —
+    path and persistence — encoded into the {!Netsim.Payload} tag, and a
+    response is a payload sized by the document plus header overhead. *)
+
+type meta = { path : string; keep_alive : bool }
+
+val request : now:Engine.Simtime.t -> ?keep_alive:bool -> path:string -> unit -> Netsim.Payload.t
+(** A request message (~250 bytes on the wire, like a short GET). *)
+
+val parse : Netsim.Payload.t -> meta
+(** Decode a request payload.  @raise Invalid_argument on a payload that
+    was not built by {!request}. *)
+
+val response : now:Engine.Simtime.t -> meta -> body_bytes:int -> Netsim.Payload.t
+(** A response message: body plus ~200 bytes of headers; the tag carries
+    the request path so clients can correlate. *)
+
+val is_dynamic : meta -> bool
+(** Requests under "/cgi" resolve to dynamic resources. *)
+
+val request_bytes : int
+val header_bytes : int

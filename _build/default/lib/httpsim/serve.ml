@@ -1,0 +1,35 @@
+module Simtime = Engine.Simtime
+module Machine = Procsim.Machine
+
+let parse_request payload =
+  Machine.cpu ~kernel:true Costs.read_parse;
+  Http.parse payload
+
+let static ~stack ~cache ?disk conn meta =
+  let outcome = File_cache.lookup cache ~path:meta.Http.path in
+  let body_bytes =
+    match (outcome, disk) with
+    | File_cache.Hit bytes, _ ->
+        Machine.cpu ~kernel:true Costs.cache_hit;
+        bytes
+    | File_cache.Miss bytes, Some disk ->
+        (* Cache-fill from disk: request setup costs CPU, the transfer
+           itself costs disk time charged to the current binding. *)
+        Machine.cpu ~kernel:true Costs.cache_hit;
+        let container =
+          Rescont.Binding.resource_binding (Machine.binding (Machine.self ()))
+        in
+        Disksim.Disk.read disk ~container ~bytes;
+        bytes
+    | File_cache.Miss bytes, None ->
+        (* No disk model attached: the legacy fixed miss penalty. *)
+        Machine.cpu ~kernel:true Costs.cache_miss;
+        bytes
+    | File_cache.Not_found_doc, _ ->
+        Machine.cpu ~kernel:true Costs.cache_hit;
+        80
+  in
+  Machine.cpu ~kernel:true (Simtime.span_add Costs.write_syscall Costs.request_misc);
+  Netsim.Stack.send stack conn
+    (Http.response ~now:(Machine.now (Netsim.Stack.machine stack)) meta ~body_bytes);
+  not meta.Http.keep_alive

@@ -1,0 +1,20 @@
+(** The static-document response path shared by every server model.
+
+    Looks the document up in the cache, charges the lookup; on a miss with
+    a disk attached, performs a blocking disk read charged to the calling
+    thread's current resource binding (the thread sleeps without consuming
+    CPU while the transfer runs); charges the write path; transmits the
+    response.  Returns [true] when the server should close the connection
+    (HTTP/1.0 semantics). *)
+
+val static :
+  stack:Netsim.Stack.t ->
+  cache:File_cache.t ->
+  ?disk:Disksim.Disk.t ->
+  Netsim.Socket.conn ->
+  Http.meta ->
+  bool
+
+val parse_request : Netsim.Payload.t -> Http.meta
+(** [read()] + parse, charging {!Costs.read_parse}.  Must run on a machine
+    thread. *)

@@ -1,0 +1,1 @@
+lib/netsim/filter.ml: Format Ipaddr

@@ -1,0 +1,1 @@
+lib/netsim/ipaddr.ml: Format Int32 Printf String

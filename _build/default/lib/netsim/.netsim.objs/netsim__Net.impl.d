@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Engine Ipaddr List Printf Socket Stack

@@ -1,0 +1,1 @@
+lib/netsim/socket.ml: Engine Filter Ipaddr Payload Queue Rescont

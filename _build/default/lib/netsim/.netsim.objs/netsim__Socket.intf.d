@@ -1,0 +1,1 @@
+lib/netsim/socket.mli: Engine Filter Ipaddr Payload Queue Rescont

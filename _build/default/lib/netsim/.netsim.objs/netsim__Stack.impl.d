@@ -1,0 +1,1 @@
+lib/netsim/stack.ml: Engine Filter Float Hashtbl Ipaddr List Payload Procsim Queue Rescont Socket

@@ -1,0 +1,1 @@
+lib/netsim/stack.mli: Engine Ipaddr Payload Procsim Rescont Socket

@@ -1,0 +1,23 @@
+type t = { template : Ipaddr.t; bits : int; negate : bool }
+
+let any = { template = Ipaddr.v 0 0 0 0; bits = 0; negate = false }
+
+let prefix ~template ~bits =
+  if bits < 0 || bits > 32 then invalid_arg "Filter.prefix: bits outside [0,32]";
+  { template; bits; negate = false }
+
+let host addr = { template = addr; bits = 32; negate = false }
+let complement t = { t with negate = not t.negate }
+
+let matches t addr =
+  let base = Ipaddr.in_prefix addr ~template:t.template ~bits:t.bits in
+  if t.negate then not base else base
+
+(* Positive filters rank [2 * bits + 1] and complements [2 * bits], so a
+   positive match at a given prefix length always beats a complement at the
+   same length, and any longer prefix beats any shorter one. *)
+let specificity t = (2 * t.bits) + if t.negate then 0 else 1
+let compare_specificity a b = compare (specificity b) (specificity a)
+
+let pp ppf t =
+  Format.fprintf ppf "%s%a/%d" (if t.negate then "!" else "") Ipaddr.pp t.template t.bits

@@ -1,0 +1,38 @@
+(** The new [sockaddr] namespace of paper §4.8.
+
+    A filter extends a listening address with a set of foreign addresses:
+    a template address plus a CIDR mask.  [bind()]-ing several sockets to
+    the same ⟨local address, port⟩ with different filters lets the kernel
+    steer connection requests from chosen clients to chosen sockets — and
+    hence, via socket→container bindings, to chosen resource containers,
+    before the application ever sees the connection.  The paper also
+    suggests complement filters ("accept everything except …"), which this
+    implementation supports. *)
+
+type t
+
+val any : t
+(** Matches every source address (template 0.0.0.0/0). *)
+
+val prefix : template:Ipaddr.t -> bits:int -> t
+(** Match sources inside the CIDR prefix.
+    @raise Invalid_argument if [bits] is outside [0, 32]. *)
+
+val host : Ipaddr.t -> t
+(** Match exactly one source host (/32). *)
+
+val complement : t -> t
+(** Match exactly the sources the argument does not match. *)
+
+val matches : t -> Ipaddr.t -> bool
+
+val specificity : t -> int
+(** Longest-prefix-match rank: higher wins when several filters match.
+    A /32 host filter ranks 32, [any] ranks 0; a complement filter ranks
+    like its base but strictly below every non-complement filter of equal
+    prefix length (most-specific positive match wins). *)
+
+val compare_specificity : t -> t -> int
+(** Orders by decreasing specificity (for sorting candidate sockets). *)
+
+val pp : Format.formatter -> t -> unit

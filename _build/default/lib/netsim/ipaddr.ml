@@ -1,0 +1,42 @@
+type t = int32
+
+let check_octet o = if o < 0 || o > 255 then invalid_arg "Ipaddr: octet outside [0,255]"
+
+let v a b c d =
+  check_octet a;
+  check_octet b;
+  check_octet c;
+  check_octet d;
+  Int32.logor
+    (Int32.shift_left (Int32.of_int a) 24)
+    (Int32.logor
+       (Int32.shift_left (Int32.of_int b) 16)
+       (Int32.logor (Int32.shift_left (Int32.of_int c) 8) (Int32.of_int d)))
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c, int_of_string_opt d)
+      with
+      | Some a, Some b, Some c, Some d -> v a b c d
+      | _ -> invalid_arg (Printf.sprintf "Ipaddr.of_string: %S" s))
+  | _ -> invalid_arg (Printf.sprintf "Ipaddr.of_string: %S" s)
+
+let octet t shift = Int32.to_int (Int32.logand (Int32.shift_right_logical t shift) 0xFFl)
+
+let to_string t =
+  Printf.sprintf "%d.%d.%d.%d" (octet t 24) (octet t 16) (octet t 8) (octet t 0)
+
+let equal = Int32.equal
+let compare = Int32.unsigned_compare
+
+let mask_of_bits bits =
+  if bits < 0 || bits > 32 then invalid_arg "Ipaddr: prefix length outside [0,32]";
+  if bits = 0 then 0l else Int32.shift_left (-1l) (32 - bits)
+
+let in_prefix addr ~template ~bits =
+  let mask = mask_of_bits bits in
+  Int32.equal (Int32.logand addr mask) (Int32.logand template mask)
+
+let offset base n = Int32.add base (Int32.of_int n)
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,28 @@
+(** IPv4 addresses and CIDR prefix arithmetic (RFC 1518, paper §4.8). *)
+
+type t
+(** An IPv4 address. *)
+
+val v : int -> int -> int -> int -> t
+(** [v 10 0 0 1] is 10.0.0.1.  @raise Invalid_argument on octets outside
+    [0, 255]. *)
+
+val of_string : string -> t
+(** Parse dotted-quad notation.  @raise Invalid_argument on syntax
+    errors. *)
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val in_prefix : t -> template:t -> bits:int -> bool
+(** [in_prefix addr ~template ~bits] is [true] when the top [bits] bits of
+    [addr] equal those of [template].  [bits] = 0 matches everything;
+    [bits] = 32 requires equality.  @raise Invalid_argument if [bits] is
+    outside [0, 32]. *)
+
+val offset : t -> int -> t
+(** [offset base n] is the address [n] above [base] (wrapping within
+    32 bits); handy for generating client populations. *)
+
+val pp : Format.formatter -> t -> unit

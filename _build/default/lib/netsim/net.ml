@@ -1,0 +1,30 @@
+module Sim = Engine.Sim
+module Simtime = Engine.Simtime
+
+type t = {
+  sim : Sim.t;
+  mutable machines : (Ipaddr.t * Stack.t) list; (* reverse attachment order *)
+}
+
+let create ~sim () = { sim; machines = [] }
+
+let lookup t addr =
+  List.find_map
+    (fun (a, stack) -> if Ipaddr.equal a addr then Some stack else None)
+    t.machines
+
+let attach t ~addr stack =
+  (match lookup t addr with
+  | Some _ -> invalid_arg (Printf.sprintf "Net.attach: %s already attached" (Ipaddr.to_string addr))
+  | None -> ());
+  t.machines <- (addr, stack) :: t.machines
+
+let machines t = List.rev t.machines
+
+let connect t ~src ~dst ?src_port ~port ~handlers () =
+  match lookup t dst with
+  | Some stack -> Stack.connect stack ~src ?src_port ~port ~handlers ()
+  | None ->
+      (* No route to host: fail like a refused connection, one RTT later. *)
+      ignore
+        (Sim.after t.sim (Simtime.us 300) (fun () -> handlers.Socket.on_refused ()))

@@ -1,0 +1,33 @@
+(** A routing fabric connecting several simulated machines' stacks.
+
+    Each {!Stack.t} models one machine's kernel; the fabric maps server
+    addresses to stacks so that applications on one machine can open
+    connections to another (e.g. a proxy fetching from an origin server)
+    through ordinary address-based routing rather than by holding the
+    remote stack directly. *)
+
+type t
+
+val create : sim:Engine.Sim.t -> unit -> t
+
+val attach : t -> addr:Ipaddr.t -> Stack.t -> unit
+(** Bind a machine address to its stack.
+    @raise Invalid_argument if the address is already attached. *)
+
+val lookup : t -> Ipaddr.t -> Stack.t option
+
+val machines : t -> (Ipaddr.t * Stack.t) list
+(** Attached machines in attachment order. *)
+
+val connect :
+  t ->
+  src:Ipaddr.t ->
+  dst:Ipaddr.t ->
+  ?src_port:int ->
+  port:int ->
+  handlers:Socket.client_handlers ->
+  unit ->
+  unit
+(** Open a connection from [src] to port [port] on the machine at [dst].
+    An unknown destination behaves like an unreachable host: the
+    [on_refused] handler fires after a routing delay. *)

@@ -1,0 +1,11 @@
+type t = { bytes : int; tag : string; created : Engine.Simtime.t }
+
+let make ?(tag = "") ~bytes created =
+  if bytes < 0 then invalid_arg "Payload.make: negative size";
+  { bytes; tag; created }
+
+let packet_count ~mtu t =
+  if mtu <= 0 then invalid_arg "Payload.packet_count: mtu must be positive";
+  max 1 ((t.bytes + mtu - 1) / mtu)
+
+let pp ppf t = Format.fprintf ppf "%s (%dB)" t.tag t.bytes

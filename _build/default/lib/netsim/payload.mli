@@ -1,0 +1,17 @@
+(** Application messages carried by the simulated network.
+
+    The simulator is message-grained rather than byte-grained: one payload
+    models one application-level message (an HTTP request or response).
+    [bytes] drives transmission cost and packet count; [tag] lets the
+    application encode what the message means; [created] timestamps the
+    message for latency measurement. *)
+
+type t = { bytes : int; tag : string; created : Engine.Simtime.t }
+
+val make : ?tag:string -> bytes:int -> Engine.Simtime.t -> t
+(** @raise Invalid_argument on negative [bytes]. *)
+
+val packet_count : mtu:int -> t -> int
+(** Number of network packets needed to carry the payload (at least 1). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+type conn_state = Syn_rcvd | Established | Close_wait | Closed
+
+type conn = {
+  conn_id : int;
+  src : Ipaddr.t;
+  src_port : int;
+  mutable state : conn_state;
+  mutable container : Rescont.Container.t option;
+  rx_queue : Payload.t Queue.t;
+  mutable listen : listen option;
+  client : client_handlers;
+  mutable syn_arrival : Engine.Simtime.t;
+  mutable last_delivery : Engine.Simtime.t;
+      (** Client-bound events are FIFO per connection: nothing may overtake
+          earlier data on the wire. *)
+}
+
+and listen = {
+  listen_id : int;
+  port : int;
+  filter : Filter.t;
+  mutable listen_container : Rescont.Container.t option;
+  accept_queue : conn Queue.t;
+  backlog : int;
+  syn_queue : conn Queue.t;
+  syn_backlog : int;
+  mutable syn_drops : int;
+  mutable accept_drops : int;
+}
+
+and client_handlers = {
+  on_established : conn -> unit;
+  on_refused : unit -> unit;
+  on_response : conn -> Payload.t -> unit;
+  on_closed : conn -> unit;
+}
+
+let null_handlers =
+  {
+    on_established = (fun _ -> ());
+    on_refused = (fun () -> ());
+    on_response = (fun _ _ -> ());
+    on_closed = (fun _ -> ());
+  }
+
+let next_listen_id = ref 0
+let next_conn_id = ref 0
+
+let make_listen ?(filter = Filter.any) ?(backlog = 128) ?(syn_backlog = 1024) ?container ~port
+    () =
+  if backlog <= 0 || syn_backlog <= 0 then invalid_arg "Socket.make_listen: empty backlog";
+  incr next_listen_id;
+  {
+    listen_id = !next_listen_id;
+    port;
+    filter;
+    listen_container = container;
+    accept_queue = Queue.create ();
+    backlog;
+    syn_queue = Queue.create ();
+    syn_backlog;
+    syn_drops = 0;
+    accept_drops = 0;
+  }
+
+let make_conn ~src ~src_port ~client ~now =
+  incr next_conn_id;
+  {
+    conn_id = !next_conn_id;
+    src;
+    src_port;
+    state = Syn_rcvd;
+    container = None;
+    rx_queue = Queue.create ();
+    listen = None;
+    client;
+    syn_arrival = now;
+    last_delivery = now;
+  }
+
+let conn_container_or conn ~default =
+  match conn.container with
+  | Some c -> c
+  | None -> (
+      match conn.listen with
+      | Some l -> ( match l.listen_container with Some c -> c | None -> default)
+      | None -> default)
+
+let bind_container conn container =
+  (match conn.container with
+  | Some old -> Rescont.Usage.decr_kernel_objects (Rescont.Container.usage old)
+  | None -> ());
+  conn.container <- Some container;
+  Rescont.Usage.incr_kernel_objects (Rescont.Container.usage container)
+
+let readable conn =
+  (not (Queue.is_empty conn.rx_queue)) || conn.state = Close_wait
+
+let accept_ready listen = not (Queue.is_empty listen.accept_queue)

@@ -1,0 +1,80 @@
+(** Server-side socket objects: listening sockets and connections.
+
+    These are kernel data structures; the driving logic (handshakes, queue
+    disciplines, processing modes) lives in {!Stack}.  Records are exposed
+    because {!Stack} and the tests manipulate them directly, as kernel code
+    would. *)
+
+type conn_state = Syn_rcvd | Established | Close_wait | Closed
+
+type conn = {
+  conn_id : int;
+  src : Ipaddr.t;
+  src_port : int;
+  mutable state : conn_state;
+  mutable container : Rescont.Container.t option;
+      (** The resource container this connection's kernel processing is
+          charged to (socket→container binding, §4.6). *)
+  rx_queue : Payload.t Queue.t;  (** Messages received, awaiting the application. *)
+  mutable listen : listen option;  (** Back-pointer while not yet accepted. *)
+  client : client_handlers;
+  mutable syn_arrival : Engine.Simtime.t;
+  mutable last_delivery : Engine.Simtime.t;
+      (** Client-bound events are FIFO per connection: nothing may overtake
+          earlier data on the wire ({!Stack} maintains this). *)
+}
+
+and listen = {
+  listen_id : int;
+  port : int;
+  filter : Filter.t;
+  mutable listen_container : Rescont.Container.t option;
+  accept_queue : conn Queue.t;
+  backlog : int;
+  syn_queue : conn Queue.t;
+  syn_backlog : int;
+  mutable syn_drops : int;
+      (** SYNs dropped on queue overflow (the modified kernel notifies the
+          application of these, §5.7). *)
+  mutable accept_drops : int;
+}
+
+and client_handlers = {
+  on_established : conn -> unit;
+  on_refused : unit -> unit;
+  on_response : conn -> Payload.t -> unit;
+  on_closed : conn -> unit;
+}
+(** Callbacks into the (abstract, infinitely fast) client machine; invoked
+    after simulated network latency. *)
+
+val null_handlers : client_handlers
+(** Handlers that ignore every event — what a spoofed-source SYN-flood
+    packet amounts to. *)
+
+val make_listen :
+  ?filter:Filter.t ->
+  ?backlog:int ->
+  ?syn_backlog:int ->
+  ?container:Rescont.Container.t ->
+  port:int ->
+  unit ->
+  listen
+(** Defaults: {!Filter.any}, backlog 128, SYN backlog 1024, no container. *)
+
+val make_conn :
+  src:Ipaddr.t -> src_port:int -> client:client_handlers -> now:Engine.Simtime.t -> conn
+
+val conn_container_or : conn -> default:Rescont.Container.t -> Rescont.Container.t
+(** The container charged for this connection: its own binding, else its
+    listening socket's, else [default]. *)
+
+val bind_container : conn -> Rescont.Container.t -> unit
+(** Bind the connection to a container ("binding a socket to a container",
+    §4.6), adjusting kernel-object counts on both sides. *)
+
+val readable : conn -> bool
+(** The application has something to pick up: pending messages, or a
+    close-notification to consume. *)
+
+val accept_ready : listen -> bool

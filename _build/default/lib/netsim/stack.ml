@@ -1,0 +1,589 @@
+module Simtime = Engine.Simtime
+module Sim = Engine.Sim
+module Machine = Procsim.Machine
+module Container = Rescont.Container
+module Usage = Rescont.Usage
+module Attrs = Rescont.Attrs
+
+type mode = Softirq | Lrp | Rc
+
+type costs = {
+  irq_per_packet : Simtime.span;
+  demux : Simtime.span;
+  syn_process : Simtime.span;
+  ack_process : Simtime.span;
+  data_rx_process : Simtime.span;
+  fin_process : Simtime.span;
+  tx_per_packet : Simtime.span;
+  conn_teardown : Simtime.span;
+}
+
+let default_costs =
+  {
+    irq_per_packet = Simtime.ns 2_500;
+    demux = Simtime.ns 1_400;
+    syn_process = Simtime.us 95;
+    ack_process = Simtime.us 15;
+    data_rx_process = Simtime.us 20;
+    fin_process = Simtime.us 15;
+    tx_per_packet = Simtime.us 25;
+    conn_teardown = Simtime.us 30;
+  }
+
+type stats = {
+  mutable syns_received : int;
+  mutable syn_queue_drops : int;
+  mutable accept_queue_drops : int;
+  mutable rx_queue_drops : int;
+  mutable packets_processed : int;
+  mutable conns_established : int;
+  mutable conns_closed : int;
+  mutable refused : int;
+}
+
+(* A packet as it comes off the wire; the listen socket for a SYN is
+   resolved by the early demultiplexer at arrival time. *)
+type packet =
+  | P_syn of { src : Ipaddr.t; src_port : int; port : int; client : Socket.client_handlers;
+               completes : bool }
+  | P_ack of Socket.conn
+  | P_data of Socket.conn * Payload.t
+  | P_fin of Socket.conn
+
+(* A demultiplexed unit of deferred protocol work. *)
+type work =
+  | W_syn of { src : Ipaddr.t; src_port : int; listen : Socket.listen option;
+               client : Socket.client_handlers; completes : bool }
+  | W_ack of Socket.conn
+  | W_data of Socket.conn * Payload.t
+  | W_fin of Socket.conn
+
+type softirq_charge = Charge_current | Charge_system
+
+type t = {
+  machine : Machine.t;
+  mode : mode;
+  costs : costs;
+  mtu : int;
+  latency : Simtime.span;
+  link_bytes_per_ns : float;
+  queue_cap : int;
+  syn_timeout : Simtime.span;
+  softirq_charge : softirq_charge;
+  owner : Container.t;
+  mutable listen_sockets : Socket.listen list;
+  mutable on_event : unit -> unit;
+  mutable on_syn_drop : Socket.listen -> Ipaddr.t -> unit;
+  queues : (int, work Queue.t * Container.t) Hashtbl.t;
+  served_stamp : (int, int) Hashtbl.t; (* container id -> last service tick *)
+  mutable service_tick : int;
+  mutable pending : int;
+  mutable services : service list; (* specific first, catch-all last *)
+  stats : stats;
+}
+
+(* One per-process network kernel thread (paper §5.1): it services the
+   deferred-processing queues of the containers it covers, in container
+   priority order, binding itself to each packet's container. *)
+and service = {
+  svc_name : string;
+  svc_covers : Container.t -> bool;
+  svc_wq : Machine.Waitq.t;
+  svc_home : Container.t;
+  mutable svc_busy : bool;
+  mutable svc_thread : Machine.thread option;
+}
+
+let machine t = t.machine
+let mode t = t.mode
+let stats t = t.stats
+let costs t = t.costs
+let latency t = t.latency
+(* Listeners chain: several server applications may share one stack (e.g.
+   virtual hosting), and each adds its own wakeup. *)
+let add_on_event t f =
+  let previous = t.on_event in
+  t.on_event <-
+    (fun () ->
+      previous ();
+      f ())
+
+let set_on_event = add_on_event
+let set_on_syn_drop t f = t.on_syn_drop <- f
+let pending_work t = t.pending
+
+(* Wire time of a payload on the access link: propagation plus
+   serialisation at the link rate (a 4 MB response takes ~1/3 s on the
+   paper's 100 Mbps Fast Ethernet, however fast the CPU). *)
+let delivery_delay t payload =
+  let transfer_ns =
+    int_of_float (Float.round (float_of_int payload.Payload.bytes /. t.link_bytes_per_ns))
+  in
+  Simtime.span_add t.latency (Simtime.span_of_ns transfer_ns)
+
+(* Schedule a client-bound event no earlier than everything already sent
+   on this connection: per-connection FIFO, like TCP. *)
+let schedule_to_client t conn delay f =
+  let current = Machine.now t.machine in
+  let target = Simtime.max (Simtime.add current delay) conn.Socket.last_delivery in
+  conn.Socket.last_delivery <- target;
+  ignore (Sim.at (Machine.sim t.machine) target f)
+let listens t = t.listen_sockets
+let now t = Machine.now t.machine
+
+let emit t ~category fmt =
+  Engine.Tracelog.emitf (Machine.trace t.machine) (now t) ~category fmt
+
+let add_listen t l = t.listen_sockets <- l :: t.listen_sockets
+
+let remove_listen t l =
+  t.listen_sockets <-
+    List.filter (fun l' -> l'.Socket.listen_id <> l.Socket.listen_id) t.listen_sockets
+
+(* Most-specific-filter demultiplex (paper §4.8). *)
+let demux_listen t ~port ~src =
+  let candidates =
+    List.filter
+      (fun l -> l.Socket.port = port && Filter.matches l.Socket.filter src)
+      t.listen_sockets
+  in
+  match List.sort (fun a b -> Filter.compare_specificity a.Socket.filter b.Socket.filter)
+          candidates
+  with
+  | [] -> None
+  | best :: _ -> Some best
+
+let cost_of_work t = function
+  | W_syn _ -> t.costs.syn_process
+  | W_ack _ -> t.costs.ack_process
+  | W_data (_, payload) ->
+      Simtime.span_scale (float_of_int (Payload.packet_count ~mtu:t.mtu payload))
+        t.costs.data_rx_process
+  | W_fin _ -> t.costs.fin_process
+
+let container_of_work t work =
+  match t.mode with
+  | Lrp | Softirq -> (
+      (* LRP charges the receiving process; connection-level containers are
+         an RC-only concept. *)
+      match work with
+      | W_syn _ | W_ack _ | W_data _ | W_fin _ -> t.owner)
+  | Rc -> (
+      match work with
+      | W_syn { listen = Some l; _ } -> (
+          match l.Socket.listen_container with Some c -> c | None -> t.owner)
+      | W_syn { listen = None; _ } -> t.owner
+      | W_ack conn | W_data (conn, _) | W_fin conn ->
+          Socket.conn_container_or conn ~default:t.owner)
+
+let is_idle_class container = Attrs.is_idle_class (Container.attrs container)
+
+(* The principal that owns a connection's buffered bytes; must be computed
+   identically at enqueue and at read so memory balances. *)
+let rx_memory_container t conn =
+  match t.mode with
+  | Lrp | Softirq -> t.owner
+  | Rc -> Socket.conn_container_or conn ~default:t.owner
+
+(* Memory-limit enforcement (the [memory_limit] attribute, §4.1): buffered
+   socket memory held anywhere on the container's parent chain must stay
+   under the tightest limit, or the incoming data is discarded — back-
+   pressure by early drop, like the per-container packet queues. *)
+let memory_limit_exceeded container ~extra =
+  let rec check node =
+    (match (Container.attrs node).Attrs.memory_limit with
+    | Some limit -> Usage.memory_bytes (Container.subtree_usage node) + extra > limit
+    | None -> false)
+    || match Container.parent node with Some p -> check p | None -> false
+  in
+  check container
+
+let schedule t delay f = ignore (Sim.after (Machine.sim t.machine) delay f)
+
+(* Lazily purge SYN-queue entries that completed, died, or timed out. *)
+let purge_syn_queue t l =
+  let rec purge () =
+    match Queue.peek_opt l.Socket.syn_queue with
+    | Some conn when conn.Socket.state <> Socket.Syn_rcvd ->
+        ignore (Queue.pop l.Socket.syn_queue);
+        purge ()
+    | Some conn
+      when Simtime.span_compare (Simtime.diff (now t) conn.Socket.syn_arrival) t.syn_timeout > 0
+      ->
+        ignore (Queue.pop l.Socket.syn_queue);
+        conn.Socket.state <- Socket.Closed;
+        purge ()
+    | Some _ | None -> ()
+  in
+  purge ()
+
+(* Evict the oldest half-open connection to make room (drop-oldest). *)
+let evict_syn t l =
+  let rec evict () =
+    if Queue.length l.Socket.syn_queue >= l.Socket.syn_backlog then begin
+      match Queue.take_opt l.Socket.syn_queue with
+      | None -> ()
+      | Some victim ->
+          if victim.Socket.state = Socket.Syn_rcvd then begin
+            victim.Socket.state <- Socket.Closed;
+            l.Socket.syn_drops <- l.Socket.syn_drops + 1;
+            t.stats.syn_queue_drops <- t.stats.syn_queue_drops + 1;
+            t.on_syn_drop l victim.Socket.src
+          end;
+          evict ()
+    end
+  in
+  evict ()
+
+(* The protocol action itself; its CPU cost has already been consumed by
+   the caller (softirq steal or network kernel thread). *)
+let rec perform t work =
+  t.stats.packets_processed <- t.stats.packets_processed + 1;
+  let charge_rx container packets bytes = Container.charge_rx container ~packets ~bytes in
+  match work with
+  | W_syn { listen = None; client; _ } ->
+      t.stats.refused <- t.stats.refused + 1;
+      schedule t t.latency (fun () -> client.Socket.on_refused ())
+  | W_syn { src; src_port; listen = Some l; client; completes } ->
+      emit t ~category:"net" "SYN from %s on listen#%d" (Ipaddr.to_string src) l.Socket.listen_id;
+      purge_syn_queue t l;
+      evict_syn t l;
+      let conn = Socket.make_conn ~src ~src_port ~client ~now:(now t) in
+      conn.Socket.listen <- Some l;
+      Queue.push conn l.Socket.syn_queue;
+      charge_rx (container_of_work t work) 1 40;
+      (* SYN|ACK goes out; a real client ACKs one round trip later. *)
+      if completes then
+        schedule t (Simtime.span_add t.latency t.latency) (fun () -> arrival t (P_ack conn))
+  | W_ack conn ->
+      charge_rx (container_of_work t work) 1 40;
+      if conn.Socket.state = Socket.Syn_rcvd then begin
+        match conn.Socket.listen with
+        | None -> conn.Socket.state <- Socket.Closed
+        | Some l ->
+            if Queue.length l.Socket.accept_queue >= l.Socket.backlog then begin
+              (* Dropped silently, as 1990s BSD-derived stacks did: the
+                 client finds out via its retransmission timer. *)
+              conn.Socket.state <- Socket.Closed;
+              l.Socket.accept_drops <- l.Socket.accept_drops + 1;
+              t.stats.accept_queue_drops <- t.stats.accept_queue_drops + 1
+            end
+            else begin
+              conn.Socket.state <- Socket.Established;
+              emit t ~category:"net" "conn#%d established from %s" conn.Socket.conn_id
+                (Ipaddr.to_string conn.Socket.src);
+              Queue.push conn l.Socket.accept_queue;
+              t.stats.conns_established <- t.stats.conns_established + 1;
+              t.on_event ();
+              schedule t t.latency (fun () ->
+                  conn.Socket.client.Socket.on_established conn)
+            end
+      end
+  | W_data (conn, payload) ->
+      let container = container_of_work t work in
+      charge_rx container (Payload.packet_count ~mtu:t.mtu payload) payload.Payload.bytes;
+      if conn.Socket.state = Socket.Established then begin
+        let owner = rx_memory_container t conn in
+        if memory_limit_exceeded owner ~extra:payload.Payload.bytes then
+          (* Buffer memory exhausted for this principal: drop the data;
+             the client's retransmission machinery will retry. *)
+          t.stats.rx_queue_drops <- t.stats.rx_queue_drops + 1
+        else begin
+          (* Buffered data occupies socket-buffer memory until the
+             application reads it (§4.4). *)
+          Container.charge_memory owner payload.Payload.bytes;
+          Queue.push payload conn.Socket.rx_queue;
+          t.on_event ()
+        end
+      end
+  | W_fin conn ->
+      charge_rx (container_of_work t work) 1 40;
+      (match conn.Socket.state with
+      | Socket.Established ->
+          conn.Socket.state <- Socket.Close_wait;
+          t.on_event ()
+      | Socket.Syn_rcvd | Socket.Close_wait | Socket.Closed -> ())
+
+(* Deferred-processing queues, one per container (RC) or one for the owner
+   process (LRP). *)
+and queue_for t container =
+  let cid = Container.id container in
+  match Hashtbl.find_opt t.queues cid with
+  | Some (q, _) -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.queues cid (q, container);
+      q
+
+and best_pending t ~covers ~allow_idle =
+  (* Highest container priority wins; equal priorities are served
+     least-recently-first so no container can starve its peers. *)
+  let stamp c =
+    match Hashtbl.find_opt t.served_stamp (Container.id c) with Some s -> s | None -> -1
+  in
+  Hashtbl.fold
+    (fun _ (q, c) acc ->
+      if Queue.is_empty q then acc
+      else if not (covers c) then acc
+      else if (not allow_idle) && is_idle_class c then acc
+      else
+        let prio = Attrs.effective_net_priority (Container.attrs c) in
+        match acc with
+        | Some (best, best_prio)
+          when best_prio > prio || (best_prio = prio && stamp best <= stamp c) ->
+            acc
+        | Some _ | None -> Some (c, prio))
+    t.queues None
+
+and service_for t container =
+  let rec find = function
+    | [] -> None
+    | svc :: rest -> if svc.svc_covers container then Some svc else find rest
+  in
+  find t.services
+
+and service_has_work t svc =
+  Hashtbl.fold
+    (fun _ (q, c) acc -> acc || ((not (Queue.is_empty q)) && svc.svc_covers c))
+    t.queues false
+
+and pick_work t svc =
+  (* Running tasks are dequeued from the policy while on a processor, so a
+     positive count means someone other than this thread wants the CPU. *)
+  let machine_otherwise_busy = Machine.runnable_tasks t.machine > 0 in
+  let choice =
+    match
+      best_pending t ~covers:svc.svc_covers ~allow_idle:(not machine_otherwise_busy)
+    with
+    | Some (c, _) -> Some c
+    | None -> None
+  in
+  match choice with
+  | None -> None
+  | Some container -> (
+      let q = queue_for t container in
+      match Queue.take_opt q with
+      | None -> None
+      | Some work ->
+          t.pending <- t.pending - 1;
+          t.service_tick <- t.service_tick + 1;
+          Hashtbl.replace t.served_stamp (Container.id container) t.service_tick;
+          Some (container, work))
+
+and enqueue_work t work =
+  let container = container_of_work t work in
+  let q = queue_for t container in
+  if Queue.length q >= t.queue_cap then begin
+    (* Early discard at interrupt level: the whole point of LRP/RC under
+       overload — no further CPU is spent on this packet. *)
+    emit t ~category:"drop" "early discard at container %s" (Container.name container);
+    t.stats.rx_queue_drops <- t.stats.rx_queue_drops + 1
+  end
+  else begin
+    Queue.push work q;
+    t.pending <- t.pending + 1;
+    (* Make the covering network kernel thread runnable at the priority of
+       its best pending container (paper §4.7). *)
+    match service_for t container with
+    | Some svc ->
+        if not svc.svc_busy then begin
+          (match (svc.svc_thread, best_pending t ~covers:svc.svc_covers ~allow_idle:true) with
+          | Some kthread, Some (best, _) when t.mode = Rc ->
+              Machine.rebind t.machine kthread best
+          | (Some _ | None), (Some _ | None) -> ());
+          Machine.Waitq.signal svc.svc_wq
+        end
+    | None -> ()
+  end
+
+and arrival t packet =
+  let work =
+    match packet with
+    | P_syn { src; src_port; port; client; completes } ->
+        t.stats.syns_received <- t.stats.syns_received + 1;
+        W_syn { src; src_port; listen = demux_listen t ~port ~src; client; completes }
+    | P_ack conn -> W_ack conn
+    | P_data (conn, payload) -> W_data (conn, payload)
+    | P_fin conn -> W_fin conn
+  in
+  let irq = Simtime.span_add t.costs.irq_per_packet t.costs.demux in
+  match t.mode with
+  | Softirq ->
+      (* Interrupt + softirq protocol processing, immediately, above all
+         threads.  Charged per §3.2 either to the unlucky principal running
+         at the time, or (default, matching Digital UNIX's behaviour as
+         measured in Fig. 13) to no process at all. *)
+      let charge =
+        match t.softirq_charge with
+        | Charge_current -> `Current_or_system
+        | Charge_system -> `Container (Machine.system_container t.machine)
+      in
+      Machine.steal_time t.machine
+        ~cost:(Simtime.span_add irq (cost_of_work t work))
+        ~charge;
+      perform t work
+  | Lrp | Rc ->
+      Machine.steal_time t.machine ~cost:irq
+        ~charge:(`Container (Machine.system_container t.machine));
+      enqueue_work t work
+
+let kthread_body t svc () =
+  let self = Machine.self () in
+  (* Once bound to a container, drain its whole queue before moving on:
+     hopping containers costs a scheduling turn per packet, and queues are
+     bounded so no peer waits more than [queue_cap] packets.  Idle-class
+     queues are drained one packet at a time so regular work can reclaim
+     the thread between packets. *)
+  let rec drain container =
+    if not (is_idle_class container && Machine.runnable_tasks t.machine > 0) then begin
+      match Queue.take_opt (queue_for t container) with
+      | None -> ()
+      | Some work ->
+          t.pending <- t.pending - 1;
+          t.service_tick <- t.service_tick + 1;
+          Hashtbl.replace t.served_stamp (Container.id container) t.service_tick;
+          Machine.cpu ~kernel:true (cost_of_work t work);
+          perform t work;
+          if not (is_idle_class container) then drain container
+    end
+  in
+  let rec loop () =
+    match pick_work t svc with
+    | Some (container, work) ->
+        svc.svc_busy <- true;
+        if t.mode = Rc then Machine.rebind t.machine self container
+        else Machine.rebind t.machine self svc.svc_home;
+        Machine.cpu ~kernel:true (cost_of_work t work);
+        perform t work;
+        drain container;
+        svc.svc_busy <- false;
+        loop ()
+    | None ->
+        svc.svc_busy <- false;
+        Machine.Waitq.wait svc.svc_wq;
+        loop ()
+  in
+  loop ()
+
+let spawn_service t ~name ~home ~covers =
+  match t.mode with
+  | Softirq -> None
+  | Lrp | Rc ->
+      let svc =
+        {
+          svc_name = name;
+          svc_covers = covers;
+          svc_wq = Machine.Waitq.create ~name t.machine;
+          svc_home = home;
+          svc_busy = false;
+          svc_thread = None;
+        }
+      in
+      let thread = Machine.spawn t.machine ~kernel:true ~name ~container:home (kthread_body t svc) in
+      svc.svc_thread <- Some thread;
+      Some svc
+
+let add_service t ~name ~home ~covers =
+  match spawn_service t ~name ~home ~covers with
+  | Some svc -> t.services <- svc :: t.services
+  | None -> ()
+
+let create ?(mtu = 1460) ?(latency = Simtime.us 150) ?(costs = default_costs)
+    ?(link_mbps = 100.) ?(queue_cap = 64) ?(syn_timeout = Simtime.sec 75)
+    ?(softirq_charge = Charge_system) ~machine ~mode ~owner () =
+  if link_mbps <= 0. then invalid_arg "Stack.create: link rate must be positive";
+  let t =
+    {
+      machine;
+      mode;
+      costs;
+      mtu;
+      latency;
+      link_bytes_per_ns = link_mbps *. 1e6 /. 8. /. 1e9;
+      queue_cap;
+      syn_timeout;
+      softirq_charge;
+      owner;
+      listen_sockets = [];
+      on_event = (fun () -> ());
+      on_syn_drop = (fun _ _ -> ());
+      queues = Hashtbl.create 64;
+      served_stamp = Hashtbl.create 64;
+      service_tick = 0;
+      pending = 0;
+      services = [];
+      stats =
+        {
+          syns_received = 0;
+          syn_queue_drops = 0;
+          accept_queue_drops = 0;
+          rx_queue_drops = 0;
+          packets_processed = 0;
+          conns_established = 0;
+          conns_closed = 0;
+          refused = 0;
+        };
+    }
+  in
+  (match mode with
+  | Softirq -> ()
+  | Lrp | Rc ->
+      add_service t ~name:"netisr" ~home:owner ~covers:(fun _ -> true);
+      (* Idle-class protocol processing runs only when the CPU would
+         otherwise idle (paper §4.8). *)
+      Machine.set_on_idle machine (fun () ->
+          List.iter
+            (fun svc ->
+              if (not svc.svc_busy) && service_has_work t svc then
+                Machine.Waitq.signal svc.svc_wq)
+            t.services));
+  t
+
+let accept t l =
+  let rec pop () =
+    match Queue.take_opt l.Socket.accept_queue with
+    | None -> None
+    | Some conn ->
+        if conn.Socket.state = Socket.Closed then pop () else Some conn
+  in
+  ignore t;
+  pop ()
+
+let recv t conn =
+  match Queue.take_opt conn.Socket.rx_queue with
+  | None -> None
+  | Some payload ->
+      Container.charge_memory (rx_memory_container t conn) (-payload.Payload.bytes);
+      Some payload
+
+let send t conn payload =
+  let packets = Payload.packet_count ~mtu:t.mtu payload in
+  Machine.cpu ~kernel:true (Simtime.span_scale (float_of_int packets) t.costs.tx_per_packet);
+  (match conn.Socket.container with
+  | Some c -> Container.charge_tx c ~packets ~bytes:payload.Payload.bytes
+  | None -> Container.charge_tx t.owner ~packets ~bytes:payload.Payload.bytes);
+  if conn.Socket.state = Socket.Established || conn.Socket.state = Socket.Close_wait then
+    schedule_to_client t conn (delivery_delay t payload) (fun () ->
+        conn.Socket.client.Socket.on_response conn payload)
+
+let close t conn =
+  if conn.Socket.state <> Socket.Closed then begin
+    Machine.cpu ~kernel:true
+      (Simtime.span_add t.costs.fin_process t.costs.conn_teardown);
+    conn.Socket.state <- Socket.Closed;
+    t.stats.conns_closed <- t.stats.conns_closed + 1;
+    schedule_to_client t conn t.latency (fun () -> conn.Socket.client.Socket.on_closed conn)
+  end
+
+let connect t ~src ?(src_port = 0) ~port ~handlers () =
+  schedule t t.latency (fun () ->
+      arrival t (P_syn { src; src_port; port; client = handlers; completes = true }))
+
+let client_send t conn payload =
+  schedule t (delivery_delay t payload) (fun () -> arrival t (P_data (conn, payload)))
+
+let client_close t conn = schedule t t.latency (fun () -> arrival t (P_fin conn))
+
+let inject_syn t ~src ~port =
+  schedule t Simtime.span_zero (fun () ->
+      arrival t (P_syn { src; src_port = 0; port; client = Socket.null_handlers; completes = false }))

@@ -1,0 +1,1 @@
+lib/procsim/machine.ml: Array Effect Engine Hashtbl List Rescont Sched

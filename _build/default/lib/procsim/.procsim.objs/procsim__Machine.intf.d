@@ -1,0 +1,1 @@
+lib/procsim/machine.mli: Engine Rescont Sched

@@ -1,0 +1,1 @@
+lib/procsim/process.ml: Format List Machine Printf Rescont

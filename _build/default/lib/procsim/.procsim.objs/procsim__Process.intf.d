@@ -1,0 +1,1 @@
+lib/procsim/process.mli: Format Machine Rescont

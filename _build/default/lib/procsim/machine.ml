@@ -1,0 +1,384 @@
+module Simtime = Engine.Simtime
+module Sim = Engine.Sim
+module Container = Rescont.Container
+module Binding = Rescont.Binding
+module Task = Sched.Task
+
+type state = Ready | Running | Blocked | Done
+
+type thread = {
+  task : Task.t;
+  mutable state : state;
+  mutable pending : int; (* ns of requested CPU still to consume *)
+  mutable kernel_mode : bool; (* mode of the pending request *)
+  mutable cont : (unit, unit) Effect.Deep.continuation option;
+  mutable entry : (unit -> unit) option; (* body not yet started *)
+}
+
+type dispatch = {
+  d_thread : thread;
+  d_cpu : int; (* which processor the slice runs on *)
+  d_work : int; (* ns of work in this slice *)
+  mutable d_end_time : Simtime.t; (* wall-clock end, grows when time is stolen *)
+  mutable d_end_event : Sim.event;
+}
+
+type t = {
+  sim : Sim.t;
+  pol : Sched.Policy.t;
+  root : Container.t;
+  quantum : int;
+  currents : dispatch option array; (* one slot per processor *)
+  mutable exec : thread option; (* thread whose OCaml code is running *)
+  mutable kick_pending : bool;
+  mutable irq_busy_until : Simtime.t; (* interrupts run on processor 0 *)
+  mutable busy : int; (* total ns consumed, all processors *)
+  mutable threads : thread list;
+  by_task : (int, thread) Hashtbl.t;
+  mutable on_idle : unit -> unit;
+  trace : Engine.Tracelog.t;
+}
+
+type _ Effect.t +=
+  | E_cpu : { cost : int; kernel : bool } -> unit Effect.t
+  | E_sleep : int -> unit Effect.t
+  | E_yield : unit Effect.t
+  | E_self : thread Effect.t
+
+(* Wait queues participate in the effect type, so they live here. *)
+type waitq = { wq_name : string; wq_machine : t; mutable wq_waiters : thread list }
+type _ Effect.t += E_wait : waitq -> unit Effect.t
+
+let sim m = m.sim
+let now m = Sim.now m.sim
+let root m = m.root
+let system_container m = m.root
+let policy m = m.pol
+let busy_time m = Simtime.span_of_ns m.busy
+let thread_name thread = thread.task.Task.name
+let thread_task thread = thread.task
+let binding thread = thread.task.Task.binding
+let is_done thread = thread.state = Done
+
+let trace m = m.trace
+
+let emit m ~category fmt = Engine.Tracelog.emitf m.trace (now m) ~category fmt
+
+let charge_to m container ~kernel span_ns =
+  if span_ns > 0 then begin
+    let span = Simtime.span_of_ns span_ns in
+    Container.charge_cpu container ~kernel span;
+    m.pol.Sched.Policy.charge ~container ~now:(now m) span;
+    m.busy <- m.busy + span_ns
+  end
+
+let cpus m = Array.length m.currents
+
+let free_cpu m =
+  let rec scan i =
+    if i >= cpus m then None
+    else match m.currents.(i) with None -> Some i | Some _ -> scan (i + 1)
+  in
+  scan 0
+
+(* Run a suspended or fresh thread's code until its next effect. *)
+let rec resume_thread m thread =
+  let previous = m.exec in
+  m.exec <- Some thread;
+  (match (thread.entry, thread.cont) with
+  | Some body, _ ->
+      thread.entry <- None;
+      start_body m thread body
+  | None, Some k ->
+      thread.cont <- None;
+      Effect.Deep.continue k ()
+  | None, None -> ());
+  m.exec <- previous
+
+and start_body m thread body =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc =
+        (fun () ->
+          thread.state <- Done;
+          m.pol.Sched.Policy.dequeue thread.task;
+          Binding.drop thread.task.Task.binding);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_cpu { cost; kernel } ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  thread.cont <- Some k;
+                  thread.pending <- max 0 cost;
+                  thread.kernel_mode <- kernel;
+                  thread.state <- Ready;
+                  m.pol.Sched.Policy.enqueue thread.task;
+                  kick m)
+          | E_sleep span_ns ->
+              Some
+                (fun k ->
+                  thread.cont <- Some k;
+                  thread.state <- Blocked;
+                  m.pol.Sched.Policy.dequeue thread.task;
+                  ignore
+                    (Sim.after m.sim (Simtime.span_of_ns span_ns) (fun () ->
+                         make_runnable m thread)))
+          | E_yield ->
+              Some
+                (fun k ->
+                  thread.cont <- Some k;
+                  thread.state <- Ready;
+                  m.pol.Sched.Policy.enqueue thread.task;
+                  kick m)
+          | E_wait wq ->
+              Some
+                (fun k ->
+                  thread.cont <- Some k;
+                  thread.state <- Blocked;
+                  m.pol.Sched.Policy.dequeue thread.task;
+                  wq.wq_waiters <- wq.wq_waiters @ [ thread ])
+          | E_self -> Some (fun k -> continue k thread)
+          | _ -> None);
+    }
+
+and make_runnable m thread =
+  if thread.state = Blocked then begin
+    thread.state <- Ready;
+    m.pol.Sched.Policy.enqueue thread.task;
+    kick m
+  end
+
+and kick m =
+  if not m.kick_pending then begin
+    m.kick_pending <- true;
+    ignore
+      (Sim.after m.sim Simtime.span_zero (fun () ->
+           m.kick_pending <- false;
+           dispatch_next m))
+  end
+
+and kick_at m time =
+  ignore (Sim.at m.sim time (fun () -> dispatch_next m))
+
+and dispatch_next m =
+  match free_cpu m with
+  | None -> ()
+  | Some cpu ->
+      if cpu = 0 && Simtime.(now m < m.irq_busy_until) then begin
+        kick_at m m.irq_busy_until;
+        (* Other processors may still dispatch. *)
+        if cpus m > 1 then dispatch_on m ~from_cpu:1
+      end
+      else dispatch_on m ~from_cpu:cpu
+
+and dispatch_on m ~from_cpu =
+  let rec scan cpu =
+    if cpu >= cpus m then ()
+    else
+      match m.currents.(cpu) with
+      | Some _ -> scan (cpu + 1)
+      | None ->
+          if cpu = 0 && Simtime.(now m < m.irq_busy_until) then scan (cpu + 1)
+          else begin
+            match m.pol.Sched.Policy.pick ~now:(now m) with
+            | None ->
+                (match m.pol.Sched.Policy.next_release ~now:(now m) with
+                | Some t when Simtime.(t > now m) -> kick_at m t
+                | Some _ | None -> ());
+                m.on_idle ()
+            | Some task -> (
+                match Hashtbl.find_opt m.by_task task.Task.id with
+                | None ->
+                    (* Task of an exited thread still queued: drop, retry. *)
+                    m.pol.Sched.Policy.dequeue task;
+                    scan cpu
+                | Some thread ->
+                    if thread.pending <= 0 then begin
+                      (* Nothing to burn: run the thread's code to its next
+                         effect, then look again. *)
+                      m.pol.Sched.Policy.dequeue thread.task;
+                      resume_thread m thread;
+                      scan cpu
+                    end
+                    else begin
+                      start_slice m thread ~cpu;
+                      scan (cpu + 1)
+                    end)
+          end
+  in
+  scan from_cpu
+
+and start_slice m thread ~cpu =
+  let work = min m.quantum thread.pending in
+  emit m ~category:"dispatch" "cpu%d runs %s for %dns (binding %s)" cpu thread.task.Task.name
+    work
+    (Container.name (Binding.resource_binding thread.task.Task.binding));
+  thread.state <- Running;
+  (* A running task leaves the policy's queues so another processor cannot
+     pick it concurrently; it re-enters at slice end. *)
+  m.pol.Sched.Policy.dequeue thread.task;
+  let d =
+    {
+      d_thread = thread;
+      d_cpu = cpu;
+      d_work = work;
+      d_end_time = Simtime.add (now m) (Simtime.span_of_ns work);
+      d_end_event = Sim.after m.sim Simtime.span_zero (fun () -> ());
+    }
+  in
+  ignore (Sim.cancel m.sim d.d_end_event);
+  d.d_end_event <- Sim.at m.sim d.d_end_time (fun () -> finish_slice m d);
+  m.currents.(cpu) <- Some d
+
+and finish_slice m d =
+  m.currents.(d.d_cpu) <- None;
+  let thread = d.d_thread in
+  let container = Binding.resource_binding thread.task.Task.binding in
+  charge_to m container ~kernel:thread.kernel_mode d.d_work;
+  Binding.touch thread.task.Task.binding ~now:(now m);
+  if thread.state = Done then (* killed mid-slice *) ()
+  else begin
+    thread.pending <- thread.pending - d.d_work;
+    if thread.pending <= 0 then begin
+      thread.state <- Ready;
+      resume_thread m thread
+    end
+    else begin
+      thread.state <- Ready;
+      m.pol.Sched.Policy.enqueue thread.task
+    end
+  end;
+  dispatch_next m
+
+let create ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(prune_interval = Simtime.ms 100)
+    ?(prune_age = Simtime.ms 500) ?trace ~sim ~policy:pol ~root () =
+  if cpus <= 0 then invalid_arg "Machine.create: cpus must be positive";
+  let trace = match trace with Some t -> t | None -> Engine.Tracelog.create () in
+  let m =
+    {
+      sim;
+      pol;
+      root;
+      quantum = Simtime.span_to_ns quantum;
+      currents = Array.make cpus None;
+      exec = None;
+      kick_pending = false;
+      irq_busy_until = Simtime.zero;
+      busy = 0;
+      threads = [];
+      by_task = Hashtbl.create 64;
+      on_idle = (fun () -> ());
+      trace;
+    }
+  in
+  (* Periodic pruning of scheduler-binding sets (paper §4.3). *)
+  ignore
+    (Sim.every sim prune_interval (fun () ->
+         m.threads <- List.filter (fun thread -> thread.state <> Done) m.threads;
+         List.iter
+           (fun thread ->
+             ignore
+               (Binding.prune thread.task.Task.binding ~now:(now m) ~max_age:prune_age))
+           m.threads));
+  m
+
+let spawn m ?(kernel = false) ~name ~container body =
+  emit m ~category:"spawn" "thread %s in container %s" name (Container.name container);
+  let b = Binding.create ~now:(now m) container in
+  let task = Task.create ~kernel ~name b in
+  let thread =
+    { task; state = Blocked; pending = 0; kernel_mode = kernel; cont = None; entry = Some body }
+  in
+  Hashtbl.replace m.by_task task.Task.id thread;
+  m.threads <- thread :: m.threads;
+  thread.state <- Ready;
+  m.pol.Sched.Policy.enqueue task;
+  kick m;
+  thread
+
+let rebind m thread container =
+  emit m ~category:"rebind" "%s -> %s" thread.task.Task.name (Container.name container);
+  Binding.set_resource_binding thread.task.Task.binding ~now:(now m) container;
+  match thread.state with
+  | Ready -> m.pol.Sched.Policy.requeue thread.task
+  | Running (* dequeued while on a processor *) | Blocked | Done -> ()
+
+(* Terminate a thread: discard its continuation, remove it from queues and
+   release its bindings.  A thread occupying a processor finishes the slice
+   in flight (the work is already committed) and is reaped at slice end. *)
+let kill m thread =
+  match thread.state with
+  | Done -> ()
+  | Ready | Blocked | Running ->
+      emit m ~category:"kill" "%s" thread.task.Task.name;
+      thread.cont <- None;
+      thread.entry <- None;
+      thread.pending <- 0;
+      thread.state <- Done;
+      m.pol.Sched.Policy.dequeue thread.task;
+      Binding.drop thread.task.Task.binding
+
+let reset_scheduler_binding m thread =
+  Binding.reset_scheduler_binding thread.task.Task.binding ~now:(now m)
+
+let cpu ?(kernel = false) span =
+  let cost = Simtime.span_to_ns span in
+  if cost > 0 then Effect.perform (E_cpu { cost; kernel })
+
+let sleep span =
+  let span_ns = Simtime.span_to_ns span in
+  if span_ns > 0 then Effect.perform (E_sleep span_ns)
+
+let yield () = Effect.perform E_yield
+let self () = Effect.perform E_self
+
+module Waitq = struct
+  type nonrec t = waitq
+
+  let create ?(name = "waitq") m = { wq_name = name; wq_machine = m; wq_waiters = [] }
+  let wait wq = Effect.perform (E_wait wq)
+
+  let signal wq =
+    match wq.wq_waiters with
+    | [] -> ()
+    | thread :: rest ->
+        wq.wq_waiters <- rest;
+        make_runnable wq.wq_machine thread
+
+  let broadcast wq =
+    let waiters = wq.wq_waiters in
+    wq.wq_waiters <- [];
+    List.iter (make_runnable wq.wq_machine) waiters
+
+  let waiters wq = List.length wq.wq_waiters
+end
+
+(* Interrupts are taken on processor 0, as most 1990s kernels did. *)
+let steal_time m ~cost ~charge =
+  let cost_ns = Simtime.span_to_ns cost in
+  if cost_ns > 0 then begin
+    let victim =
+      match charge with
+      | `Container c -> c
+      | `Current_or_system -> (
+          match m.currents.(0) with
+          | Some d -> Binding.resource_binding d.d_thread.task.Task.binding
+          | None -> m.root)
+    in
+    charge_to m victim ~kernel:true cost_ns;
+    emit m ~category:"irq" "steal %dns charged to %s" cost_ns (Container.name victim);
+    match m.currents.(0) with
+    | Some d ->
+        ignore (Sim.cancel m.sim d.d_end_event);
+        d.d_end_time <- Simtime.add d.d_end_time cost;
+        d.d_end_event <- Sim.at m.sim d.d_end_time (fun () -> finish_slice m d)
+    | None ->
+        m.irq_busy_until <- Simtime.add (Simtime.max m.irq_busy_until (now m)) cost
+  end
+
+let run_until m horizon = Sim.run_until m.sim horizon
+let set_on_idle m f = m.on_idle <- f
+let runnable_tasks m = m.pol.Sched.Policy.runnable_count ()

@@ -1,0 +1,135 @@
+(** The simulated uniprocessor machine: threads, blocking, dispatching.
+
+    Threads are OCaml effect-based coroutines, so simulated kernel and
+    application code is written in direct style: [Machine.cpu] consumes
+    simulated CPU, [Waitq.wait] blocks, and the dispatcher interleaves
+    threads under the machine's scheduling policy in quanta, charging every
+    consumed slice to the running thread's resource-binding container.
+
+    Interrupt-level work (NIC interrupts, softirq protocol processing in
+    the unmodified-kernel model) runs at strictly higher precedence than
+    any thread: it {e steals} time from whatever slice is in progress — see
+    {!steal_time} — which is exactly the behaviour that produces receive
+    livelock under overload. *)
+
+type t
+type thread
+
+val create :
+  ?cpus:int ->
+  ?quantum:Engine.Simtime.span ->
+  ?prune_interval:Engine.Simtime.span ->
+  ?prune_age:Engine.Simtime.span ->
+  ?trace:Engine.Tracelog.t ->
+  sim:Engine.Sim.t ->
+  policy:Sched.Policy.t ->
+  root:Rescont.Container.t ->
+  unit ->
+  t
+(** [cpus] is the number of processors (default 1; every experiment in the
+    paper runs on a uniprocessor).  Interrupt-level work is taken on
+    processor 0.  [quantum] is the time-slice length (default 1 ms).
+    [prune_interval] / [prune_age] control the periodic pruning of
+    scheduler-binding sets (paper §4.3; defaults 100 ms / 500 ms). *)
+
+val sim : t -> Engine.Sim.t
+val now : t -> Engine.Simtime.t
+val root : t -> Rescont.Container.t
+
+val system_container : t -> Rescont.Container.t
+(** Where consumption "charged to no process at all" lands (the root). *)
+
+val policy : t -> Sched.Policy.t
+val busy_time : t -> Engine.Simtime.span
+(** Total CPU time consumed so far (slices + stolen interrupt time). *)
+
+(** {1 Threads} *)
+
+val spawn :
+  t -> ?kernel:bool -> name:string -> container:Rescont.Container.t -> (unit -> unit) -> thread
+(** Create a thread whose first resource binding is [container] and make it
+    runnable.  The body runs inside the machine's effect handler.
+    @raise Container.Error if [container] is not a leaf. *)
+
+val thread_name : thread -> string
+val thread_task : thread -> Sched.Task.t
+val binding : thread -> Rescont.Binding.t
+val is_done : thread -> bool
+
+val rebind : t -> thread -> Rescont.Container.t -> unit
+(** Change the thread's resource binding (the [rc_bind_thread] primitive).
+    Settles any in-progress slice against the old container first. *)
+
+val kill : t -> thread -> unit
+(** Terminate the thread: its continuation is discarded, it leaves every
+    queue, and its container bindings are released.  A thread currently on
+    a processor completes the in-flight slice (that work is already
+    committed) and is reaped at the slice boundary.  Idempotent. *)
+
+val reset_scheduler_binding : t -> thread -> unit
+
+(** {1 Effects — callable only from inside a thread body} *)
+
+val cpu : ?kernel:bool -> Engine.Simtime.span -> unit
+(** Consume simulated CPU.  The calling thread competes for the processor
+    under the machine's policy; the call returns once the full span has
+    been consumed and charged. *)
+
+val sleep : Engine.Simtime.span -> unit
+(** Block without consuming CPU. *)
+
+val yield : unit -> unit
+(** Return to the dispatcher; runs again when next picked. *)
+
+val self : unit -> thread
+(** The currently executing thread. *)
+
+(** {1 Blocking} *)
+
+module Waitq : sig
+  type machine := t
+  type t
+
+  val create : ?name:string -> machine -> t
+
+  val wait : t -> unit
+  (** Block the calling thread until signalled (effect). *)
+
+  val signal : t -> unit
+  (** Wake the longest-waiting thread, if any. *)
+
+  val broadcast : t -> unit
+  val waiters : t -> int
+end
+
+(** {1 Interrupt-level work} *)
+
+val steal_time :
+  t -> cost:Engine.Simtime.span -> charge:[ `Current_or_system | `Container of Rescont.Container.t ] -> unit
+(** Execute interrupt-level work costing [cost] {e now}.  If a slice is in
+    progress it is extended by [cost] (the running thread loses wall-clock
+    time); otherwise the dispatcher is pushed back by [cost].  The cost is
+    charged to the running thread's container ([`Current_or_system] — the
+    unmodified kernel's misaccounting; the system container when idle) or
+    to an explicit container. *)
+
+val run_until : t -> Engine.Simtime.t -> unit
+(** Drive the simulation to the horizon. *)
+
+val set_on_idle : t -> (unit -> unit) -> unit
+(** [on_idle] fires whenever the dispatcher finds no eligible task.  The
+    network stack uses it to run idle-class protocol processing (priority-0
+    containers, paper §4.8) only when the CPU would otherwise idle.  The
+    hook must not unconditionally wake a thread, or the dispatcher will
+    spin. *)
+
+val runnable_tasks : t -> int
+(** Number of tasks currently queued in the policy.  Tasks occupying a
+    processor are dequeued while they run, so from inside a running thread
+    this counts the {e other} runnable tasks. *)
+
+val cpus : t -> int
+
+val trace : t -> Engine.Tracelog.t
+(** The machine's trace log (disabled unless the log passed at creation was
+    enabled).  Categories: "spawn", "dispatch", "rebind", "irq". *)

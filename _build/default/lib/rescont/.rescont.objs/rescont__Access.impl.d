@@ -1,0 +1,1 @@
+lib/rescont/access.ml: Binding Container Format Hashtbl List Usage

@@ -1,0 +1,1 @@
+lib/rescont/access.mli: Attrs Binding Container Engine Usage

@@ -1,0 +1,1 @@
+lib/rescont/attrs.mli: Format

@@ -1,0 +1,1 @@
+lib/rescont/billing.ml: Container Engine Format List Printf String Usage

@@ -1,0 +1,1 @@
+lib/rescont/billing.mli: Container Engine

@@ -1,0 +1,1 @@
+lib/rescont/binding.ml: Container Engine List

@@ -1,0 +1,1 @@
+lib/rescont/binding.mli: Container Engine

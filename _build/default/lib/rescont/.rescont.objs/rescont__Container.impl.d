@@ -1,0 +1,1 @@
+lib/rescont/container.ml: Attrs Engine Float Format List Printf Usage

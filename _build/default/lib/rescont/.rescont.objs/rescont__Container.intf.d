@@ -1,0 +1,1 @@
+lib/rescont/container.mli: Attrs Engine Format Usage

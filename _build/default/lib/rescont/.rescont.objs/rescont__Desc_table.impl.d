@@ -1,0 +1,1 @@
+lib/rescont/desc_table.ml: Container Hashtbl List

@@ -1,0 +1,1 @@
+lib/rescont/ops.ml: Binding Container Desc_table Engine Usage

@@ -1,0 +1,1 @@
+lib/rescont/ops.mli: Attrs Binding Container Desc_table Engine Usage

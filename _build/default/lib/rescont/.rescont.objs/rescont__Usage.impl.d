@@ -1,0 +1,1 @@
+lib/rescont/usage.ml: Engine Format

@@ -1,0 +1,103 @@
+type uid = int
+type right = Observe | Modify | Manage
+
+exception Denied of string
+
+let denied fmt = Format.kasprintf (fun s -> raise (Denied s)) fmt
+
+type entry = {
+  e_owner : uid;
+  mutable world_observe : bool;
+  mutable grants : (uid * right) list;
+}
+
+type t = { entries : (int, entry) Hashtbl.t }
+
+let create () = { entries = Hashtbl.create 32 }
+
+let entry_of t container =
+  match Hashtbl.find_opt t.entries (Container.id container) with
+  | Some e -> e
+  | None -> { e_owner = 0; world_observe = false; grants = [] }
+
+let register t ~owner container =
+  Hashtbl.replace t.entries (Container.id container)
+    { e_owner = owner; world_observe = false; grants = [] }
+
+let owner t container = (entry_of t container).e_owner
+
+let check t ~as_uid container right =
+  if as_uid = 0 then true
+  else
+    let e = entry_of t container in
+    e.e_owner = as_uid
+    || (right = Observe && e.world_observe)
+    || List.mem (as_uid, right) e.grants
+
+let require t ~as_uid container right =
+  if not (check t ~as_uid container right) then
+    denied "uid %d lacks %s on container %s" as_uid
+      (match right with Observe -> "observe" | Modify -> "modify" | Manage -> "manage")
+      (Container.name container)
+
+let require_owner t ~as_uid container what =
+  if as_uid <> 0 && (entry_of t container).e_owner <> as_uid then
+    denied "uid %d is not the owner of %s (%s)" as_uid (Container.name container) what
+
+let persistent_entry t container =
+  let cid = Container.id container in
+  match Hashtbl.find_opt t.entries cid with
+  | Some e -> e
+  | None ->
+      let e = { e_owner = 0; world_observe = false; grants = [] } in
+      Hashtbl.replace t.entries cid e;
+      e
+
+let grant t ~as_uid container ~to_uid right =
+  require_owner t ~as_uid container "grant";
+  let e = persistent_entry t container in
+  if not (List.mem (to_uid, right) e.grants) then e.grants <- (to_uid, right) :: e.grants
+
+let revoke t ~as_uid container ~to_uid right =
+  require_owner t ~as_uid container "revoke";
+  let e = persistent_entry t container in
+  e.grants <- List.filter (fun g -> g <> (to_uid, right)) e.grants
+
+let set_world_observe t ~as_uid container value =
+  require_owner t ~as_uid container "world-observe";
+  (persistent_entry t container).world_observe <- value
+
+let create_child t ~as_uid ~parent ?name ?attrs () =
+  require t ~as_uid parent Manage;
+  let child = Container.create ?name ?attrs ~parent () in
+  register t ~owner:as_uid child;
+  child
+
+let set_attrs t ~as_uid container attrs =
+  require t ~as_uid container Modify;
+  Container.set_attrs container attrs
+
+let get_attrs t ~as_uid container =
+  require t ~as_uid container Observe;
+  Container.attrs container
+
+let get_usage t ~as_uid container =
+  require t ~as_uid container Observe;
+  Usage.snapshot (Container.usage container)
+
+let set_parent t ~as_uid container ~parent =
+  require t ~as_uid container Manage;
+  (match Container.parent container with
+  | Some old_parent -> require t ~as_uid old_parent Manage
+  | None -> ());
+  (match parent with Some p -> require t ~as_uid p Manage | None -> ());
+  Container.set_parent container parent
+
+let bind_thread t ~as_uid binding ~now container =
+  require t ~as_uid container Modify;
+  Binding.set_resource_binding binding ~now container
+
+let destroy t ~as_uid container =
+  require t ~as_uid container Manage;
+  Container.destroy container;
+  Hashtbl.remove t.entries (Container.id container)

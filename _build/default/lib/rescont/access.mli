@@ -1,0 +1,74 @@
+(** Access control for containers and their attributes.
+
+    Paper §4.1: "A practical implementation would require an access
+    control model for containers and their attributes; space does not
+    permit a discussion of this issue."  This module supplies the missing
+    piece as a small capability/ACL hybrid in the UNIX spirit:
+
+    - every container has an {e owner} user id;
+    - rights are {!Observe} (read attributes and usage), {!Modify}
+      (set attributes, bind threads and sockets) and {!Manage} (create
+      children, re-parent, destroy, pass to another process);
+    - the owner holds all rights; other users hold whatever the owner
+      granted them, plus a world-observe bit; uid 0 bypasses all checks;
+    - a child container's creator must hold {!Manage} on the parent, and
+      the child is owned by its creator.
+
+    The checked operation wrappers mirror {!Ops} and raise {!Denied}
+    before delegating. *)
+
+type uid = int
+
+type right = Observe | Modify | Manage
+
+exception Denied of string
+
+type t
+(** An access-control table covering any number of containers. *)
+
+val create : unit -> t
+
+val register : t -> owner:uid -> Container.t -> unit
+(** Declare ownership of a container.  Containers never registered are
+    treated as owned by uid 0 (the system). *)
+
+val owner : t -> Container.t -> uid
+
+val grant : t -> as_uid:uid -> Container.t -> to_uid:uid -> right -> unit
+(** Owner (or uid 0) extends a right to another user.
+    @raise Denied otherwise. *)
+
+val revoke : t -> as_uid:uid -> Container.t -> to_uid:uid -> right -> unit
+
+val set_world_observe : t -> as_uid:uid -> Container.t -> bool -> unit
+(** Let every user read this container's attributes and usage. *)
+
+val check : t -> as_uid:uid -> Container.t -> right -> bool
+val require : t -> as_uid:uid -> Container.t -> right -> unit
+(** @raise Denied when [check] is false. *)
+
+(** {1 Checked operations (the §4.6 surface, permission-checked)} *)
+
+val create_child :
+  t ->
+  as_uid:uid ->
+  parent:Container.t ->
+  ?name:string ->
+  ?attrs:Attrs.t ->
+  unit ->
+  Container.t
+(** Requires [Manage] on [parent]; the child is owned by [as_uid]. *)
+
+val set_attrs : t -> as_uid:uid -> Container.t -> Attrs.t -> unit
+val get_attrs : t -> as_uid:uid -> Container.t -> Attrs.t
+val get_usage : t -> as_uid:uid -> Container.t -> Usage.snapshot
+
+val set_parent : t -> as_uid:uid -> Container.t -> parent:Container.t option -> unit
+(** Requires [Manage] on the container, on the old parent (if any) and on
+    the new parent (if any). *)
+
+val bind_thread : t -> as_uid:uid -> Binding.t -> now:Engine.Simtime.t -> Container.t -> unit
+(** Requires [Modify] on the target container. *)
+
+val destroy : t -> as_uid:uid -> Container.t -> unit
+(** Requires [Manage]. *)

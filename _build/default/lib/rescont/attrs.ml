@@ -1,0 +1,67 @@
+type sched_class = Fixed_share of float | Timeshare
+
+type t = {
+  sched_class : sched_class;
+  priority : int;
+  cpu_limit : float option;
+  memory_limit : int option;
+  net_priority : int option;
+}
+
+let default =
+  { sched_class = Timeshare; priority = 10; cpu_limit = None; memory_limit = None;
+    net_priority = None }
+
+let check_fraction what = function
+  | Some f when f < 0. || f > 1. -> invalid_arg (Printf.sprintf "Attrs: %s outside [0,1]" what)
+  | Some _ | None -> ()
+
+let timeshare ?(priority = 10) ?cpu_limit ?memory_limit () =
+  if priority < 0 then invalid_arg "Attrs.timeshare: negative priority";
+  check_fraction "cpu_limit" cpu_limit;
+  { default with sched_class = Timeshare; priority; cpu_limit; memory_limit }
+
+let fixed_share ~share ?cpu_limit ?memory_limit () =
+  check_fraction "share" (Some share);
+  check_fraction "cpu_limit" cpu_limit;
+  { default with sched_class = Fixed_share share; cpu_limit; memory_limit }
+
+let with_priority t priority =
+  if priority < 0 then invalid_arg "Attrs.with_priority: negative priority";
+  { t with priority }
+
+let with_cpu_limit t cpu_limit =
+  check_fraction "cpu_limit" cpu_limit;
+  { t with cpu_limit }
+
+let effective_net_priority t =
+  match t.net_priority with Some p -> p | None -> t.priority
+
+let is_idle_class t = t.priority = 0
+
+let validate t =
+  let fraction what v =
+    match v with
+    | Some f when f < 0. || f > 1. -> Error (Printf.sprintf "%s outside [0,1]" what)
+    | Some _ | None -> Ok ()
+  in
+  if t.priority < 0 then Error "negative priority"
+  else
+    match t.sched_class with
+    | Fixed_share share when share < 0. || share > 1. -> Error "share outside [0,1]"
+    | Fixed_share _ | Timeshare -> (
+        match fraction "cpu_limit" t.cpu_limit with
+        | Error _ as e -> e
+        | Ok () -> (
+            match t.memory_limit with
+            | Some m when m < 0 -> Error "negative memory_limit"
+            | Some _ | None -> Ok ()))
+
+let pp ppf t =
+  let class_str =
+    match t.sched_class with
+    | Fixed_share s -> Printf.sprintf "fixed-share(%.2f)" s
+    | Timeshare -> "timeshare"
+  in
+  let limit_str = match t.cpu_limit with Some l -> Printf.sprintf " cpu<=%.2f" l | None -> "" in
+  Format.fprintf ppf "%s prio=%d%s" class_str t.priority limit_str

@@ -1,0 +1,51 @@
+(** Container attributes (paper §4.1, §4.6).
+
+    Attributes carry the scheduling parameters, resource limits and network
+    QoS values of a resource container.  They are plain data: policies in
+    {!Sched} and {!Netsim} interpret them. *)
+
+type sched_class =
+  | Fixed_share of float
+      (** Guaranteed fraction of the parent's CPU allocation, in [0, 1].
+          The prototype ensures fixed-share guarantees over multi-second
+          timescales; only fixed-share containers may have children
+          (paper §5.1). *)
+  | Timeshare
+      (** Share the parent's residual CPU with sibling timeshare containers
+          under decay-usage scheduling, weighted by {!field:priority}. *)
+
+type t = {
+  sched_class : sched_class;
+  priority : int;
+      (** Numeric priority for timeshare scheduling and for the ordering of
+          kernel protocol processing (paper §4.7).  Higher is better.
+          Priority 0 is idle-class: such a container is only serviced when
+          nothing else is runnable — the SYN-flood defence of §4.8 binds the
+          attacker's listen socket to a priority-0 container. *)
+  cpu_limit : float option;
+      (** Maximum fraction of the whole machine's CPU this container and its
+          descendants may consume ("resource sandbox", §4.8/§5.6).  [None]
+          means unlimited. *)
+  memory_limit : int option;  (** Bytes of memory the subtree may hold. *)
+  net_priority : int option;
+      (** Network QoS value; defaults to {!field:priority} when [None]. *)
+}
+
+val default : t
+(** Timeshare, priority 10, no limits — the attributes of the default
+    container created for a new process. *)
+
+val timeshare : ?priority:int -> ?cpu_limit:float -> ?memory_limit:int -> unit -> t
+val fixed_share : share:float -> ?cpu_limit:float -> ?memory_limit:int -> unit -> t
+(** Constructors validating their arguments.
+    @raise Invalid_argument on shares or limits outside [0, 1], or negative
+    priorities. *)
+
+val with_priority : t -> int -> t
+val with_cpu_limit : t -> float option -> t
+val effective_net_priority : t -> int
+val is_idle_class : t -> bool
+(** [is_idle_class a] is [true] when the numeric priority is 0. *)
+
+val validate : t -> (unit, string) result
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,119 @@
+module Simtime = Engine.Simtime
+
+type rate_card = {
+  per_cpu_second : float;
+  per_gb_transferred : float;
+  per_disk_second : float;
+  per_million_packets : float;
+}
+
+let default_rates =
+  {
+    per_cpu_second = 0.05;
+    per_gb_transferred = 0.09;
+    per_disk_second = 0.02;
+    per_million_packets = 0.10;
+  }
+
+type line = {
+  customer : string;
+  cpu : Simtime.span;
+  bytes : int;
+  packets : int;
+  disk : Simtime.span;
+  amount : float;
+}
+
+type invoice = {
+  cycle : int;
+  period_start : Simtime.t;
+  period_end : Simtime.t;
+  lines : line list;
+  total : float;
+}
+
+type tracked = { label : string; container : Container.t; mutable last : Usage.snapshot }
+
+type t = {
+  rates : rate_card;
+  mutable tracked : tracked list; (* reverse tracking order *)
+  mutable cycle : int;
+  mutable period_start : Simtime.t;
+}
+
+let create ?(rates = default_rates) ~now () =
+  { rates; tracked = []; cycle = 0; period_start = now }
+
+let track t ~customer container =
+  if List.exists (fun tr -> String.equal tr.label customer) t.tracked then
+    invalid_arg (Printf.sprintf "Billing.track: duplicate customer %S" customer);
+  t.tracked <-
+    { label = customer; container; last = Usage.snapshot (Container.subtree_usage container) }
+    :: t.tracked
+
+let amount_of line = line.amount
+
+let price rates ~cpu ~bytes ~packets ~disk =
+  (Simtime.span_to_sec_f cpu *. rates.per_cpu_second)
+  +. (float_of_int bytes /. 1e9 *. rates.per_gb_transferred)
+  +. (Simtime.span_to_sec_f disk *. rates.per_disk_second)
+  +. (float_of_int packets /. 1e6 *. rates.per_million_packets)
+
+let close_cycle t ~now =
+  t.cycle <- t.cycle + 1;
+  let lines =
+    List.rev_map
+      (fun tr ->
+        let current = Usage.snapshot (Container.subtree_usage tr.container) in
+        let previous = tr.last in
+        tr.last <- current;
+        let cpu = Simtime.span_sub current.Usage.cpu_total previous.Usage.cpu_total in
+        let bytes =
+          current.Usage.rx_bytes - previous.Usage.rx_bytes
+          + (current.Usage.tx_bytes - previous.Usage.tx_bytes)
+        in
+        let packets =
+          current.Usage.rx_packets - previous.Usage.rx_packets
+          + (current.Usage.tx_packets - previous.Usage.tx_packets)
+        in
+        let disk = Simtime.span_sub current.Usage.disk_time previous.Usage.disk_time in
+        { customer = tr.label; cpu; bytes; packets; disk;
+          amount = price t.rates ~cpu ~bytes ~packets ~disk })
+      t.tracked
+  in
+  let invoice =
+    {
+      cycle = t.cycle;
+      period_start = t.period_start;
+      period_end = now;
+      lines;
+      total = List.fold_left (fun acc l -> acc +. l.amount) 0. lines;
+    }
+  in
+  t.period_start <- now;
+  invoice
+
+let cycles_closed t = t.cycle
+
+let invoice_table (invoice : invoice) =
+  let table =
+    Engine.Series.table
+      ~title:
+        (Format.asprintf "Invoice #%d (%a .. %a)" invoice.cycle Simtime.pp invoice.period_start
+           Simtime.pp invoice.period_end)
+      ~columns:[ "customer"; "CPU"; "transferred"; "packets"; "disk"; "amount" ]
+  in
+  List.iter
+    (fun l ->
+      Engine.Series.add_row table
+        [
+          l.customer;
+          Format.asprintf "%a" Simtime.pp_span l.cpu;
+          Printf.sprintf "%.1f MB" (float_of_int l.bytes /. 1e6);
+          string_of_int l.packets;
+          Format.asprintf "%a" Simtime.pp_span l.disk;
+          Printf.sprintf "%.4f" l.amount;
+        ])
+    invoice.lines;
+  Engine.Series.add_row table [ "TOTAL"; ""; ""; ""; ""; Printf.sprintf "%.4f" invoice.total ];
+  table

@@ -1,0 +1,55 @@
+(** Usage metering and billing (paper §4.8).
+
+    "Because resource containers enable precise accounting for the costs
+    of an activity, they may be useful to administrators simply for
+    sending accurate bills to customers, and for use in capacity
+    planning."
+
+    A meter tracks any set of labelled containers (typically the top-level
+    container of each customer).  Each billing cycle reads the {e subtree}
+    usage of every tracked container, bills the delta since the previous
+    cycle against a rate card, and returns invoices. *)
+
+type rate_card = {
+  per_cpu_second : float;
+  per_gb_transferred : float;  (** received + transmitted bytes *)
+  per_disk_second : float;
+  per_million_packets : float;
+}
+
+val default_rates : rate_card
+(** 0.05 per CPU-second, 0.09 per GB, 0.02 per disk-second, 0.10 per
+    million packets — arbitrary currency units. *)
+
+type line = {
+  customer : string;
+  cpu : Engine.Simtime.span;
+  bytes : int;  (** rx + tx *)
+  packets : int;
+  disk : Engine.Simtime.span;
+  amount : float;
+}
+
+type invoice = {
+  cycle : int;
+  period_start : Engine.Simtime.t;
+  period_end : Engine.Simtime.t;
+  lines : line list;
+  total : float;
+}
+
+type t
+
+val create : ?rates:rate_card -> now:Engine.Simtime.t -> unit -> t
+
+val track : t -> customer:string -> Container.t -> unit
+(** Meter the container's subtree under the given label.
+    @raise Invalid_argument on a duplicate label. *)
+
+val close_cycle : t -> now:Engine.Simtime.t -> invoice
+(** Bill everything consumed since the last cycle (or since [create]).
+    Lines appear in tracking order. *)
+
+val cycles_closed : t -> int
+val amount_of : line -> float
+val invoice_table : invoice -> Engine.Series.table

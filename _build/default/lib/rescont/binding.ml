@@ -1,0 +1,56 @@
+module Simtime = Engine.Simtime
+
+type entry = { container : Container.t; mutable last_used : Simtime.t }
+type t = { mutable resource : Container.t; mutable sched_set : entry list; mutable live : bool }
+
+let create ~now container =
+  Container.incr_bindings container;
+  { resource = container; sched_set = [ { container; last_used = now } ]; live = true }
+
+let resource_binding t = t.resource
+
+let find_entry t container =
+  List.find_opt (fun e -> Container.id e.container = Container.id container) t.sched_set
+
+let set_resource_binding t ~now container =
+  if not t.live then invalid_arg "Binding: used after drop";
+  if Container.id container <> Container.id t.resource then begin
+    Container.incr_bindings container;
+    Container.decr_bindings t.resource;
+    t.resource <- container
+  end;
+  (match find_entry t container with
+  | Some e -> e.last_used <- now
+  | None -> t.sched_set <- { container; last_used = now } :: t.sched_set)
+
+let scheduler_binding t =
+  let sorted =
+    List.sort (fun a b -> Simtime.compare b.last_used a.last_used) t.sched_set
+  in
+  List.map (fun e -> e.container) sorted
+
+let touch t ~now =
+  match find_entry t t.resource with
+  | Some e -> e.last_used <- now
+  | None -> t.sched_set <- { container = t.resource; last_used = now } :: t.sched_set
+
+let prune t ~now ~max_age =
+  let keep e =
+    Container.id e.container = Container.id t.resource
+    || Simtime.span_compare (Simtime.diff now e.last_used) max_age <= 0
+  in
+  let before = List.length t.sched_set in
+  t.sched_set <- List.filter keep t.sched_set;
+  before - List.length t.sched_set
+
+let reset_scheduler_binding t ~now =
+  t.sched_set <- [ { container = t.resource; last_used = now } ]
+
+let drop t =
+  if t.live then begin
+    t.live <- false;
+    Container.decr_bindings t.resource;
+    t.sched_set <- []
+  end
+
+let size t = List.length t.sched_set

@@ -1,0 +1,228 @@
+module Simtime = Engine.Simtime
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type t = {
+  id : int;
+  name : string;
+  mutable parent : t option;
+  mutable children : t list;
+  mutable attrs : Attrs.t;
+  usage : Usage.t;
+  subtree_usage : Usage.t; (* this container plus all descendants, ever *)
+  mutable refs : int;
+  mutable bindings : int;
+  mutable destroyed : bool;
+  root : bool;
+}
+
+let next_id = ref 0
+
+let fresh_id () =
+  incr next_id;
+  !next_id
+
+let id t = t.id
+let name t = t.name
+let parent t = t.parent
+let children t = t.children
+let is_leaf t = t.children = []
+let is_root t = t.root
+let is_destroyed t = t.destroyed
+let attrs t = t.attrs
+let usage t = t.usage
+let binding_count t = t.bindings
+let ref_count t = t.refs
+
+let rec depth t = match t.parent with None -> 0 | Some p -> 1 + depth p
+let rec root_of t = match t.parent with None -> t | Some p -> root_of p
+
+let rec iter_subtree f t =
+  f t;
+  List.iter (iter_subtree f) t.children
+
+let check_alive t = if t.destroyed then error "container %s (#%d) is destroyed" t.name t.id
+
+let share_of c = match c.attrs.Attrs.sched_class with Attrs.Fixed_share s -> s | Attrs.Timeshare -> 0.
+
+(* Children may only hang off fixed-share containers, and the fixed shares
+   of the children of one parent must not over-subscribe it. *)
+let check_can_adopt parent extra_share =
+  check_alive parent;
+  (match parent.attrs.Attrs.sched_class with
+  | Attrs.Fixed_share _ -> ()
+  | Attrs.Timeshare ->
+      error "container %s is timeshare-class and cannot have children (prototype restriction)"
+        parent.name);
+  if parent.bindings > 0 then
+    error "container %s has thread bindings; threads bind only to leaves" parent.name;
+  let committed = List.fold_left (fun acc c -> acc +. share_of c) 0. parent.children in
+  if committed +. extra_share > 1. +. 1e-9 then
+    error "fixed shares under %s would exceed 1.0 (%.3f committed + %.3f new)" parent.name
+      committed extra_share
+
+let make ?name ?(attrs = Attrs.default) ~parent ~root () =
+  (match Attrs.validate attrs with Ok () -> () | Error msg -> error "invalid attributes: %s" msg);
+  let id = fresh_id () in
+  let name = match name with Some n -> n | None -> Printf.sprintf "container-%d" id in
+  let t =
+    {
+      id;
+      name;
+      parent;
+      children = [];
+      attrs;
+      usage = Usage.create ();
+      subtree_usage = Usage.create ();
+      refs = 1;
+      bindings = 0;
+      destroyed = false;
+      root;
+    }
+  in
+  (match parent with
+  | Some p ->
+      check_can_adopt p (share_of t);
+      p.children <- p.children @ [ t ]
+  | None -> ());
+  t
+
+let create_root () =
+  make ~name:"root" ~attrs:(Attrs.fixed_share ~share:1.0 ()) ~parent:None ~root:true ()
+
+let create ?name ?attrs ~parent () = make ?name ?attrs ~parent:(Some parent) ~root:false ()
+let create_detached ?name ?attrs () = make ?name ?attrs ~parent:None ~root:false ()
+
+let detach t =
+  match t.parent with
+  | None -> ()
+  | Some p ->
+      p.children <- List.filter (fun c -> c.id <> t.id) p.children;
+      t.parent <- None
+
+let rec is_ancestor ~candidate t =
+  t.id = candidate.id
+  || match t.parent with None -> false | Some p -> is_ancestor ~candidate p
+
+let has_ancestor t ~ancestor = is_ancestor ~candidate:ancestor t
+
+let set_parent t new_parent =
+  check_alive t;
+  (match new_parent with
+  | Some p ->
+      check_alive p;
+      if is_ancestor ~candidate:t p then error "re-parenting %s under %s creates a cycle" t.name p.name
+  | None -> ());
+  detach t;
+  match new_parent with
+  | None -> ()
+  | Some p ->
+      check_can_adopt p (share_of t);
+      p.children <- p.children @ [ t ];
+      t.parent <- Some p
+
+let set_attrs t attrs =
+  check_alive t;
+  (match Attrs.validate attrs with Ok () -> () | Error msg -> error "invalid attributes: %s" msg);
+  (match (attrs.Attrs.sched_class, t.children) with
+  | Attrs.Timeshare, _ :: _ ->
+      error "container %s has children and must stay fixed-share" t.name
+  | (Attrs.Fixed_share _ | Attrs.Timeshare), _ -> ());
+  (* Re-check sibling share budget with the new share value. *)
+  (match (t.parent, attrs.Attrs.sched_class) with
+  | Some p, Attrs.Fixed_share s ->
+      let committed =
+        List.fold_left (fun acc c -> if c.id = t.id then acc else acc +. share_of c) 0. p.children
+      in
+      if committed +. s > 1. +. 1e-9 then
+        error "fixed shares under %s would exceed 1.0" p.name
+  | (Some _ | None), (Attrs.Fixed_share _ | Attrs.Timeshare) -> ());
+  t.attrs <- attrs
+
+(* Charges land on the container's own usage and roll up into the subtree
+   usage of the container and every ancestor, so hierarchical accounting
+   survives the destruction of children (§4.5). *)
+let ascend t f =
+  let rec bump node =
+    f node.subtree_usage;
+    match node.parent with None -> () | Some p -> bump p
+  in
+  bump t
+
+let charge_cpu t ~kernel span =
+  Usage.charge_cpu t.usage ~kernel span;
+  ascend t (fun u -> Usage.charge_cpu u ~kernel span)
+
+let charge_rx t ~packets ~bytes =
+  Usage.charge_rx t.usage ~packets ~bytes;
+  ascend t (fun u -> Usage.charge_rx u ~packets ~bytes)
+
+let charge_tx t ~packets ~bytes =
+  Usage.charge_tx t.usage ~packets ~bytes;
+  ascend t (fun u -> Usage.charge_tx u ~packets ~bytes)
+
+let charge_memory t delta =
+  Usage.charge_memory t.usage delta;
+  ascend t (fun u -> Usage.charge_memory u delta)
+
+let charge_disk t ~bytes span =
+  Usage.charge_disk t.usage ~bytes span;
+  ascend t (fun u -> Usage.charge_disk u ~bytes span)
+
+let subtree_usage t = t.subtree_usage
+let subtree_cpu t = Usage.cpu_total t.subtree_usage
+
+let rec guaranteed_fraction t =
+  let parent_fraction = match t.parent with None -> 1.0 | Some p -> guaranteed_fraction p in
+  match t.attrs.Attrs.sched_class with
+  | Attrs.Fixed_share s -> s *. parent_fraction
+  | Attrs.Timeshare -> parent_fraction
+
+let rec effective_cpu_limit t =
+  let own = match t.attrs.Attrs.cpu_limit with Some l -> l | None -> 1.0 in
+  match t.parent with None -> own | Some p -> Float.min own (effective_cpu_limit p)
+
+let destroy t =
+  if not t.destroyed then begin
+    (* §4.6: when a parent is destroyed, its children get "no parent". *)
+    List.iter (fun c -> c.parent <- None) t.children;
+    t.children <- [];
+    detach t;
+    t.destroyed <- true
+  end
+
+let retain t =
+  check_alive t;
+  t.refs <- t.refs + 1
+
+let maybe_collect t = if t.refs <= 0 && t.bindings <= 0 && not t.root then destroy t
+
+let release t =
+  if not t.destroyed then begin
+    t.refs <- t.refs - 1;
+    maybe_collect t
+  end
+
+let incr_bindings t =
+  check_alive t;
+  if not (is_leaf t) then error "thread binding requires a leaf container (%s has children)" t.name;
+  t.bindings <- t.bindings + 1
+
+let decr_bindings t =
+  t.bindings <- t.bindings - 1;
+  maybe_collect t
+
+let pp ppf t =
+  Format.fprintf ppf "#%d %s [%a]%s" t.id t.name Attrs.pp t.attrs
+    (if t.destroyed then " (destroyed)" else "")
+
+let pp_tree ppf t =
+  let rec walk indent node =
+    Format.fprintf ppf "%s%s [%a] cpu=%a subtree=%a@." indent node.name Attrs.pp node.attrs
+      Simtime.pp_span (Usage.cpu_total node.usage) Simtime.pp_span
+      (Usage.cpu_total node.subtree_usage);
+    List.iter (walk (indent ^ "  ")) node.children
+  in
+  walk "" t

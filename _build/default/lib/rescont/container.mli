@@ -1,0 +1,122 @@
+(** The resource container abstraction (paper §4.1–§4.5).
+
+    A container is the operating system's resource principal: it logically
+    holds all resources consumed on behalf of one independent activity.
+    Containers form a hierarchy; a child's consumption is constrained by
+    its parent's scheduling parameters.
+
+    Prototype restrictions (paper §5.1), which this implementation
+    enforces:
+    - only fixed-share containers may have children;
+    - threads may bind only to leaf containers, so a container that has
+      live thread bindings cannot be given children. *)
+
+type t
+
+exception Error of string
+(** Raised on violations of the structural rules above, over-subscribed
+    fixed shares, cycles, or use of a destroyed container. *)
+
+val create_root : unit -> t
+(** The machine-wide root container: fixed share 1.0 of the whole CPU.  A
+    simulated kernel creates exactly one. *)
+
+val create : ?name:string -> ?attrs:Attrs.t -> parent:t -> unit -> t
+(** Create a child container.  Defaults: {!Attrs.default}, a generated
+    name.  @raise Error if [parent] is destroyed or not fixed-share, if
+    [parent] has thread bindings, or if a fixed-share child would
+    over-subscribe the parent (children's shares summing past 1). *)
+
+val create_detached : ?name:string -> ?attrs:Attrs.t -> unit -> t
+(** A container with "no parent" (§4.6 allows parentless containers, e.g.
+    after the parent is destroyed). *)
+
+(** {1 Structure} *)
+
+val id : t -> int
+val name : t -> string
+val parent : t -> t option
+val children : t -> t list
+val is_leaf : t -> bool
+val is_root : t -> bool
+val is_destroyed : t -> bool
+val depth : t -> int
+
+val set_parent : t -> t option -> unit
+(** Re-parent (§4.6 "set a container's parent").  @raise Error on cycles,
+    destroyed endpoints, non-fixed-share parents, or over-subscription. *)
+
+val iter_subtree : (t -> unit) -> t -> unit
+(** Pre-order traversal of the container and its descendants. *)
+
+val root_of : t -> t
+
+val has_ancestor : t -> ancestor:t -> bool
+(** [has_ancestor c ~ancestor] is [true] when [ancestor] lies on [c]'s
+    parent chain, or equals [c]. *)
+
+(** {1 Attributes and usage} *)
+
+val attrs : t -> Attrs.t
+
+val set_attrs : t -> Attrs.t -> unit
+(** @raise Error if the attributes are invalid, if changing the class away
+    from fixed-share while children exist, or on over-subscription. *)
+
+val usage : t -> Usage.t
+
+val charge_cpu : t -> kernel:bool -> Engine.Simtime.span -> unit
+(** Charge CPU to this container and propagate into every ancestor's
+    subtree usage. *)
+
+val charge_rx : t -> packets:int -> bytes:int -> unit
+val charge_tx : t -> packets:int -> bytes:int -> unit
+val charge_memory : t -> int -> unit
+val charge_disk : t -> bytes:int -> Engine.Simtime.span -> unit
+(** Like {!charge_cpu}, for the other resource dimensions: the charge
+    lands on this container's own {!usage} and rolls up into the
+    {!subtree_usage} of itself and every ancestor. *)
+
+val subtree_usage : t -> Usage.t
+(** Aggregate consumption of this container plus all its descendants —
+    including destroyed ones; consumption history is never lost (§4.5).
+    This is what hierarchical limits, §5.8 isolation measurements and
+    billing read. *)
+
+val subtree_cpu : t -> Engine.Simtime.span
+(** [Usage.cpu_total (subtree_usage t)]. *)
+
+val guaranteed_fraction : t -> float
+(** Product of the fixed shares from the root down to this container;
+    timeshare containers contribute their parent's guarantee (they hold no
+    guarantee of their own). *)
+
+val effective_cpu_limit : t -> float
+(** The tightest [cpu_limit] along the path to the root (1.0 if none). *)
+
+(** {1 Lifetime (§4.6)} *)
+
+val retain : t -> unit
+(** Add a descriptor reference. *)
+
+val release : t -> unit
+(** Drop a descriptor reference.  When no descriptors and no thread
+    bindings remain, the container is destroyed: children are detached
+    ("no parent") and it is unlinked from its own parent. *)
+
+val incr_bindings : t -> unit
+val decr_bindings : t -> unit
+(** Thread-binding reference count, maintained by {!Binding}. *)
+
+val binding_count : t -> int
+val ref_count : t -> int
+
+val destroy : t -> unit
+(** Force destruction regardless of reference counts (used by the
+    primitive-cost benchmarks; the kernel path uses {!release}). *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_tree : Format.formatter -> t -> unit
+(** Indented dump of the subtree with attributes and CPU consumption —
+    what an administrator's inspection tool would show. *)

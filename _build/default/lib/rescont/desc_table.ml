@@ -1,0 +1,44 @@
+type desc = int
+type t = { slots : (desc, Container.t) Hashtbl.t }
+
+let create () = { slots = Hashtbl.create 16 }
+
+let lowest_free t =
+  let rec scan d = if Hashtbl.mem t.slots d then scan (d + 1) else d in
+  scan 0
+
+let install t container =
+  Container.retain container;
+  let d = lowest_free t in
+  Hashtbl.replace t.slots d container;
+  d
+
+let lookup t d = match Hashtbl.find_opt t.slots d with Some c -> c | None -> raise Not_found
+let lookup_opt t d = Hashtbl.find_opt t.slots d
+
+let close t d =
+  match Hashtbl.find_opt t.slots d with
+  | None -> raise Not_found
+  | Some c ->
+      Hashtbl.remove t.slots d;
+      Container.release c
+
+let transfer ~src ~dst d =
+  let c = lookup src d in
+  install dst c
+
+let inherit_all t =
+  let child = create () in
+  Hashtbl.iter
+    (fun d c ->
+      Container.retain c;
+      Hashtbl.replace child.slots d c)
+    t.slots;
+  child
+
+let descriptors t = Hashtbl.fold (fun d _ acc -> d :: acc) t.slots [] |> List.sort compare
+let count t = Hashtbl.length t.slots
+
+let close_all t =
+  let ds = descriptors t in
+  List.iter (fun d -> close t d) ds

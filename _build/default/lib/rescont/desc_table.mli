@@ -1,0 +1,41 @@
+(** Per-process container descriptor tables (paper §4.6).
+
+    Containers are visible to applications as file-descriptor-like handles:
+    small integers local to a process, inherited across [fork], passable
+    between processes (the sender keeps access), and released with
+    [close]. Each open descriptor holds one reference on its container. *)
+
+type t
+type desc = int
+
+val create : unit -> t
+
+val install : t -> Container.t -> desc
+(** Allocate the lowest free descriptor for the container, retaining it.
+    The same container may be installed more than once (multiple
+    descriptors, multiple references), as with [dup]. *)
+
+val lookup : t -> desc -> Container.t
+(** @raise Not_found if the descriptor is not open. *)
+
+val lookup_opt : t -> desc -> Container.t option
+
+val close : t -> desc -> unit
+(** Release the descriptor's reference (§4.6 "container release").
+    @raise Not_found if not open. *)
+
+val transfer : src:t -> dst:t -> desc -> desc
+(** Pass a container to another process: the receiver gets a new
+    descriptor and reference; the sender's descriptor remains open
+    (§4.6 "sharing containers between processes").
+    @raise Not_found if [desc] is not open in [src]. *)
+
+val inherit_all : t -> t
+(** A copy of the table, as seen by a child after [fork]; every inherited
+    descriptor adds a reference. *)
+
+val descriptors : t -> desc list
+(** Open descriptors in ascending order. *)
+
+val count : t -> int
+val close_all : t -> unit

@@ -1,0 +1,54 @@
+type desc = Desc_table.desc
+
+let rc_create table ~parent ?name ?attrs () =
+  let container = Container.create ?name ?attrs ~parent () in
+  let d = Desc_table.install table container in
+  (* [create] took the creation reference and [install] retained again; the
+     descriptor is the only reference the application holds. *)
+  Container.release container;
+  d
+
+let rc_release table d = Desc_table.close table d
+
+let rc_destroy table d =
+  let c = Desc_table.lookup table d in
+  Desc_table.close table d;
+  Container.destroy c
+
+let rc_set_parent table d ~parent =
+  let c = Desc_table.lookup table d in
+  let p = match parent with None -> None | Some pd -> Some (Desc_table.lookup table pd) in
+  Container.set_parent c p
+
+let rc_get_attrs table d = Container.attrs (Desc_table.lookup table d)
+let rc_set_attrs table d attrs = Container.set_attrs (Desc_table.lookup table d) attrs
+let rc_get_usage table d = Usage.snapshot (Container.usage (Desc_table.lookup table d))
+
+let rc_bind_thread table binding ~now d =
+  Binding.set_resource_binding binding ~now (Desc_table.lookup table d)
+
+let rc_transfer ~src ~dst d = Desc_table.transfer ~src ~dst d
+let rc_get_handle table container = Desc_table.install table container
+
+module Cost = struct
+  module Simtime = Engine.Simtime
+
+  let create = Simtime.ns 2_360
+  let destroy = Simtime.ns 2_100
+  let rebind_thread = Simtime.ns 1_040
+  let get_usage = Simtime.ns 2_040
+  let set_get_attrs = Simtime.ns 2_100
+  let move_between_processes = Simtime.ns 3_150
+  let get_handle = Simtime.ns 1_900
+
+  let all =
+    [
+      ("create resource container", create);
+      ("destroy resource container", destroy);
+      ("change thread's resource binding", rebind_thread);
+      ("obtain container resource usage", get_usage);
+      ("set/get container attributes", set_get_attrs);
+      ("move container between processes", move_between_processes);
+      ("obtain handle for existing container", get_handle);
+    ]
+end

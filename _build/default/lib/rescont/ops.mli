@@ -1,0 +1,56 @@
+(** The resource-container system-call surface (paper §4.6, Table 1).
+
+    These are the operations the prototype added to Digital UNIX, expressed
+    over a process's descriptor table.  Each operation has an associated
+    simulated kernel cost in {!Cost}, taken directly from the paper's
+    Table 1, which the simulated kernel charges when an application invokes
+    the operation; the benchmark harness also measures the real wall-clock
+    cost of these OCaml implementations. *)
+
+type desc = Desc_table.desc
+
+val rc_create :
+  Desc_table.t -> parent:Container.t -> ?name:string -> ?attrs:Attrs.t -> unit -> desc
+(** Create a new resource container and install a descriptor for it. *)
+
+val rc_release : Desc_table.t -> desc -> unit
+(** Close the descriptor; the container is destroyed once no descriptors
+    or thread bindings remain.  @raise Not_found if not open. *)
+
+val rc_destroy : Desc_table.t -> desc -> unit
+(** Close the descriptor and force container destruction (the prototype's
+    explicit destroy, measured in Table 1). *)
+
+val rc_set_parent : Desc_table.t -> desc -> parent:desc option -> unit
+(** Change the container's parent; [None] sets "no parent". *)
+
+val rc_get_attrs : Desc_table.t -> desc -> Attrs.t
+val rc_set_attrs : Desc_table.t -> desc -> Attrs.t -> unit
+
+val rc_get_usage : Desc_table.t -> desc -> Usage.snapshot
+(** "Obtain container resource usage". *)
+
+val rc_bind_thread : Desc_table.t -> Binding.t -> now:Engine.Simtime.t -> desc -> unit
+(** "Binding a thread to a container": set the thread's resource binding to
+    the container behind [desc]. *)
+
+val rc_transfer : src:Desc_table.t -> dst:Desc_table.t -> desc -> desc
+(** "Move container between processes". *)
+
+val rc_get_handle : Desc_table.t -> Container.t -> desc
+(** "Obtain handle for existing container" (e.g. one received over IPC). *)
+
+(** Simulated kernel cost of each primitive, from the paper's Table 1
+    (500 MHz Alpha 21164, warm cache). *)
+module Cost : sig
+  val create : Engine.Simtime.span (* 2.36 us *)
+  val destroy : Engine.Simtime.span (* 2.10 us *)
+  val rebind_thread : Engine.Simtime.span (* 1.04 us *)
+  val get_usage : Engine.Simtime.span (* 2.04 us *)
+  val set_get_attrs : Engine.Simtime.span (* 2.10 us *)
+  val move_between_processes : Engine.Simtime.span (* 3.15 us *)
+  val get_handle : Engine.Simtime.span (* 1.90 us *)
+
+  val all : (string * Engine.Simtime.span) list
+  (** Labelled list in the paper's Table 1 row order. *)
+end

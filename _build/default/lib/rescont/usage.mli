@@ -1,0 +1,64 @@
+(** Per-container resource accounting (paper §4.1, §4.4).
+
+    The kernel charges every unit of consumption — CPU slices, received and
+    transmitted packets and bytes, memory, kernel objects — to exactly one
+    container; ancestors accumulate subtree totals so hierarchical limits
+    can be checked in O(depth). *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Charging} *)
+
+val charge_cpu : t -> kernel:bool -> Engine.Simtime.span -> unit
+(** Charge CPU time, classified as kernel- or user-mode. *)
+
+val charge_rx : t -> packets:int -> bytes:int -> unit
+val charge_tx : t -> packets:int -> bytes:int -> unit
+val charge_memory : t -> int -> unit
+(** Adjust current memory held by a (possibly negative) byte delta. *)
+
+val incr_kernel_objects : t -> unit
+val decr_kernel_objects : t -> unit
+(** Sockets, PCBs, buffers owned by the container's activity. *)
+
+val charge_disk : t -> bytes:int -> Engine.Simtime.span -> unit
+(** Record one disk request: bytes transferred and disk-busy time. *)
+
+(** {1 Reading} *)
+
+val cpu_total : t -> Engine.Simtime.span
+val cpu_user : t -> Engine.Simtime.span
+val cpu_kernel : t -> Engine.Simtime.span
+val rx_packets : t -> int
+val rx_bytes : t -> int
+val tx_packets : t -> int
+val tx_bytes : t -> int
+val memory_bytes : t -> int
+val kernel_objects : t -> int
+val disk_reads : t -> int
+val disk_bytes : t -> int
+val disk_time : t -> Engine.Simtime.span
+
+type snapshot = {
+  cpu_total : Engine.Simtime.span;
+  cpu_user : Engine.Simtime.span;
+  cpu_kernel : Engine.Simtime.span;
+  rx_packets : int;
+  rx_bytes : int;
+  tx_packets : int;
+  tx_bytes : int;
+  memory_bytes : int;
+  kernel_objects : int;
+  disk_reads : int;
+  disk_bytes : int;
+  disk_time : Engine.Simtime.span;
+}
+
+val snapshot : t -> snapshot
+(** An immutable copy, as returned to applications by the "obtain container
+    resource usage" operation. *)
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

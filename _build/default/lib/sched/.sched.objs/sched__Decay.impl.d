@@ -1,0 +1,1 @@
+lib/sched/decay.ml: Engine

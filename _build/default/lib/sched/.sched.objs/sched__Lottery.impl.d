@@ -1,0 +1,1 @@
+lib/sched/lottery.ml: Engine List Policy Rescont Runq

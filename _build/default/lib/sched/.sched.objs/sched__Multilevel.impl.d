@@ -1,0 +1,1 @@
+lib/sched/multilevel.ml: Engine Float Hashtbl List Policy Rescont Runq

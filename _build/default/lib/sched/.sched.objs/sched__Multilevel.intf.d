@@ -1,0 +1,1 @@
+lib/sched/multilevel.mli: Engine Policy Rescont

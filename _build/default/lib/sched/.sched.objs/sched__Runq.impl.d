@@ -1,0 +1,1 @@
+lib/sched/runq.ml: Hashtbl List Queue Rescont Task

@@ -1,0 +1,1 @@
+lib/sched/stride.ml: Engine Float Hashtbl List Policy Rescont Runq

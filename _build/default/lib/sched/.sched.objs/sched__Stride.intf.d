@@ -1,0 +1,1 @@
+lib/sched/stride.mli: Policy

@@ -1,0 +1,1 @@
+lib/sched/task.mli: Format Rescont

@@ -1,0 +1,1 @@
+lib/sched/timeshare.ml: Decay Engine Hashtbl List Policy Rescont Runq Task

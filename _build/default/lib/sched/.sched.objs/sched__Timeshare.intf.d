@@ -1,0 +1,1 @@
+lib/sched/timeshare.mli: Engine Policy

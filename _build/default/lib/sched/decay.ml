@@ -1,0 +1,25 @@
+module Simtime = Engine.Simtime
+
+type t = { tau_ns : float; mutable value : float; mutable last : Simtime.t }
+
+let create ~tau =
+  let tau_ns = float_of_int (Simtime.span_to_ns tau) in
+  if tau_ns <= 0. then invalid_arg "Decay.create: tau must be positive";
+  { tau_ns; value = 0.; last = Simtime.zero }
+
+let settle t ~now =
+  let elapsed = float_of_int (Simtime.span_to_ns (Simtime.diff now t.last)) in
+  if elapsed > 0. then begin
+    t.value <- t.value *. exp (-.elapsed /. t.tau_ns);
+    t.last <- now
+  end
+
+let add t ~now span =
+  settle t ~now;
+  t.value <- t.value +. float_of_int (Simtime.span_to_ns span)
+
+let read t ~now =
+  settle t ~now;
+  t.value
+
+let reset t = t.value <- 0.

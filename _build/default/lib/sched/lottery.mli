@@ -1,0 +1,11 @@
+(** Lottery scheduling (Waldspurger & Weihl, OSDI '94 — paper citation
+    [48]), as an alternative proportional-share policy for the ablation
+    experiments.
+
+    Each container with runnable work holds tickets equal to its numeric
+    priority (minimum 1); a uniformly random ticket selects the next
+    container.  Idle-class containers receive a ticket only when no
+    regular container has work.  Hierarchy and CPU limits are ignored —
+    this is the flat policy of the original paper. *)
+
+val make : rng:Engine.Rng.t -> unit -> Policy.t

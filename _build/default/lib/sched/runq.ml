@@ -1,0 +1,71 @@
+module Container = Rescont.Container
+
+type t = {
+  queues : (int, Task.t Queue.t * Container.t) Hashtbl.t; (* container id -> queue *)
+  where : (int, int) Hashtbl.t; (* task id -> container id it is queued under *)
+}
+
+let create () = { queues = Hashtbl.create 64; where = Hashtbl.create 64 }
+
+let queue_for t container =
+  let cid = Container.id container in
+  match Hashtbl.find_opt t.queues cid with
+  | Some (q, _) -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.queues cid (q, container);
+      q
+
+let mem t task = Hashtbl.mem t.where task.Task.id
+
+let enqueue t task =
+  if not (mem t task) then begin
+    let container = Task.container task in
+    Queue.push task (queue_for t container);
+    Hashtbl.replace t.where task.Task.id (Container.id container)
+  end
+
+let remove_from_queue q task =
+  let keep = Queue.create () in
+  Queue.iter (fun x -> if not (Task.equal x task) then Queue.push x keep) q;
+  Queue.clear q;
+  Queue.transfer keep q
+
+let dequeue t task =
+  match Hashtbl.find_opt t.where task.Task.id with
+  | None -> ()
+  | Some cid ->
+      Hashtbl.remove t.where task.Task.id;
+      (match Hashtbl.find_opt t.queues cid with
+      | Some (q, _) -> remove_from_queue q task
+      | None -> ())
+
+let requeue t task =
+  dequeue t task;
+  enqueue t task
+
+let count t = Hashtbl.length t.where
+
+let front t container =
+  match Hashtbl.find_opt t.queues (Container.id container) with
+  | Some (q, _) -> Queue.peek_opt q
+  | None -> None
+
+let rotate t container =
+  match Hashtbl.find_opt t.queues (Container.id container) with
+  | Some (q, _) when Queue.length q > 1 ->
+      let head = Queue.pop q in
+      Queue.push head q
+  | Some _ | None -> ()
+
+let container_has_work t container =
+  match Hashtbl.find_opt t.queues (Container.id container) with
+  | Some (q, _) -> not (Queue.is_empty q)
+  | None -> false
+
+let rec subtree_has_work t container =
+  container_has_work t container
+  || List.exists (subtree_has_work t) (Container.children container)
+
+let containers_with_work t =
+  Hashtbl.fold (fun _ (q, c) acc -> if Queue.is_empty q then acc else c :: acc) t.queues []

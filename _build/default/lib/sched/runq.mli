@@ -1,0 +1,36 @@
+(** Per-container run queues shared by the scheduling policies.
+
+    Runnable tasks queue FIFO under their current resource-binding
+    container; policies choose a container, then this module supplies
+    round-robin order within it.  A task whose binding changes while
+    runnable is moved with {!requeue}. *)
+
+type t
+
+val create : unit -> t
+
+val enqueue : t -> Task.t -> unit
+(** Add under the task's current container; no-op if already queued. *)
+
+val dequeue : t -> Task.t -> unit
+(** Remove wherever it is queued; no-op if absent. *)
+
+val requeue : t -> Task.t -> unit
+(** [dequeue] then [enqueue] under the (possibly new) binding. *)
+
+val mem : t -> Task.t -> bool
+val count : t -> int
+
+val front : t -> Rescont.Container.t -> Task.t option
+(** Head of the container's queue. *)
+
+val rotate : t -> Rescont.Container.t -> unit
+(** Move the container's head task to the tail (round-robin step). *)
+
+val container_has_work : t -> Rescont.Container.t -> bool
+
+val subtree_has_work : t -> Rescont.Container.t -> bool
+(** Does the container or any descendant have a queued task? *)
+
+val containers_with_work : t -> Rescont.Container.t list
+(** Distinct containers with non-empty queues, in no specified order. *)

@@ -1,0 +1,10 @@
+(** Stride scheduling (Waldspurger '95 — paper citation [47]): the
+    deterministic counterpart of lottery scheduling, for the ablation
+    experiments.
+
+    Each container's stride is inversely proportional to its tickets
+    (numeric priority); the container with the smallest pass value runs and
+    its pass advances by its stride scaled by the slice actually consumed.
+    Flat (no hierarchy or limits), like the original algorithm. *)
+
+val make : unit -> Policy.t

@@ -1,0 +1,12 @@
+type t = { id : int; name : string; binding : Rescont.Binding.t; kernel : bool }
+
+let next_id = ref 0
+
+let create ?(kernel = false) ~name binding =
+  incr next_id;
+  { id = !next_id; name; binding; kernel }
+
+let container t = Rescont.Binding.resource_binding t.binding
+let scheduler_containers t = Rescont.Binding.scheduler_binding t.binding
+let equal a b = a.id = b.id
+let pp ppf t = Format.fprintf ppf "task#%d(%s)" t.id t.name

@@ -1,0 +1,22 @@
+(** The unit the CPU scheduler dispatches: one kernel-visible thread.
+
+    A task carries the thread's container bindings (its identity as a
+    resource principal); everything else about threads (continuations,
+    blocking state) lives in {!Procsim}. *)
+
+type t = {
+  id : int;
+  name : string;
+  binding : Rescont.Binding.t;
+  kernel : bool;  (** [true] for kernel threads, e.g. per-process network threads. *)
+}
+
+val create : ?kernel:bool -> name:string -> Rescont.Binding.t -> t
+val container : t -> Rescont.Container.t
+(** The task's current resource binding. *)
+
+val scheduler_containers : t -> Rescont.Container.t list
+(** The task's scheduler-binding set, most recently used first. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

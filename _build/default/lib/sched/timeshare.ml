@@ -1,0 +1,68 @@
+module Simtime = Engine.Simtime
+module Container = Rescont.Container
+module Attrs = Rescont.Attrs
+
+type cstate = { decay : Decay.t }
+
+let make ?(tau = Simtime.sec 1) () =
+  let runq = Runq.create () in
+  let states : (int, cstate) Hashtbl.t = Hashtbl.create 64 in
+  let state_of container =
+    let cid = Container.id container in
+    match Hashtbl.find_opt states cid with
+    | Some s -> s
+    | None ->
+        let s = { decay = Decay.create ~tau } in
+        Hashtbl.replace states cid s;
+        s
+  in
+  (* Lower badness runs first: recent usage divided by priority weight.
+     For the thread actually at the head of a container's queue, the usage
+     is the {e combined} decayed usage of the thread's whole scheduler
+     binding, and the priority the best among those containers — a thread
+     multiplexed over several activities is scheduled by the set, not by
+     whichever container it happens to be bound to right now (§4.3). *)
+  let badness_of_task ~now task =
+    let containers = Task.scheduler_containers task in
+    let usage =
+      List.fold_left (fun acc c -> acc +. Decay.read (state_of c).decay ~now) 0. containers
+    in
+    let priority =
+      List.fold_left (fun acc c -> max acc (Container.attrs c).Attrs.priority) 0 containers
+    in
+    usage /. float_of_int (max 1 priority)
+  in
+  let pick ~now =
+    let with_work = Runq.containers_with_work runq in
+    let regular, idle =
+      List.partition (fun c -> not (Attrs.is_idle_class (Container.attrs c))) with_work
+    in
+    let candidates = if regular <> [] then regular else idle in
+    let best =
+      List.fold_left
+        (fun acc c ->
+          match Runq.front runq c with
+          | None -> acc
+          | Some task -> (
+              let b = badness_of_task ~now task in
+              match acc with
+              | Some (_, best_bad) when best_bad <= b -> acc
+              | Some _ | None -> Some (task, b)))
+        None candidates
+    in
+    match best with None -> None | Some (task, _) -> Some task
+  in
+  let charge ~container ~now span =
+    Decay.add (state_of container).decay ~now span;
+    Runq.rotate runq container
+  in
+  {
+    Policy.name = "timeshare";
+    enqueue = Runq.enqueue runq;
+    dequeue = Runq.dequeue runq;
+    requeue = Runq.requeue runq;
+    pick;
+    charge;
+    next_release = (fun ~now:_ -> None);
+    runnable_count = (fun () -> Runq.count runq);
+  }

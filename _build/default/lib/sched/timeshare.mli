@@ -1,0 +1,16 @@
+(** The classical UNIX-style time-sharing scheduler (decay-usage).
+
+    This models the {e unmodified} Digital UNIX scheduler of the paper's
+    baseline systems: resource principals (containers — one per process in
+    the classic configuration) are scheduled by numeric priority modified
+    by a time-decayed measure of recent CPU usage (paper §4.3).  Principals
+    with equal priority therefore converge to equal CPU shares; interrupt
+    misaccounting (charges to the "unlucky" current principal) directly
+    skews those shares, which is the effect Figure 13 measures.
+
+    Idle-class containers (numeric priority 0) run only when nothing else
+    is runnable.  CPU limits and fixed shares are not supported — the
+    unmodified kernel has no such controls. *)
+
+val make : ?tau:Engine.Simtime.span -> unit -> Policy.t
+(** [tau] is the usage-decay time constant (default 1 s). *)

@@ -1,0 +1,1 @@
+lib/workload/sclient.ml: Array Engine Httpsim List Netsim Procsim

@@ -1,0 +1,1 @@
+lib/workload/sclient.mli: Engine Netsim

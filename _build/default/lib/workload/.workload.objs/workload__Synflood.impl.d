@@ -1,0 +1,1 @@
+lib/workload/synflood.ml: Engine Netsim Procsim

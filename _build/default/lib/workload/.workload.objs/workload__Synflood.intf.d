@@ -1,0 +1,1 @@
+lib/workload/synflood.mli: Engine Netsim

@@ -1,0 +1,217 @@
+module Simtime = Engine.Simtime
+module Sim = Engine.Sim
+module Stats = Engine.Stats
+module Machine = Procsim.Machine
+module Socket = Netsim.Socket
+module Stack = Netsim.Stack
+module Ipaddr = Netsim.Ipaddr
+module Http = Httpsim.Http
+
+type client = {
+  index : int;
+  src : Ipaddr.t;
+  mutable attempt : int; (* invalidates callbacks of abandoned attempts *)
+  mutable established : bool; (* current attempt reached establishment *)
+  mutable issued : Simtime.t; (* when the current request was initiated *)
+  mutable remaining : int; (* requests left on the current connection *)
+}
+
+type t = {
+  stack : Stack.t;
+  name : string;
+  port : int;
+  path : string;
+  path_mix : (Engine.Dist.t * string array) option;
+  persistent : bool;
+  requests_per_conn : int;
+  think_time : Simtime.span;
+  jitter : Simtime.span;
+  rng : Engine.Rng.t;
+  syn_timeout : Simtime.span;
+  retry_delay : Simtime.span;
+  clients : client array;
+  mutable running : bool;
+  mutable started : bool;
+  mutable completed : int;
+  mutable refused : int;
+  mutable timeouts : int;
+  mutable latencies : Stats.Summary.t;
+  mutable reservoir : Stats.Reservoir.t;
+  mutable marks : Simtime.t list; (* completion timestamps *)
+}
+
+let create ~stack ?(name = "clients") ?(src_base = Ipaddr.v 10 1 0 1) ?(port = 80)
+    ?(path = "/doc/1k") ?path_mix ?(persistent = false) ?(requests_per_conn = 64)
+    ?(think_time = Simtime.span_zero) ?(jitter = Simtime.span_zero)
+    ?(syn_timeout = Simtime.sec 3) ?(retry_delay = Simtime.ms 500) ?(seed = 42) ~count () =
+  if count <= 0 then invalid_arg "Sclient.create: count must be positive";
+  let clients =
+    Array.init count (fun index ->
+        {
+          index;
+          src = Ipaddr.offset src_base index;
+          attempt = 0;
+          established = false;
+          issued = Simtime.zero;
+          remaining = 0;
+        })
+  in
+  let path_mix =
+    match path_mix with
+    | None -> None
+    | Some [] -> invalid_arg "Sclient.create: empty path mix"
+    | Some pairs ->
+        let weights = Array.of_list (List.map fst pairs) in
+        let paths = Array.of_list (List.map snd pairs) in
+        let dist =
+          Engine.Dist.empirical (Array.mapi (fun i w -> (w, float_of_int i)) weights)
+        in
+        Some (dist, paths)
+  in
+  {
+    stack;
+    name;
+    port;
+    path;
+    path_mix;
+    persistent;
+    requests_per_conn;
+    think_time;
+    jitter;
+    rng = Engine.Rng.create ~seed;
+    syn_timeout;
+    retry_delay;
+    clients;
+    running = false;
+    started = false;
+    completed = 0;
+    refused = 0;
+    timeouts = 0;
+    latencies = Stats.Summary.create ();
+    reservoir = Stats.Reservoir.create (Engine.Rng.create ~seed:(seed + 1));
+    marks = [];
+  }
+
+let sim t = Machine.sim (Stack.machine t.stack)
+let now t = Sim.now (sim t)
+let after t span f = ignore (Sim.after (sim t) span f)
+
+(* Think time with optional uniform jitter, de-phasing closed loops. *)
+let think t =
+  let extra =
+    let jitter_ns = Simtime.span_to_ns t.jitter in
+    if jitter_ns <= 0 then 0 else Engine.Rng.int t.rng (jitter_ns + 1)
+  in
+  Simtime.span_add t.think_time (Simtime.span_of_ns extra)
+
+let record_response t client =
+  t.completed <- t.completed + 1;
+  t.marks <- now t :: t.marks;
+  let latency_ms = Simtime.span_to_ms_f (Simtime.diff (now t) client.issued) in
+  Stats.Summary.add t.latencies latency_ms;
+  Stats.Reservoir.add t.reservoir latency_ms
+
+let pick_path t =
+  match t.path_mix with
+  | None -> t.path
+  | Some (dist, paths) -> paths.(Engine.Dist.sample_int dist t.rng)
+
+let request_payload t ~created =
+  Http.request ~now:created ~keep_alive:t.persistent ~path:(pick_path t) ()
+
+let rec initiate t client =
+  if t.running then begin
+    client.attempt <- client.attempt + 1;
+    let attempt = client.attempt in
+    client.established <- false;
+    client.issued <- now t;
+    client.remaining <- (if t.persistent then t.requests_per_conn else 1);
+    let handlers =
+      {
+        Socket.on_established = (fun conn -> on_established t client attempt conn);
+        on_refused = (fun () -> on_refused t client attempt);
+        on_response = (fun conn payload -> on_response t client attempt conn payload);
+        on_closed = (fun _conn -> on_closed t client attempt);
+      }
+    in
+    Stack.connect t.stack ~src:client.src ~src_port:(10_000 + client.index) ~port:t.port
+      ~handlers ();
+    (* SYNs can vanish silently (queue overflow, idle-class early discard):
+       retransmit like TCP after a timeout. *)
+    after t t.syn_timeout (fun () ->
+        if t.running && client.attempt = attempt && not client.established then begin
+          t.timeouts <- t.timeouts + 1;
+          initiate t client
+        end)
+  end
+
+and send_request t client conn =
+  client.issued <- now t;
+  Stack.client_send t.stack conn (request_payload t ~created:client.issued)
+
+and on_established t client attempt conn =
+  if t.running && client.attempt = attempt then begin
+    client.established <- true;
+    send_request t client conn
+  end
+
+and on_refused t client attempt =
+  if t.running && client.attempt = attempt then begin
+    t.refused <- t.refused + 1;
+    after t t.retry_delay (fun () ->
+        if t.running && client.attempt = attempt then initiate t client)
+  end
+
+and on_response t client attempt conn _payload =
+  if client.attempt = attempt then begin
+    record_response t client;
+    client.remaining <- client.remaining - 1;
+    if t.persistent && client.remaining > 0 then
+      after t (think t) (fun () ->
+          if t.running && client.attempt = attempt then send_request t client conn)
+    else if t.persistent then begin
+      Stack.client_close t.stack conn;
+      after t (think t) (fun () ->
+          if t.running && client.attempt = attempt then initiate t client)
+    end
+    (* Non-persistent: the server closes the connection after the response,
+       and the loop restarts from [on_closed]. *)
+  end
+
+and on_closed t client attempt =
+  if t.running && client.attempt = attempt && not t.persistent then
+    after t (think t) (fun () ->
+        if t.running && client.attempt = attempt then initiate t client)
+
+let start t =
+  t.running <- true;
+  if not t.started then begin
+    t.started <- true;
+    Array.iter (fun client -> initiate t client) t.clients
+  end
+
+let stop t = t.running <- false
+let completed t = t.completed
+let refused t = t.refused
+let timeouts t = t.timeouts
+let response_times t = t.latencies
+
+let response_percentile t frac =
+  if Stats.Reservoir.count t.reservoir = 0 then 0.
+  else Stats.Reservoir.percentile t.reservoir frac
+
+let reset_stats t =
+  t.completed <- 0;
+  t.refused <- 0;
+  t.timeouts <- 0;
+  t.marks <- [];
+  t.latencies <- Stats.Summary.create ();
+  t.reservoir <- Stats.Reservoir.create (Engine.Rng.create ~seed:1)
+
+let completions_in t t0 t1 =
+  List.fold_left
+    (fun acc ts -> if Simtime.(ts >= t0) && Simtime.(ts < t1) then acc + 1 else acc)
+    0 t.marks
+
+(* [name] is carried for diagnostics in traces. *)
+let _ = fun t -> t.name

@@ -1,0 +1,56 @@
+module Simtime = Engine.Simtime
+module Sim = Engine.Sim
+module Stack = Netsim.Stack
+module Ipaddr = Netsim.Ipaddr
+
+type t = {
+  stack : Stack.t;
+  src_base : Ipaddr.t;
+  src_count : int;
+  port : int;
+  rng : Engine.Rng.t option;
+  rate : float;
+  mutable running : bool;
+  mutable sent : int;
+  mutable next_src : int;
+}
+
+let create ~stack ?(src_base = Ipaddr.v 192 168 66 1) ?(src_count = 256) ?(port = 80) ?rng
+    ~rate_per_sec () =
+  if rate_per_sec <= 0. then invalid_arg "Synflood.create: rate must be positive";
+  if src_count <= 0 then invalid_arg "Synflood.create: src_count must be positive";
+  { stack; src_base; src_count; port; rng; rate = rate_per_sec; running = false; sent = 0;
+    next_src = 0 }
+
+let sim t = Procsim.Machine.sim (Stack.machine t.stack)
+
+let gap t =
+  let mean_ns = 1e9 /. t.rate in
+  match t.rng with
+  | None -> Simtime.span_of_ns (int_of_float mean_ns)
+  | Some rng ->
+      let u = 1. -. Engine.Rng.float rng 1. in
+      Simtime.span_of_ns (max 1 (int_of_float (-.mean_ns *. log u)))
+
+let rec fire t =
+  if t.running then begin
+    let src = Ipaddr.offset t.src_base t.next_src in
+    t.next_src <- (t.next_src + 1) mod t.src_count;
+    Stack.inject_syn t.stack ~src ~port:t.port;
+    t.sent <- t.sent + 1;
+    ignore (Sim.after (sim t) (gap t) (fun () -> fire t))
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    ignore (Sim.after (sim t) (gap t) (fun () -> fire t))
+  end
+
+let stop t = t.running <- false
+let sent t = t.sent
+
+(* The smallest power-of-two block covering the configured sources. *)
+let source_prefix t =
+  let rec bits_for n acc = if n <= 1 then acc else bits_for ((n + 1) / 2) (acc - 1) in
+  (t.src_base, bits_for t.src_count 32)

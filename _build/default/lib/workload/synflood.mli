@@ -1,0 +1,29 @@
+(** An open-loop SYN-flood attacker (paper §5.7).
+
+    Injects bogus SYN packets — spoofed sources inside a configurable
+    prefix, handshakes never completed — at a fixed aggregate rate.
+    Inter-arrival times are deterministic by default or exponential with an
+    RNG, and the source address cycles through the prefix. *)
+
+type t
+
+val create :
+  stack:Netsim.Stack.t ->
+  ?src_base:Netsim.Ipaddr.t ->
+  ?src_count:int ->
+  ?port:int ->
+  ?rng:Engine.Rng.t ->
+  rate_per_sec:float ->
+  unit ->
+  t
+(** Defaults: sources 192.168.66.1 + i for i < [src_count] (default 256,
+    a /24), port 80, deterministic spacing.  Pass [rng] for Poisson
+    arrivals.  @raise Invalid_argument on a non-positive rate. *)
+
+val start : t -> unit
+val stop : t -> unit
+val sent : t -> int
+
+val source_prefix : t -> Netsim.Ipaddr.t * int
+(** The attacker's address block as (base, prefix-bits) — what a defender
+    would learn from SYN-drop notifications and filter on. *)

@@ -1,0 +1,1 @@
+test/test_billing.ml: Alcotest Engine List Rescont String

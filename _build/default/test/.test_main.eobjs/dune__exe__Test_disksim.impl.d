@@ -1,0 +1,1 @@
+test/test_disksim.ml: Alcotest Disksim Engine List Printf Procsim Rescont Sched

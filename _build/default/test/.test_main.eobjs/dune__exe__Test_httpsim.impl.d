@@ -1,0 +1,1 @@
+test/test_httpsim.ml: Alcotest Engine Experiments Httpsim List Netsim Printf Procsim Rescont Sched Workload

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Engine Experiments Float List

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Engine List Printf Procsim Rescont Sched

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Engine Format List Netsim Procsim QCheck2 QCheck_alcotest Queue Rescont Sched String

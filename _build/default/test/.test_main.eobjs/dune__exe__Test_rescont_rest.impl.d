@@ -1,0 +1,1 @@
+test/test_rescont_rest.ml: Alcotest Engine Gen Hashtbl Httpsim List QCheck2 QCheck_alcotest Rescont Test

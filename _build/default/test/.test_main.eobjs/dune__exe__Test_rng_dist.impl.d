@@ -1,0 +1,1 @@
+test/test_rng_dist.ml: Alcotest Array Engine Float

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Engine Float Hashtbl List Option Printf QCheck2 QCheck_alcotest Rescont Sched

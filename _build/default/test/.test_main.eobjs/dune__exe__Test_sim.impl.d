@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Format List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_simtime.ml: Alcotest Engine Format QCheck2 QCheck_alcotest

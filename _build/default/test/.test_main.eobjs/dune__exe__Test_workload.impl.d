@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Engine Httpsim List Netsim Procsim Queue Rescont Sched Workload

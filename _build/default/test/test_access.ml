@@ -1,0 +1,116 @@
+(* Tests for Rescont.Access — the access-control model §4.1 calls for. *)
+
+module Container = Rescont.Container
+module Attrs = Rescont.Attrs
+module Access = Rescont.Access
+module Binding = Rescont.Binding
+module Simtime = Engine.Simtime
+
+let alice = 100
+let bob = 200
+
+let setup () =
+  let root = Container.create_root () in
+  let acl = Access.create () in
+  Access.register acl ~owner:0 root;
+  let shared =
+    Container.create ~parent:root ~name:"shared" ~attrs:(Attrs.fixed_share ~share:0.8 ()) ()
+  in
+  Access.register acl ~owner:alice shared;
+  (root, acl, shared)
+
+let denies f = try f (); false with Access.Denied _ -> true
+
+let test_owner_rights () =
+  let _, acl, shared = setup () in
+  Alcotest.(check bool) "owner observes" true (Access.check acl ~as_uid:alice shared Access.Observe);
+  Alcotest.(check bool) "owner modifies" true (Access.check acl ~as_uid:alice shared Access.Modify);
+  Alcotest.(check bool) "owner manages" true (Access.check acl ~as_uid:alice shared Access.Manage);
+  Alcotest.(check bool) "stranger denied" false (Access.check acl ~as_uid:bob shared Access.Observe);
+  Alcotest.(check int) "owner recorded" alice (Access.owner acl shared)
+
+let test_root_bypass () =
+  let _, acl, shared = setup () in
+  Alcotest.(check bool) "uid 0 manages anything" true
+    (Access.check acl ~as_uid:0 shared Access.Manage)
+
+let test_unregistered_defaults_to_system () =
+  let root, acl, _ = setup () in
+  let orphan = Container.create ~parent:root ~attrs:(Attrs.timeshare ()) () in
+  Alcotest.(check int) "system-owned" 0 (Access.owner acl orphan);
+  Alcotest.(check bool) "stranger denied" false
+    (Access.check acl ~as_uid:bob orphan Access.Observe)
+
+let test_grant_revoke () =
+  let _, acl, shared = setup () in
+  Access.grant acl ~as_uid:alice shared ~to_uid:bob Access.Observe;
+  Alcotest.(check bool) "granted" true (Access.check acl ~as_uid:bob shared Access.Observe);
+  Alcotest.(check bool) "only that right" false
+    (Access.check acl ~as_uid:bob shared Access.Modify);
+  Access.revoke acl ~as_uid:alice shared ~to_uid:bob Access.Observe;
+  Alcotest.(check bool) "revoked" false (Access.check acl ~as_uid:bob shared Access.Observe);
+  Alcotest.(check bool) "non-owner cannot grant" true
+    (denies (fun () -> Access.grant acl ~as_uid:bob shared ~to_uid:bob Access.Manage))
+
+let test_world_observe () =
+  let _, acl, shared = setup () in
+  Access.set_world_observe acl ~as_uid:alice shared true;
+  Alcotest.(check bool) "anyone observes" true (Access.check acl ~as_uid:bob shared Access.Observe);
+  Alcotest.(check bool) "still cannot modify" true
+    (denies (fun () -> Access.set_attrs acl ~as_uid:bob shared (Attrs.timeshare ())))
+
+let test_checked_operations () =
+  let _, acl, shared = setup () in
+  (* Alice creates a child she owns; Bob cannot. *)
+  let child = Access.create_child acl ~as_uid:alice ~parent:shared ~name:"child" () in
+  Alcotest.(check int) "child owned by creator" alice (Access.owner acl child);
+  Alcotest.(check bool) "bob cannot create" true
+    (denies (fun () -> ignore (Access.create_child acl ~as_uid:bob ~parent:shared ())));
+  (* Observation and modification respect rights. *)
+  Alcotest.(check bool) "bob cannot read usage" true
+    (denies (fun () -> ignore (Access.get_usage acl ~as_uid:bob child)));
+  Access.grant acl ~as_uid:alice child ~to_uid:bob Access.Observe;
+  ignore (Access.get_usage acl ~as_uid:bob child);
+  ignore (Access.get_attrs acl ~as_uid:bob child);
+  (* Thread binding needs Modify. *)
+  let binding = Binding.create ~now:Simtime.zero child in
+  Alcotest.(check bool) "bob cannot bind" true
+    (denies (fun () -> Access.bind_thread acl ~as_uid:bob binding ~now:Simtime.zero child));
+  Access.grant acl ~as_uid:alice child ~to_uid:bob Access.Modify;
+  Access.bind_thread acl ~as_uid:bob binding ~now:Simtime.zero child;
+  (* Destroy needs Manage. *)
+  Alcotest.(check bool) "bob cannot destroy" true
+    (denies (fun () -> Access.destroy acl ~as_uid:bob child));
+  Binding.drop binding;
+  Access.destroy acl ~as_uid:alice child;
+  Alcotest.(check bool) "destroyed" true (Container.is_destroyed child)
+
+let test_set_parent_needs_both_sides () =
+  let root, acl, shared = setup () in
+  ignore root;
+  let child = Access.create_child acl ~as_uid:alice ~parent:shared ~name:"c"
+      ~attrs:(Attrs.fixed_share ~share:0.1 ()) () in
+  let other =
+    Access.create_child acl ~as_uid:alice ~parent:shared ~name:"other"
+      ~attrs:(Attrs.fixed_share ~share:0.5 ()) ()
+  in
+  (* Bob holds Manage on the child but not on the parents: still denied. *)
+  Access.grant acl ~as_uid:alice child ~to_uid:bob Access.Manage;
+  Alcotest.(check bool) "needs manage on parents too" true
+    (denies (fun () -> Access.set_parent acl ~as_uid:bob child ~parent:(Some other)));
+  Access.grant acl ~as_uid:alice shared ~to_uid:bob Access.Manage;
+  Access.grant acl ~as_uid:alice other ~to_uid:bob Access.Manage;
+  Access.set_parent acl ~as_uid:bob child ~parent:(Some other);
+  Alcotest.(check bool) "reparented" true
+    (match Container.parent child with Some p -> p == other | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "owner rights" `Quick test_owner_rights;
+    Alcotest.test_case "uid 0 bypass" `Quick test_root_bypass;
+    Alcotest.test_case "unregistered containers" `Quick test_unregistered_defaults_to_system;
+    Alcotest.test_case "grant and revoke" `Quick test_grant_revoke;
+    Alcotest.test_case "world observe" `Quick test_world_observe;
+    Alcotest.test_case "checked operations" `Quick test_checked_operations;
+    Alcotest.test_case "set_parent needs both sides" `Quick test_set_parent_needs_both_sides;
+  ]

@@ -1,0 +1,103 @@
+(* Tests for Rescont.Billing and the subtree usage rollups it reads. *)
+
+module Simtime = Engine.Simtime
+module Container = Rescont.Container
+module Attrs = Rescont.Attrs
+module Usage = Rescont.Usage
+module Billing = Rescont.Billing
+
+let fixed share = Attrs.fixed_share ~share ()
+
+let test_subtree_rollup_all_dimensions () =
+  let root = Container.create_root () in
+  let mid = Container.create ~parent:root ~attrs:(fixed 0.5) () in
+  let leaf = Container.create ~parent:mid () in
+  Container.charge_cpu leaf ~kernel:true (Simtime.ms 3);
+  Container.charge_rx leaf ~packets:2 ~bytes:1000;
+  Container.charge_tx leaf ~packets:1 ~bytes:500;
+  Container.charge_disk leaf ~bytes:4096 (Simtime.ms 9);
+  Container.charge_memory leaf 256;
+  let up = Container.subtree_usage mid in
+  Alcotest.(check int) "cpu rolls up" 3_000_000 (Simtime.span_to_ns (Usage.cpu_total up));
+  Alcotest.(check int) "rx rolls up" 1000 (Usage.rx_bytes up);
+  Alcotest.(check int) "tx rolls up" 500 (Usage.tx_bytes up);
+  Alcotest.(check int) "disk rolls up" 9_000_000 (Simtime.span_to_ns (Usage.disk_time up));
+  Alcotest.(check int) "memory rolls up" 256 (Usage.memory_bytes up);
+  (* Own usage of the interior node stays clean. *)
+  Alcotest.(check int) "mid own usage untouched" 0 (Usage.rx_bytes (Container.usage mid));
+  (* The root sees everything too. *)
+  Alcotest.(check int) "root subtree rx" 1000 (Usage.rx_bytes (Container.subtree_usage root));
+  Alcotest.(check int) "root subtree tx" 500 (Usage.tx_bytes (Container.subtree_usage root))
+
+let test_rollup_survives_destruction () =
+  let root = Container.create_root () in
+  let parent = Container.create ~parent:root ~attrs:(fixed 0.5) () in
+  let child = Container.create ~parent () in
+  Container.charge_cpu child ~kernel:false (Simtime.ms 7);
+  Container.destroy child;
+  Alcotest.(check int) "history survives child destruction" 7_000_000
+    (Simtime.span_to_ns (Container.subtree_cpu parent))
+
+let test_billing_cycle () =
+  let root = Container.create_root () in
+  let guest_a = Container.create ~parent:root ~name:"a" ~attrs:(fixed 0.5) () in
+  let guest_b = Container.create ~parent:root ~name:"b" ~attrs:(fixed 0.5) () in
+  let conn = Container.create ~parent:guest_a () in
+  let meter = Billing.create ~now:Simtime.zero () in
+  Billing.track meter ~customer:"alice" guest_a;
+  Billing.track meter ~customer:"bob" guest_b;
+  (* Alice's connection consumes; Bob idles. *)
+  Container.charge_cpu conn ~kernel:true (Simtime.sec 2);
+  Container.charge_rx conn ~packets:1_000_000 ~bytes:1_000_000_000;
+  Container.charge_disk conn ~bytes:0 (Simtime.sec 10);
+  let invoice = Billing.close_cycle meter ~now:(Simtime.of_ns 60_000_000_000) in
+  Alcotest.(check int) "cycle number" 1 invoice.Billing.cycle;
+  Alcotest.(check int) "two lines" 2 (List.length invoice.Billing.lines);
+  let line name =
+    List.find (fun l -> String.equal l.Billing.customer name) invoice.Billing.lines
+  in
+  (* Alice: 2 cpu-s x .05 + 1 GB x .09 + 10 disk-s x .02 + 1M pkts x .10
+     = 0.10 + 0.09 + 0.20 + 0.10 = 0.49. *)
+  Alcotest.(check (float 1e-9)) "alice amount" 0.49 (Billing.amount_of (line "alice"));
+  Alcotest.(check (float 1e-9)) "bob amount" 0. (Billing.amount_of (line "bob"));
+  Alcotest.(check (float 1e-9)) "total" 0.49 invoice.Billing.total;
+  (* Second cycle bills only the delta. *)
+  Container.charge_cpu conn ~kernel:true (Simtime.sec 1);
+  let invoice2 = Billing.close_cycle meter ~now:(Simtime.of_ns 120_000_000_000) in
+  Alcotest.(check (float 1e-9)) "delta billed" 0.05 invoice2.Billing.total;
+  Alcotest.(check int) "cycles closed" 2 (Billing.cycles_closed meter)
+
+let test_billing_duplicate_label () =
+  let root = Container.create_root () in
+  let g = Container.create ~parent:root ~attrs:(fixed 0.5) () in
+  let meter = Billing.create ~now:Simtime.zero () in
+  Billing.track meter ~customer:"x" g;
+  Alcotest.(check bool) "duplicate rejected" true
+    (try Billing.track meter ~customer:"x" g; false with Invalid_argument _ -> true)
+
+let test_invoice_table_renders () =
+  let root = Container.create_root () in
+  let g = Container.create ~parent:root ~name:"g" ~attrs:(fixed 0.5) () in
+  let meter = Billing.create ~now:Simtime.zero () in
+  Billing.track meter ~customer:"g" g;
+  Container.charge_cpu g ~kernel:false (Simtime.ms 10);
+  let invoice = Billing.close_cycle meter ~now:(Simtime.of_ns 1_000_000_000) in
+  let table = Billing.invoice_table invoice in
+  (* One customer line plus the TOTAL row. *)
+  Alcotest.(check int) "rows" 2 (List.length (Engine.Series.table_rows table))
+
+let test_empty_cycle () =
+  let meter = Billing.create ~now:Simtime.zero () in
+  let invoice = Billing.close_cycle meter ~now:(Simtime.of_ns 1_000) in
+  Alcotest.(check int) "no lines" 0 (List.length invoice.Billing.lines);
+  Alcotest.(check (float 1e-9)) "zero total" 0. invoice.Billing.total
+
+let suite =
+  [
+    Alcotest.test_case "subtree rollup, all dimensions" `Quick test_subtree_rollup_all_dimensions;
+    Alcotest.test_case "rollup survives destruction" `Quick test_rollup_survives_destruction;
+    Alcotest.test_case "billing cycles" `Quick test_billing_cycle;
+    Alcotest.test_case "duplicate labels" `Quick test_billing_duplicate_label;
+    Alcotest.test_case "invoice rendering" `Quick test_invoice_table_renders;
+    Alcotest.test_case "empty cycle" `Quick test_empty_cycle;
+  ]

@@ -1,0 +1,245 @@
+(* Tests for Rescont.Container: hierarchy, lifetime, accounting rules. *)
+
+module Container = Rescont.Container
+module Attrs = Rescont.Attrs
+module Usage = Rescont.Usage
+module Simtime = Engine.Simtime
+
+let fixed share = Attrs.fixed_share ~share ()
+let ts priority = Attrs.timeshare ~priority ()
+
+let test_root () =
+  let root = Container.create_root () in
+  Alcotest.(check bool) "is_root" true (Container.is_root root);
+  Alcotest.(check bool) "is_leaf" true (Container.is_leaf root);
+  Alcotest.(check int) "depth" 0 (Container.depth root);
+  Alcotest.(check (float 1e-9)) "guarantee" 1.0 (Container.guaranteed_fraction root)
+
+let test_create_child () =
+  let root = Container.create_root () in
+  let child = Container.create ~parent:root ~name:"web" ~attrs:(fixed 0.5) () in
+  Alcotest.(check bool) "parent set" true
+    (match Container.parent child with Some p -> p == root | None -> false);
+  Alcotest.(check int) "root has child" 1 (List.length (Container.children root));
+  Alcotest.(check bool) "root no longer leaf" false (Container.is_leaf root);
+  Alcotest.(check int) "depth" 1 (Container.depth child);
+  Alcotest.(check (float 1e-9)) "guarantee product" 0.5 (Container.guaranteed_fraction child);
+  let grand = Container.create ~parent:child ~attrs:(fixed 0.4) () in
+  Alcotest.(check (float 1e-9)) "nested guarantee" 0.2 (Container.guaranteed_fraction grand)
+
+let test_timeshare_cannot_have_children () =
+  let root = Container.create_root () in
+  let tsc = Container.create ~parent:root ~attrs:(ts 10) () in
+  let raised =
+    try
+      ignore (Container.create ~parent:tsc ());
+      false
+    with Container.Error _ -> true
+  in
+  Alcotest.(check bool) "timeshare parent rejected" true raised
+
+let test_share_oversubscription () =
+  let root = Container.create_root () in
+  ignore (Container.create ~parent:root ~attrs:(fixed 0.7) ());
+  ignore (Container.create ~parent:root ~attrs:(fixed 0.3) ());
+  let raised =
+    try
+      ignore (Container.create ~parent:root ~attrs:(fixed 0.1) ());
+      false
+    with Container.Error _ -> true
+  in
+  Alcotest.(check bool) "over 1.0 rejected" true raised;
+  (* Timeshare children are fine: they carry no share. *)
+  ignore (Container.create ~parent:root ~attrs:(ts 10) ())
+
+let test_set_parent () =
+  let root = Container.create_root () in
+  let a = Container.create ~parent:root ~name:"a" ~attrs:(fixed 0.5) () in
+  let b = Container.create ~parent:root ~name:"b" ~attrs:(fixed 0.2) () in
+  Container.set_parent b (Some a);
+  Alcotest.(check bool) "reparented" true
+    (match Container.parent b with Some p -> p == a | None -> false);
+  Alcotest.(check int) "root children" 1 (List.length (Container.children root));
+  Container.set_parent b None;
+  Alcotest.(check bool) "detached" true (Container.parent b = None)
+
+let test_set_parent_cycle () =
+  let root = Container.create_root () in
+  let a = Container.create ~parent:root ~attrs:(fixed 0.5) () in
+  let b = Container.create ~parent:a ~attrs:(fixed 0.5) () in
+  let raised =
+    try
+      Container.set_parent a (Some b);
+      false
+    with Container.Error _ -> true
+  in
+  Alcotest.(check bool) "cycle rejected" true raised;
+  let raised_self =
+    try
+      Container.set_parent a (Some a);
+      false
+    with Container.Error _ -> true
+  in
+  Alcotest.(check bool) "self-parent rejected" true raised_self
+
+let test_destroy_detaches_children () =
+  let root = Container.create_root () in
+  let parent = Container.create ~parent:root ~attrs:(fixed 0.5) () in
+  let child = Container.create ~parent ~attrs:(fixed 0.5) () in
+  Container.destroy parent;
+  Alcotest.(check bool) "child orphaned (§4.6)" true (Container.parent child = None);
+  Alcotest.(check bool) "parent destroyed" true (Container.is_destroyed parent);
+  Alcotest.(check bool) "child alive" false (Container.is_destroyed child);
+  Alcotest.(check int) "unlinked from root" 0 (List.length (Container.children root))
+
+let test_refcounting () =
+  let root = Container.create_root () in
+  let c = Container.create ~parent:root ~attrs:(ts 10) () in
+  Container.retain c;
+  Container.release c;
+  Alcotest.(check bool) "still alive with one ref" false (Container.is_destroyed c);
+  Container.release c;
+  Alcotest.(check bool) "destroyed at zero refs" true (Container.is_destroyed c)
+
+let test_refcount_with_bindings () =
+  let root = Container.create_root () in
+  let c = Container.create ~parent:root ~attrs:(ts 10) () in
+  Container.incr_bindings c;
+  Container.release c;
+  Alcotest.(check bool) "binding keeps alive" false (Container.is_destroyed c);
+  Container.decr_bindings c;
+  Alcotest.(check bool) "destroyed when binding drops" true (Container.is_destroyed c)
+
+let test_binding_requires_leaf () =
+  let root = Container.create_root () in
+  let parent = Container.create ~parent:root ~attrs:(fixed 0.5) () in
+  ignore (Container.create ~parent ~attrs:(ts 10) ());
+  let raised =
+    try
+      Container.incr_bindings parent;
+      false
+    with Container.Error _ -> true
+  in
+  Alcotest.(check bool) "interior node binding rejected" true raised
+
+let test_children_blocked_under_bound_container () =
+  let root = Container.create_root () in
+  let parent = Container.create ~parent:root ~attrs:(fixed 0.5) () in
+  Container.incr_bindings parent;
+  let raised =
+    try
+      ignore (Container.create ~parent ());
+      false
+    with Container.Error _ -> true
+  in
+  Alcotest.(check bool) "no children under a bound container" true raised
+
+let test_use_after_destroy () =
+  let root = Container.create_root () in
+  let c = Container.create ~parent:root ~attrs:(fixed 0.5) () in
+  Container.destroy c;
+  let raised =
+    try
+      ignore (Container.create ~parent:c ());
+      false
+    with Container.Error _ -> true
+  in
+  Alcotest.(check bool) "destroyed parent rejected" true raised
+
+let test_charge_propagation () =
+  let root = Container.create_root () in
+  let mid = Container.create ~parent:root ~attrs:(fixed 0.5) () in
+  let leaf = Container.create ~parent:mid ~attrs:(ts 10) () in
+  Container.charge_cpu leaf ~kernel:false (Simtime.us 100);
+  Container.charge_cpu leaf ~kernel:true (Simtime.us 50);
+  Alcotest.(check int) "leaf own usage" 150_000
+    (Simtime.span_to_ns (Usage.cpu_total (Container.usage leaf)));
+  Alcotest.(check int) "leaf user split" 100_000
+    (Simtime.span_to_ns (Usage.cpu_user (Container.usage leaf)));
+  Alcotest.(check int) "mid subtree" 150_000 (Simtime.span_to_ns (Container.subtree_cpu mid));
+  Alcotest.(check int) "root subtree" 150_000 (Simtime.span_to_ns (Container.subtree_cpu root));
+  Alcotest.(check int) "mid own usage untouched" 0
+    (Simtime.span_to_ns (Usage.cpu_total (Container.usage mid)))
+
+let test_effective_cpu_limit () =
+  let root = Container.create_root () in
+  let a = Container.create ~parent:root ~attrs:(Attrs.fixed_share ~share:0.5 ~cpu_limit:0.4 ()) () in
+  let b = Container.create ~parent:a ~attrs:(Attrs.fixed_share ~share:0.9 ~cpu_limit:0.8 ()) () in
+  let c = Container.create ~parent:b ~attrs:(ts 10) () in
+  Alcotest.(check (float 1e-9)) "tightest ancestor limit" 0.4 (Container.effective_cpu_limit c);
+  Alcotest.(check (float 1e-9)) "unlimited root" 1.0 (Container.effective_cpu_limit root)
+
+let test_iter_subtree () =
+  let root = Container.create_root () in
+  let a = Container.create ~parent:root ~attrs:(fixed 0.5) () in
+  ignore (Container.create ~parent:a ~attrs:(ts 1) ());
+  ignore (Container.create ~parent:a ~attrs:(ts 1) ());
+  let count = ref 0 in
+  Container.iter_subtree (fun _ -> incr count) root;
+  Alcotest.(check int) "pre-order visit count" 4 !count
+
+let test_has_ancestor () =
+  let root = Container.create_root () in
+  let a = Container.create ~parent:root ~attrs:(fixed 0.5) () in
+  let b = Container.create ~parent:a ~attrs:(ts 10) () in
+  Alcotest.(check bool) "self" true (Container.has_ancestor b ~ancestor:b);
+  Alcotest.(check bool) "parent" true (Container.has_ancestor b ~ancestor:a);
+  Alcotest.(check bool) "root" true (Container.has_ancestor b ~ancestor:root);
+  Alcotest.(check bool) "not descendant" false (Container.has_ancestor a ~ancestor:b);
+  Alcotest.(check bool) "root_of" true (Container.root_of b == root)
+
+let test_set_attrs_rules () =
+  let root = Container.create_root () in
+  let parent = Container.create ~parent:root ~attrs:(fixed 0.5) () in
+  ignore (Container.create ~parent ~attrs:(ts 10) ());
+  let raised =
+    try
+      Container.set_attrs parent (ts 5);
+      false
+    with Container.Error _ -> true
+  in
+  Alcotest.(check bool) "cannot become timeshare with children" true raised;
+  Container.set_attrs parent (fixed 0.9);
+  Alcotest.(check bool) "share update ok" true
+    (match (Container.attrs parent).Attrs.sched_class with
+    | Attrs.Fixed_share s -> s = 0.9
+    | Attrs.Timeshare -> false)
+
+(* Property: creating any sequence of fixed shares under one parent never
+   exceeds 1.0 committed. *)
+let prop_no_oversubscription =
+  QCheck2.Test.make ~name:"fixed shares never oversubscribe" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 20) (float_range 0.05 0.6))
+    (fun shares ->
+      let root = Container.create_root () in
+      let committed = ref 0. in
+      List.iter
+        (fun share ->
+          match Container.create ~parent:root ~attrs:(fixed share) () with
+          | _ -> committed := !committed +. share
+          | exception Container.Error _ -> ())
+        shares;
+      !committed <= 1.0 +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "root container" `Quick test_root;
+    Alcotest.test_case "child creation" `Quick test_create_child;
+    Alcotest.test_case "timeshare cannot have children" `Quick test_timeshare_cannot_have_children;
+    Alcotest.test_case "share oversubscription" `Quick test_share_oversubscription;
+    Alcotest.test_case "set_parent" `Quick test_set_parent;
+    Alcotest.test_case "cycles rejected" `Quick test_set_parent_cycle;
+    Alcotest.test_case "destroy detaches children" `Quick test_destroy_detaches_children;
+    Alcotest.test_case "reference counting" `Quick test_refcounting;
+    Alcotest.test_case "bindings keep alive" `Quick test_refcount_with_bindings;
+    Alcotest.test_case "leaf-only binding" `Quick test_binding_requires_leaf;
+    Alcotest.test_case "no children under bound container" `Quick
+      test_children_blocked_under_bound_container;
+    Alcotest.test_case "use after destroy" `Quick test_use_after_destroy;
+    Alcotest.test_case "charge propagation" `Quick test_charge_propagation;
+    Alcotest.test_case "effective cpu limit" `Quick test_effective_cpu_limit;
+    Alcotest.test_case "iter_subtree" `Quick test_iter_subtree;
+    Alcotest.test_case "has_ancestor" `Quick test_has_ancestor;
+    Alcotest.test_case "set_attrs rules" `Quick test_set_attrs_rules;
+    QCheck_alcotest.to_alcotest prop_no_oversubscription;
+  ]

@@ -1,0 +1,464 @@
+(* Tests for Procsim.Machine: effect threads, dispatching, charging,
+   interrupt time-stealing, and Procsim.Process. *)
+
+module Simtime = Engine.Simtime
+module Sim = Engine.Sim
+module Container = Rescont.Container
+module Attrs = Rescont.Attrs
+module Usage = Rescont.Usage
+module Machine = Procsim.Machine
+module Process = Procsim.Process
+
+let make_machine ?(policy = `Multilevel) () =
+  let sim = Sim.create () in
+  let root = Container.create_root () in
+  let pol =
+    match policy with
+    | `Multilevel -> Sched.Multilevel.make ~root ()
+    | `Timeshare -> Sched.Timeshare.make ()
+  in
+  let machine = Machine.create ~sim ~policy:pol ~root () in
+  (sim, root, machine)
+
+let leaf root name = Container.create ~parent:root ~name ~attrs:(Attrs.timeshare ()) ()
+
+let test_thread_runs_and_charges () =
+  let _, root, machine = make_machine () in
+  let c = leaf root "worker" in
+  let done_flag = ref false in
+  ignore
+    (Machine.spawn machine ~name:"w" ~container:c (fun () ->
+         Machine.cpu (Simtime.ms 5);
+         done_flag := true));
+  Machine.run_until machine (Simtime.of_ns 100_000_000);
+  Alcotest.(check bool) "body completed" true !done_flag;
+  Alcotest.(check int) "cpu charged" 5_000_000
+    (Simtime.span_to_ns (Usage.cpu_total (Container.usage c)));
+  Alcotest.(check int) "busy time" 5_000_000 (Simtime.span_to_ns (Machine.busy_time machine))
+
+let test_kernel_user_split () =
+  let _, root, machine = make_machine () in
+  let c = leaf root "worker" in
+  ignore
+    (Machine.spawn machine ~name:"w" ~container:c (fun () ->
+         Machine.cpu ~kernel:true (Simtime.ms 2);
+         Machine.cpu ~kernel:false (Simtime.ms 3)));
+  Machine.run_until machine (Simtime.of_ns 100_000_000);
+  Alcotest.(check int) "kernel" 2_000_000
+    (Simtime.span_to_ns (Usage.cpu_kernel (Container.usage c)));
+  Alcotest.(check int) "user" 3_000_000 (Simtime.span_to_ns (Usage.cpu_user (Container.usage c)))
+
+let test_wallclock_advances_with_cpu () =
+  let sim, root, machine = make_machine () in
+  let c = leaf root "worker" in
+  let finished_at = ref Simtime.zero in
+  ignore
+    (Machine.spawn machine ~name:"w" ~container:c (fun () ->
+         Machine.cpu (Simtime.ms 7);
+         finished_at := Sim.now sim));
+  Machine.run_until machine (Simtime.of_ns 100_000_000);
+  Alcotest.(check int) "7ms of wall time" 7_000_000 (Simtime.to_ns !finished_at)
+
+let test_two_threads_share () =
+  let sim, root, machine = make_machine () in
+  let a = leaf root "a" and b = leaf root "b" in
+  let a_done = ref Simtime.zero and b_done = ref Simtime.zero in
+  ignore
+    (Machine.spawn machine ~name:"a" ~container:a (fun () ->
+         Machine.cpu (Simtime.ms 10);
+         a_done := Sim.now sim));
+  ignore
+    (Machine.spawn machine ~name:"b" ~container:b (fun () ->
+         Machine.cpu (Simtime.ms 10);
+         b_done := Sim.now sim));
+  Machine.run_until machine (Simtime.of_ns 1_000_000_000);
+  (* Both need 10ms of CPU; interleaved fairly both finish around 20ms. *)
+  Alcotest.(check bool) "a finishes ~20ms" true
+    (Simtime.to_ns !a_done >= 19_000_000 && Simtime.to_ns !a_done <= 21_000_000);
+  Alcotest.(check bool) "b finishes ~20ms" true
+    (Simtime.to_ns !b_done >= 19_000_000 && Simtime.to_ns !b_done <= 21_000_000)
+
+let test_sleep () =
+  let sim, root, machine = make_machine () in
+  let c = leaf root "sleeper" in
+  let woke = ref Simtime.zero in
+  ignore
+    (Machine.spawn machine ~name:"s" ~container:c (fun () ->
+         Machine.sleep (Simtime.ms 3);
+         woke := Sim.now sim));
+  Machine.run_until machine (Simtime.of_ns 100_000_000);
+  Alcotest.(check int) "slept 3ms" 3_000_000 (Simtime.to_ns !woke);
+  Alcotest.(check int) "sleep consumes no cpu" 0
+    (Simtime.span_to_ns (Usage.cpu_total (Container.usage c)))
+
+let test_waitq_signal () =
+  let _, root, machine = make_machine () in
+  let c = leaf root "c" in
+  let wq = Machine.Waitq.create ~name:"test" machine in
+  let log = ref [] in
+  ignore
+    (Machine.spawn machine ~name:"waiter" ~container:c (fun () ->
+         log := "before" :: !log;
+         Machine.Waitq.wait wq;
+         log := "after" :: !log));
+  ignore
+    (Machine.spawn machine ~name:"signaller" ~container:c (fun () ->
+         Machine.cpu (Simtime.ms 1);
+         Machine.Waitq.signal wq));
+  Machine.run_until machine (Simtime.of_ns 100_000_000);
+  Alcotest.(check (list string)) "wait then wake" [ "before"; "after" ] (List.rev !log);
+  Alcotest.(check int) "no waiters left" 0 (Machine.Waitq.waiters wq)
+
+let test_waitq_broadcast () =
+  let _, root, machine = make_machine () in
+  let c = leaf root "c" in
+  let wq = Machine.Waitq.create machine in
+  let woken = ref 0 in
+  for i = 1 to 3 do
+    ignore
+      (Machine.spawn machine ~name:(Printf.sprintf "w%d" i) ~container:c (fun () ->
+           Machine.Waitq.wait wq;
+           incr woken))
+  done;
+  ignore
+    (Machine.spawn machine ~name:"b" ~container:c (fun () ->
+         Machine.cpu (Simtime.us 10);
+         Machine.Waitq.broadcast wq));
+  Machine.run_until machine (Simtime.of_ns 100_000_000);
+  Alcotest.(check int) "all woken" 3 !woken
+
+let test_rebind_changes_charging () =
+  let _, root, machine = make_machine () in
+  let a = leaf root "a" and b = leaf root "b" in
+  ignore
+    (Machine.spawn machine ~name:"w" ~container:a (fun () ->
+         Machine.cpu (Simtime.ms 2);
+         Machine.rebind machine (Machine.self ()) b;
+         Machine.cpu (Simtime.ms 3)));
+  Machine.run_until machine (Simtime.of_ns 100_000_000);
+  Alcotest.(check int) "a charged before rebind" 2_000_000
+    (Simtime.span_to_ns (Usage.cpu_total (Container.usage a)));
+  Alcotest.(check int) "b charged after rebind" 3_000_000
+    (Simtime.span_to_ns (Usage.cpu_total (Container.usage b)))
+
+let test_steal_time_extends_slice () =
+  let sim, root, machine = make_machine () in
+  let c = leaf root "victim" in
+  let finished = ref Simtime.zero in
+  ignore
+    (Machine.spawn machine ~name:"v" ~container:c (fun () ->
+         Machine.cpu (Simtime.ms 1);
+         finished := Sim.now sim));
+  (* Interrupt strikes mid-slice. *)
+  ignore
+    (Sim.at sim (Simtime.of_ns 500_000) (fun () ->
+         Machine.steal_time machine ~cost:(Simtime.us 200) ~charge:`Current_or_system));
+  Machine.run_until machine (Simtime.of_ns 100_000_000);
+  Alcotest.(check int) "slice stretched by stolen time" 1_200_000 (Simtime.to_ns !finished);
+  (* Victim is charged for its own 1ms work and for the stolen 200us. *)
+  Alcotest.(check int) "victim charged interrupt" 1_200_000
+    (Simtime.span_to_ns (Usage.cpu_total (Container.usage c)))
+
+let test_steal_time_while_idle () =
+  let sim, root, machine = make_machine () in
+  let c = leaf root "late" in
+  ignore
+    (Sim.at sim (Simtime.of_ns 0) (fun () ->
+         Machine.steal_time machine ~cost:(Simtime.ms 2) ~charge:`Current_or_system));
+  let started = ref Simtime.zero in
+  ignore
+    (Sim.at sim (Simtime.of_ns 1_000) (fun () ->
+         ignore
+           (Machine.spawn machine ~name:"l" ~container:c (fun () ->
+                started := Sim.now sim;
+                Machine.cpu (Simtime.us 1)))));
+  Machine.run_until machine (Simtime.of_ns 100_000_000);
+  Alcotest.(check bool) "dispatch delayed past irq busy period" true
+    (Simtime.to_ns !started >= 2_000_000);
+  (* Idle interrupt time is charged to the system (root) container. *)
+  Alcotest.(check int) "system charged" 2_000_000
+    (Simtime.span_to_ns (Usage.cpu_total (Container.usage root)))
+
+let test_steal_time_explicit_container () =
+  let _, root, machine = make_machine () in
+  let c = leaf root "target" in
+  Machine.steal_time machine ~cost:(Simtime.us 5) ~charge:(`Container c);
+  Alcotest.(check int) "explicit charge" 5_000
+    (Simtime.span_to_ns (Usage.cpu_total (Container.usage c)))
+
+let test_yield_and_self () =
+  let _, root, machine = make_machine () in
+  let c = leaf root "c" in
+  let name = ref "" in
+  ignore
+    (Machine.spawn machine ~name:"yielding" ~container:c (fun () ->
+         Machine.yield ();
+         name := Machine.thread_name (Machine.self ())));
+  Machine.run_until machine (Simtime.of_ns 1_000_000);
+  Alcotest.(check string) "self works after yield" "yielding" !name
+
+let test_thread_exit_cleans_up () =
+  let _, root, machine = make_machine () in
+  let c = leaf root "c" in
+  let thread = Machine.spawn machine ~name:"t" ~container:c (fun () -> Machine.cpu (Simtime.us 1)) in
+  Machine.run_until machine (Simtime.of_ns 1_000_000);
+  Alcotest.(check bool) "done" true (Machine.is_done thread);
+  Alcotest.(check int) "binding released" 0 (Container.binding_count c);
+  Alcotest.(check int) "nothing runnable" 0 (Machine.runnable_tasks machine)
+
+let test_process_basics () =
+  let _, _, machine = make_machine () in
+  let proc = Process.create machine ~name:"app" () in
+  Alcotest.(check bool) "default container exists" true
+    (not (Container.is_destroyed (Process.default_container proc)));
+  let seen = ref false in
+  ignore (Process.spawn_thread proc ~name:"t" (fun () -> seen := true));
+  Machine.run_until machine (Simtime.of_ns 1_000_000);
+  Alcotest.(check bool) "thread ran" true !seen;
+  Alcotest.(check int) "tracked" 1 (List.length (Process.threads proc))
+
+let test_process_fork () =
+  let _, _, machine = make_machine () in
+  let parent = Process.create machine ~name:"parent" () in
+  let root_of_parent = Container.parent (Process.default_container parent) in
+  let d =
+    Rescont.Ops.rc_get_handle (Process.descriptors parent) (Process.default_container parent)
+  in
+  let child_container = ref None in
+  let child, _thread =
+    Process.fork parent ~name:"child" (fun () ->
+        child_container :=
+          Some (Rescont.Binding.resource_binding (Machine.binding (Machine.self ()))))
+  in
+  Machine.run_until machine (Simtime.of_ns 1_000_000);
+  Alcotest.(check bool) "pids differ" true (Process.pid child <> Process.pid parent);
+  Alcotest.(check bool) "descriptor inherited" true
+    (Rescont.Desc_table.lookup (Process.descriptors child) d == Process.default_container parent);
+  Alcotest.(check bool) "child default container is fresh" true
+    (Process.default_container child != Process.default_container parent);
+  Alcotest.(check bool) "child container beside parent's" true
+    (match (Container.parent (Process.default_container child), root_of_parent) with
+    | Some a, Some b -> a == b
+    | None, None -> true
+    | (Some _ | None), _ -> false);
+  Alcotest.(check bool) "child thread bound to its default" true
+    (match !child_container with
+    | Some c -> c == Process.default_container child
+    | None -> false)
+
+let test_quantum_preemption_interleaves () =
+  let sim, root, machine = make_machine () in
+  ignore sim;
+  let a = leaf root "a" and b = leaf root "b" in
+  let order = ref [] in
+  let burn tag = fun () ->
+    for _ = 1 to 3 do
+      Machine.cpu (Simtime.ms 1);
+      order := tag :: !order
+    done
+  in
+  ignore (Machine.spawn machine ~name:"a" ~container:a (burn "a"));
+  ignore (Machine.spawn machine ~name:"b" ~container:b (burn "b"));
+  Machine.run_until machine (Simtime.of_ns 100_000_000);
+  (* With 1ms quanta and fair WFQ, slices must alternate rather than run
+     all of [a] before [b]. *)
+  let seq = List.rev !order in
+  Alcotest.(check int) "all slices" 6 (List.length seq);
+  Alcotest.(check bool) "interleaved" true (seq <> [ "a"; "a"; "a"; "b"; "b"; "b" ])
+
+let test_smp_parallel_progress () =
+  let sim = Sim.create () in
+  let root = Container.create_root () in
+  let machine =
+    Machine.create ~cpus:2 ~sim ~policy:(Sched.Multilevel.make ~root ()) ~root ()
+  in
+  let mk name =
+    let c = leaf root name in
+    let finished = ref Simtime.zero in
+    ignore
+      (Machine.spawn machine ~name ~container:c (fun () ->
+           Machine.cpu (Simtime.ms 10);
+           finished := Sim.now sim));
+    finished
+  in
+  let a = mk "a" and b = mk "b" in
+  Machine.run_until machine (Simtime.of_ns 1_000_000_000);
+  (* Two processors: both 10ms jobs finish at ~10ms instead of ~20ms. *)
+  Alcotest.(check bool) "a parallel" true (Simtime.to_ns !a <= 11_000_000);
+  Alcotest.(check bool) "b parallel" true (Simtime.to_ns !b <= 11_000_000);
+  Alcotest.(check int) "total work accounted" 20_000_000
+    (Simtime.span_to_ns (Machine.busy_time machine))
+
+let test_smp_single_thread_no_speedup () =
+  let sim = Sim.create () in
+  let root = Container.create_root () in
+  let machine =
+    Machine.create ~cpus:4 ~sim ~policy:(Sched.Multilevel.make ~root ()) ~root ()
+  in
+  let c = leaf root "solo" in
+  let finished = ref Simtime.zero in
+  ignore
+    (Machine.spawn machine ~name:"solo" ~container:c (fun () ->
+         Machine.cpu (Simtime.ms 10);
+         finished := Sim.now sim));
+  Machine.run_until machine (Simtime.of_ns 1_000_000_000);
+  Alcotest.(check int) "one thread cannot use two processors" 10_000_000
+    (Simtime.to_ns !finished)
+
+let test_smp_irq_on_cpu0_only () =
+  let sim = Sim.create () in
+  let root = Container.create_root () in
+  let machine =
+    Machine.create ~cpus:2 ~sim ~policy:(Sched.Multilevel.make ~root ()) ~root ()
+  in
+  (* A long interrupt storm parks processor 0; a thread spawned after it
+     still runs immediately on processor 1. *)
+  Machine.steal_time machine ~cost:(Simtime.ms 5) ~charge:`Current_or_system;
+  let c = leaf root "c" in
+  let finished = ref Simtime.zero in
+  ignore
+    (Machine.spawn machine ~name:"t" ~container:c (fun () ->
+         Machine.cpu (Simtime.ms 1);
+         finished := Sim.now sim));
+  Machine.run_until machine (Simtime.of_ns 100_000_000);
+  Alcotest.(check bool) "second processor unaffected by irq storm" true
+    (Simtime.to_ns !finished <= 1_100_000)
+
+let test_kill () =
+  let sim, root, machine = make_machine () in
+  let c = leaf root "victim" in
+  let progressed = ref 0 in
+  let thread =
+    Machine.spawn machine ~name:"victim" ~container:c (fun () ->
+        let rec loop () =
+          Machine.cpu (Simtime.ms 1);
+          incr progressed;
+          loop ()
+        in
+        loop ())
+  in
+  ignore (Sim.at sim (Simtime.of_ns 5_500_000) (fun () -> Machine.kill machine thread));
+  Machine.run_until machine (Simtime.of_ns 100_000_000);
+  Alcotest.(check bool) "made some progress" true (!progressed >= 4);
+  Alcotest.(check bool) "stopped after kill" true (!progressed <= 6);
+  Alcotest.(check bool) "done" true (Machine.is_done thread);
+  Alcotest.(check int) "binding released" 0 (Container.binding_count c);
+  Machine.kill machine thread (* idempotent *)
+
+let test_process_exit_all () =
+  let _, _, machine = make_machine () in
+  let proc = Process.create machine ~name:"doomed" () in
+  let count = ref 0 in
+  for _ = 1 to 3 do
+    ignore
+      (Process.spawn_thread proc ~name:"w" (fun () ->
+           let rec loop () =
+             Machine.cpu (Simtime.ms 1);
+             incr count;
+             loop ()
+           in
+           loop ()))
+  done;
+  Machine.run_until machine (Simtime.of_ns 5_000_000);
+  Process.exit_all proc;
+  let at_exit = !count in
+  Machine.run_until machine (Simtime.of_ns 50_000_000);
+  Alcotest.(check bool) "no progress after exit" true (!count - at_exit <= 3);
+  Alcotest.(check int) "threads gone" 0 (List.length (Process.threads proc));
+  Alcotest.(check bool) "default container destroyed" true
+    (Container.is_destroyed (Process.default_container proc))
+
+let test_tracing () =
+  let sim = Sim.create () in
+  let root = Container.create_root () in
+  let trace = Engine.Tracelog.create ~enabled:true () in
+  let machine =
+    Machine.create ~trace ~sim ~policy:(Sched.Multilevel.make ~root ()) ~root ()
+  in
+  let a = leaf root "a" and b = leaf root "b" in
+  ignore
+    (Machine.spawn machine ~name:"traced" ~container:a (fun () ->
+         Machine.cpu (Simtime.ms 1);
+         Machine.rebind machine (Machine.self ()) b;
+         Machine.cpu (Simtime.ms 1)));
+  Machine.steal_time machine ~cost:(Simtime.us 10) ~charge:`Current_or_system;
+  Machine.run_until machine (Simtime.of_ns 100_000_000);
+  let module T = Engine.Tracelog in
+  Alcotest.(check bool) "spawn traced" true (T.find trace ~category:"spawn" <> []);
+  Alcotest.(check bool) "dispatch traced" true (List.length (T.find trace ~category:"dispatch") >= 2);
+  Alcotest.(check bool) "rebind traced" true (T.find trace ~category:"rebind" <> []);
+  Alcotest.(check bool) "irq traced" true (T.find trace ~category:"irq" <> []);
+  (* Disabled by default: a machine without an explicit trace records nothing. *)
+  let _, root2, machine2 = make_machine () in
+  ignore (Machine.spawn machine2 ~name:"quiet" ~container:(leaf root2 "q") (fun () -> ()));
+  Machine.run_until machine2 (Simtime.of_ns 1_000_000);
+  Alcotest.(check int) "silent by default" 0
+    (List.length (Engine.Tracelog.entries (Machine.trace machine2)))
+
+let test_waitq_fifo_order () =
+  let _, root, machine = make_machine () in
+  let c = leaf root "c" in
+  let wq = Machine.Waitq.create machine in
+  let order = ref [] in
+  for i = 1 to 3 do
+    ignore
+      (Machine.spawn machine ~name:(Printf.sprintf "w%d" i) ~container:c (fun () ->
+           (* Deterministic arrival order into the wait queue. *)
+           Machine.sleep (Simtime.us (i * 10));
+           Machine.Waitq.wait wq;
+           order := i :: !order))
+  done;
+  ignore
+    (Machine.spawn machine ~name:"signaller" ~container:c (fun () ->
+         Machine.sleep (Simtime.ms 1);
+         Machine.Waitq.signal wq;
+         Machine.sleep (Simtime.ms 1);
+         Machine.Waitq.signal wq;
+         Machine.sleep (Simtime.ms 1);
+         Machine.Waitq.signal wq));
+  Machine.run_until machine (Simtime.of_ns 100_000_000);
+  Alcotest.(check (list int)) "longest waiter first" [ 1; 2; 3 ] (List.rev !order)
+
+let test_kill_blocked_thread () =
+  let _, root, machine = make_machine () in
+  let c = leaf root "c" in
+  let wq = Machine.Waitq.create machine in
+  let resumed = ref false in
+  let thread =
+    Machine.spawn machine ~name:"blocked" ~container:c (fun () ->
+        Machine.Waitq.wait wq;
+        resumed := true)
+  in
+  Machine.run_until machine (Simtime.of_ns 1_000_000);
+  Machine.kill machine thread;
+  Machine.Waitq.signal wq;
+  Machine.run_until machine (Simtime.of_ns 10_000_000);
+  Alcotest.(check bool) "killed thread never resumes" false !resumed
+
+let suite =
+  [
+    Alcotest.test_case "thread runs and charges" `Quick test_thread_runs_and_charges;
+    Alcotest.test_case "kernel/user split" `Quick test_kernel_user_split;
+    Alcotest.test_case "wall clock advances" `Quick test_wallclock_advances_with_cpu;
+    Alcotest.test_case "two threads share CPU" `Quick test_two_threads_share;
+    Alcotest.test_case "sleep" `Quick test_sleep;
+    Alcotest.test_case "waitq signal" `Quick test_waitq_signal;
+    Alcotest.test_case "waitq broadcast" `Quick test_waitq_broadcast;
+    Alcotest.test_case "rebind changes charging" `Quick test_rebind_changes_charging;
+    Alcotest.test_case "steal_time extends slice" `Quick test_steal_time_extends_slice;
+    Alcotest.test_case "steal_time while idle" `Quick test_steal_time_while_idle;
+    Alcotest.test_case "steal_time explicit container" `Quick test_steal_time_explicit_container;
+    Alcotest.test_case "yield and self" `Quick test_yield_and_self;
+    Alcotest.test_case "thread exit cleanup" `Quick test_thread_exit_cleans_up;
+    Alcotest.test_case "process basics" `Quick test_process_basics;
+    Alcotest.test_case "process fork" `Quick test_process_fork;
+    Alcotest.test_case "quantum interleaving" `Quick test_quantum_preemption_interleaves;
+    Alcotest.test_case "SMP parallel progress" `Quick test_smp_parallel_progress;
+    Alcotest.test_case "SMP no speedup for one thread" `Quick test_smp_single_thread_no_speedup;
+    Alcotest.test_case "SMP interrupts on cpu 0" `Quick test_smp_irq_on_cpu0_only;
+    Alcotest.test_case "tracing" `Quick test_tracing;
+    Alcotest.test_case "kill" `Quick test_kill;
+    Alcotest.test_case "process exit_all" `Quick test_process_exit_all;
+    Alcotest.test_case "waitq FIFO order" `Quick test_waitq_fifo_order;
+    Alcotest.test_case "kill blocked thread" `Quick test_kill_blocked_thread;
+  ]

@@ -1,0 +1,22 @@
+(* Test entry point: one Alcotest runner over every suite. *)
+
+let () =
+  Alcotest.run "resource_containers"
+    [
+      ("simtime", Test_simtime.suite);
+      ("heapq", Test_heapq.suite);
+      ("rng+dist", Test_rng_dist.suite);
+      ("stats", Test_stats.suite);
+      ("sim", Test_sim.suite);
+      ("container", Test_container.suite);
+      ("rescont", Test_rescont_rest.suite);
+      ("access", Test_access.suite);
+      ("billing", Test_billing.suite);
+      ("sched", Test_sched.suite);
+      ("machine", Test_machine.suite);
+      ("disksim", Test_disksim.suite);
+      ("netsim", Test_netsim.suite);
+      ("httpsim", Test_httpsim.suite);
+      ("workload", Test_workload.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,156 @@
+(* Tests for Engine.Rng and Engine.Dist. *)
+
+module Rng = Engine.Rng
+module Dist = Engine.Dist
+
+let test_determinism () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_split_independent () =
+  let parent = Rng.create ~seed:9 in
+  let child = Rng.split parent in
+  let x = Rng.bits64 child in
+  let parent' = Rng.create ~seed:9 in
+  let child' = Rng.split parent' in
+  Alcotest.(check int64) "split deterministic" x (Rng.bits64 child')
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "Rng.int out of bounds"
+  done
+
+let test_int_invalid () =
+  let rng = Rng.create ~seed:5 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_float_bounds () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 3.5 in
+    if v < 0. || v >= 3.5 then Alcotest.fail "Rng.float out of bounds"
+  done
+
+let test_uniformity_rough () =
+  let rng = Rng.create ~seed:31 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < n / 20 || c > n / 5 then
+        Alcotest.failf "bucket %d wildly off: %d" i c)
+    buckets
+
+let mean_of samples = Array.fold_left ( +. ) 0. samples /. float_of_int (Array.length samples)
+
+let sample_n dist rng n = Array.init n (fun _ -> Dist.sample dist rng)
+
+let test_constant () =
+  let rng = Rng.create ~seed:1 in
+  let d = Dist.constant 4.2 in
+  Alcotest.(check (float 1e-9)) "sample" 4.2 (Dist.sample d rng);
+  Alcotest.(check (float 1e-9)) "mean" 4.2 (Dist.mean d)
+
+let test_uniform () =
+  let rng = Rng.create ~seed:2 in
+  let d = Dist.uniform ~lo:2. ~hi:4. in
+  let samples = sample_n d rng 20_000 in
+  Array.iter (fun v -> if v < 2. || v > 4. then Alcotest.fail "uniform out of range") samples;
+  Alcotest.(check (float 0.05)) "empirical mean" 3. (mean_of samples);
+  Alcotest.(check (float 1e-9)) "analytic mean" 3. (Dist.mean d)
+
+let test_exponential () =
+  let rng = Rng.create ~seed:3 in
+  let d = Dist.exponential ~mean:5. in
+  let samples = sample_n d rng 50_000 in
+  Array.iter (fun v -> if v < 0. then Alcotest.fail "negative exponential") samples;
+  Alcotest.(check (float 0.2)) "empirical mean" 5. (mean_of samples)
+
+let test_pareto () =
+  let rng = Rng.create ~seed:4 in
+  let d = Dist.pareto ~shape:2.5 ~scale:1. in
+  let samples = sample_n d rng 50_000 in
+  Array.iter (fun v -> if v < 1. then Alcotest.fail "pareto below scale") samples;
+  (* analytic mean = shape*scale/(shape-1) = 2.5/1.5 *)
+  Alcotest.(check (float 0.1)) "analytic mean" (2.5 /. 1.5) (Dist.mean d);
+  Alcotest.(check (float 0.15)) "empirical mean" (2.5 /. 1.5) (mean_of samples)
+
+let test_pareto_infinite_mean () =
+  let d = Dist.pareto ~shape:0.9 ~scale:1. in
+  Alcotest.(check bool) "infinite mean" true (Float.is_integer (Dist.mean d) = false && Dist.mean d = infinity)
+
+let test_zipf () =
+  let rng = Rng.create ~seed:6 in
+  let d = Dist.zipf ~n:10 ~s:1.0 in
+  let counts = Array.make 11 0 in
+  for _ = 1 to 50_000 do
+    let rank = int_of_float (Dist.sample d rng) in
+    if rank < 1 || rank > 10 then Alcotest.fail "zipf rank out of range";
+    counts.(rank) <- counts.(rank) + 1
+  done;
+  Alcotest.(check bool) "rank 1 most popular" true (counts.(1) > counts.(2));
+  Alcotest.(check bool) "rank 2 beats rank 5" true (counts.(2) > counts.(5))
+
+let test_empirical () =
+  let rng = Rng.create ~seed:7 in
+  let d = Dist.empirical [| (1., 10.); (3., 20.) |] in
+  let samples = sample_n d rng 40_000 in
+  let tens = Array.fold_left (fun acc v -> if v = 10. then acc + 1 else acc) 0 samples in
+  let frac = float_of_int tens /. 40_000. in
+  Alcotest.(check (float 0.02)) "weights respected" 0.25 frac;
+  Alcotest.(check (float 1e-9)) "mean" 17.5 (Dist.mean d)
+
+let test_zipf_mean_monotone_in_s () =
+  (* A steeper Zipf exponent concentrates mass on low ranks: the mean rank
+     must fall as s grows. *)
+  let mean s = Dist.mean (Dist.zipf ~n:100 ~s) in
+  Alcotest.(check bool) "mean falls with s" true
+    (mean 0.5 > mean 1.0 && mean 1.0 > mean 2.0)
+
+let test_invalid_args () =
+  Alcotest.check_raises "uniform hi<lo" (Invalid_argument "Dist.uniform: hi < lo") (fun () ->
+      ignore (Dist.uniform ~lo:2. ~hi:1.));
+  Alcotest.check_raises "exponential mean<=0"
+    (Invalid_argument "Dist.exponential: mean must be positive") (fun () ->
+      ignore (Dist.exponential ~mean:0.));
+  Alcotest.check_raises "empirical empty" (Invalid_argument "Dist.empirical: empty") (fun () ->
+      ignore (Dist.empirical [||]))
+
+let test_sample_int () =
+  let rng = Rng.create ~seed:8 in
+  Alcotest.(check int) "rounds" 4 (Dist.sample_int (Dist.constant 4.4) rng);
+  Alcotest.(check int) "clamps" 0 (Dist.sample_int (Dist.constant (-3.)) rng)
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_determinism;
+    Alcotest.test_case "rng seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "rng split" `Quick test_split_independent;
+    Alcotest.test_case "rng int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "rng int invalid" `Quick test_int_invalid;
+    Alcotest.test_case "rng float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "rng rough uniformity" `Slow test_uniformity_rough;
+    Alcotest.test_case "dist constant" `Quick test_constant;
+    Alcotest.test_case "dist uniform" `Quick test_uniform;
+    Alcotest.test_case "dist exponential" `Slow test_exponential;
+    Alcotest.test_case "dist pareto" `Slow test_pareto;
+    Alcotest.test_case "dist pareto infinite mean" `Quick test_pareto_infinite_mean;
+    Alcotest.test_case "dist zipf" `Slow test_zipf;
+    Alcotest.test_case "dist empirical" `Quick test_empirical;
+    Alcotest.test_case "zipf mean monotone" `Quick test_zipf_mean_monotone_in_s;
+    Alcotest.test_case "dist invalid args" `Quick test_invalid_args;
+    Alcotest.test_case "dist sample_int" `Quick test_sample_int;
+  ]

@@ -1,0 +1,74 @@
+(* Unit and property tests for Engine.Simtime. *)
+
+module Simtime = Engine.Simtime
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_units () =
+  check_int "us" 1_000 (Simtime.span_to_ns (Simtime.us 1));
+  check_int "ms" 1_000_000 (Simtime.span_to_ns (Simtime.ms 1));
+  check_int "sec" 1_000_000_000 (Simtime.span_to_ns (Simtime.sec 1));
+  check_int "sec_f rounds" 1_500_000_000 (Simtime.span_to_ns (Simtime.sec_f 1.5));
+  check_int "ns identity" 42 (Simtime.span_to_ns (Simtime.ns 42))
+
+let test_arithmetic () =
+  let t = Simtime.add Simtime.zero (Simtime.ms 5) in
+  check_int "add" 5_000_000 (Simtime.to_ns t);
+  let d = Simtime.diff t Simtime.zero in
+  check_int "diff" 5_000_000 (Simtime.span_to_ns d);
+  check_int "span_add" 3 (Simtime.span_to_ns (Simtime.span_add (Simtime.ns 1) (Simtime.ns 2)));
+  check_int "span_sub" (-1)
+    (Simtime.span_to_ns (Simtime.span_sub (Simtime.ns 1) (Simtime.ns 2)));
+  check_int "span_scale" 500 (Simtime.span_to_ns (Simtime.span_scale 0.5 (Simtime.us 1)))
+
+let test_ordering () =
+  let a = Simtime.of_ns 10 and b = Simtime.of_ns 20 in
+  check_bool "lt" true Simtime.(a < b);
+  check_bool "le" true Simtime.(a <= a);
+  check_bool "gt" true Simtime.(b > a);
+  check_bool "ge" true Simtime.(b >= b);
+  check_bool "equal" false (Simtime.equal a b);
+  check_int "compare" (-1) (Simtime.compare a b);
+  check_int "min" 10 (Simtime.to_ns (Simtime.min a b));
+  check_int "max" 20 (Simtime.to_ns (Simtime.max a b))
+
+let test_conversions () =
+  Alcotest.(check (float 1e-9)) "sec_f" 1.5 (Simtime.to_sec_f (Simtime.of_ns 1_500_000_000));
+  Alcotest.(check (float 1e-9)) "ms_f" 2.5 (Simtime.span_to_ms_f (Simtime.span_of_ns 2_500_000));
+  Alcotest.(check (float 1e-9)) "us_f" 3.5 (Simtime.span_to_us_f (Simtime.span_of_ns 3_500));
+  Alcotest.(check (float 1e-9)) "ratio" 0.5 (Simtime.ratio (Simtime.ms 5) (Simtime.ms 10));
+  Alcotest.(check (float 1e-9)) "ratio by zero" 0. (Simtime.ratio (Simtime.ms 5) Simtime.span_zero)
+
+let test_span_predicates () =
+  check_bool "positive" true (Simtime.span_is_positive (Simtime.ns 1));
+  check_bool "zero not positive" false (Simtime.span_is_positive Simtime.span_zero);
+  check_bool "negative not positive" false (Simtime.span_is_positive (Simtime.ns (-1)));
+  check_int "span_min" 1 (Simtime.span_to_ns (Simtime.span_min (Simtime.ns 1) (Simtime.ns 2)));
+  check_int "span_max" 2 (Simtime.span_to_ns (Simtime.span_max (Simtime.ns 1) (Simtime.ns 2)))
+
+let test_pp () =
+  let str pp v = Format.asprintf "%a" pp v in
+  Alcotest.(check string) "ns" "999ns" (str Simtime.pp_span (Simtime.ns 999));
+  Alcotest.(check string) "us" "1.500us" (str Simtime.pp_span (Simtime.ns 1_500));
+  Alcotest.(check string) "ms" "2.000ms" (str Simtime.pp_span (Simtime.ms 2));
+  Alcotest.(check string) "s" "3.000s" (str Simtime.pp_span (Simtime.sec 3))
+
+let prop_add_diff_roundtrip =
+  QCheck2.Test.make ~name:"add/diff round-trip" ~count:500
+    QCheck2.Gen.(pair (int_range 0 1_000_000_000) (int_range (-1_000_000) 1_000_000))
+    (fun (base, delta) ->
+      let t = Simtime.of_ns base in
+      let t' = Simtime.add t (Simtime.span_of_ns delta) in
+      Simtime.span_to_ns (Simtime.diff t' t) = delta)
+
+let suite =
+  [
+    Alcotest.test_case "unit constructors" `Quick test_units;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "conversions" `Quick test_conversions;
+    Alcotest.test_case "span predicates" `Quick test_span_predicates;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+    QCheck_alcotest.to_alcotest prop_add_diff_roundtrip;
+  ]
