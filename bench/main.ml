@@ -8,7 +8,11 @@
    experiment harnesses and printed as aligned tables.
 
    Run with: dune exec bench/main.exe            (full sweeps, ~minutes)
-             dune exec bench/main.exe -- --fast  (reduced sweeps)          *)
+             dune exec bench/main.exe -- --fast  (reduced sweeps)
+             dune exec bench/main.exe -- --json [--fast] [--label NAME]
+               (machine-readable fast-path metrics on stdout; redirect to a
+                BENCH_*.json and diff with bench/compare.exe — see the
+                Benchmarking section of EXPERIMENTS.md)                    *)
 
 open Bechamel
 open Toolkit
@@ -85,18 +89,34 @@ let bench_charge =
   Test.make ~name:"charge cpu through 3-level hierarchy"
     (Staged.stage (fun () -> Container.charge_cpu leaf ~kernel:true (Simtime.us 1)))
 
-let run_table1_microbench () =
-  let tests =
-    [
-      bench_create; bench_rebind; bench_get_usage; bench_attrs; bench_move; bench_handle;
-      bench_charge;
-    ]
-  in
+let table1_tests =
+  [
+    bench_create; bench_rebind; bench_get_usage; bench_attrs; bench_move; bench_handle;
+    bench_charge;
+  ]
+
+(* Run a group of Bechamel tests and return [(name, ns/op)] sorted by name. *)
+let ols_estimates ~group ~cfg tests =
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
-  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"table1" tests) in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:group tests) in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  List.sort compare
+    (List.map
+       (fun (name, result) ->
+         let estimate =
+           match Analyze.OLS.estimates result with
+           | Some (ns :: _) -> Some ns
+           | Some [] | None -> None
+         in
+         (name, estimate))
+       rows)
+
+let table1_cfg () = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ()
+
+let run_table1_microbench () =
+  let estimates = ols_estimates ~group:"table1" ~cfg:(table1_cfg ()) table1_tests in
   let table =
     Engine.Series.table
       ~title:"Table 1: container primitive costs (Bechamel, this library) vs paper"
@@ -111,24 +131,22 @@ let run_table1_microbench () =
     else if name = "table1/obtain handle for existing container" then "1.90"
     else "-"
   in
-  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
   List.iter
-    (fun (name, result) ->
+    (fun (name, estimate) ->
       let estimate =
-        match Analyze.OLS.estimates result with
-        | Some (ns :: _) -> Printf.sprintf "%.1f" ns
-        | Some [] | None -> "-"
+        match estimate with Some ns -> Printf.sprintf "%.1f" ns | None -> "-"
       in
       Engine.Series.add_row table [ name; estimate; paper_of name ])
-    (List.sort compare rows);
+    estimates;
   Format.printf "%a@." Engine.Series.pp_table table
 
 (* {1 Part 1b: scheduler capacity micro-benchmarks}
 
    How expensive is a scheduling decision as the container population
    grows?  One pick+charge round trip of the prototype's multilevel
-   scheduler and of the flat decay-usage scheduler, against 10 / 100 /
-   1000 runnable containers. *)
+   scheduler (both the incremental implementation and its list-and-sort
+   reference, so the speedup stays measured) and of the flat decay-usage
+   scheduler, against 10 / 100 / 1000 runnable containers. *)
 
 let sched_bench_policy name make_policy n =
   let root = Container.create_root () in
@@ -153,36 +171,114 @@ let sched_bench_policy name make_policy n =
                ~now:(Simtime.of_ns !now) (Simtime.us 10)
          | None -> ()))
 
+let sched_tests () =
+  List.concat_map
+    (fun n ->
+      [
+        sched_bench_policy "multilevel" (fun root -> Sched.Multilevel.make ~root ()) n;
+        sched_bench_policy "multilevel-ref" (fun root -> Sched.Multilevel_ref.make ~root ()) n;
+        sched_bench_policy "timeshare" (fun _ -> Sched.Timeshare.make ()) n;
+      ])
+    [ 10; 100; 1000 ]
+
+let sched_cfg () = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ()
+
 let run_sched_microbench () =
-  let tests =
-    List.concat_map
-      (fun n ->
-        [
-          sched_bench_policy "multilevel" (fun root -> Sched.Multilevel.make ~root ()) n;
-          sched_bench_policy "timeshare" (fun _ -> Sched.Timeshare.make ()) n;
-        ])
-      [ 10; 100; 1000 ]
-  in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) () in
-  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"sched" tests) in
-  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let estimates = ols_estimates ~group:"sched" ~cfg:(sched_cfg ()) (sched_tests ()) in
   let table =
     Engine.Series.table ~title:"Scheduler decision cost vs runnable containers"
       ~columns:[ "configuration"; "ns per pick+charge" ]
   in
-  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
   List.iter
-    (fun (name, result) ->
+    (fun (name, estimate) ->
       let estimate =
-        match Analyze.OLS.estimates result with
-        | Some (ns :: _) -> Printf.sprintf "%.0f" ns
-        | Some [] | None -> "-"
+        match estimate with Some ns -> Printf.sprintf "%.0f" ns | None -> "-"
       in
       Engine.Series.add_row table [ name; estimate ])
-    (List.sort compare rows);
+    estimates;
   Format.printf "%a@." Engine.Series.pp_table table
+
+(* {1 Machine-readable output (--json)}
+
+   Emits the fast-path metrics — Table-1 primitive costs, the scheduler
+   pick+charge sweep and the wall-clock cost of a Figure-11-style run —
+   as one JSON document on stdout:
+
+     { "schema_version": 1, "label": "...",
+       "metrics": [ {"name", "unit", "value", "better"}, ... ] }
+
+   All metrics are "better": "lower".  [bench/compare.ml] diffs two such
+   documents and fails on regressions; BENCH_PR1.json in the repo root is
+   the committed baseline. *)
+
+type metric = { m_name : string; m_unit : string; m_value : float }
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_json ~label metrics =
+  Printf.printf "{\n  \"schema_version\": 1,\n  \"label\": \"%s\",\n  \"metrics\": [\n"
+    (json_escape label);
+  let last = List.length metrics - 1 in
+  List.iteri
+    (fun i m ->
+      Printf.printf
+        "    {\"name\": \"%s\", \"unit\": \"%s\", \"value\": %.6g, \"better\": \"lower\"}%s\n"
+        (json_escape m.m_name) (json_escape m.m_unit) m.m_value
+        (if i = last then "" else ","))
+    metrics;
+  print_string "  ]\n}\n"
+
+let run_json ~fast ~label =
+  let scale cfg_quota = if fast then cfg_quota /. 2. else cfg_quota in
+  let t1 =
+    ols_estimates ~group:"table1"
+      ~cfg:(Benchmark.cfg ~limit:2000 ~quota:(Time.second (scale 0.5)) ())
+      table1_tests
+  in
+  let sched =
+    ols_estimates ~group:"sched"
+      ~cfg:(Benchmark.cfg ~limit:1000 ~quota:(Time.second (scale 0.25)) ())
+      (sched_tests ())
+  in
+  (* End-to-end cost: host seconds needed to simulate one second of the
+     Figure-11 rig (event API, 1 high + 20 low clients).  Normalising by
+     simulated time keeps fast and full runs comparable. *)
+  let wall_per_simsec =
+    let warmup = if fast then Simtime.ms 500 else Simtime.sec 1 in
+    let measure = if fast then Simtime.sec 1 else Simtime.sec 2 in
+    let sim_seconds =
+      Simtime.span_to_sec_f warmup +. Simtime.span_to_sec_f measure
+    in
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Experiments.Exp_fig11.t_high ~warmup ~measure
+         Experiments.Exp_fig11.Containers_event_api ~low_clients:20);
+    (Unix.gettimeofday () -. t0) /. sim_seconds
+  in
+  let metrics =
+    List.filter_map
+      (fun (name, estimate) ->
+        Option.map (fun v -> { m_name = name; m_unit = "ns/op"; m_value = v }) estimate)
+      (t1 @ sched)
+    @ [
+        {
+          m_name = "fig11/wall-clock per simulated second, event api, 20 low clients";
+          m_unit = "s/simsec";
+          m_value = wall_per_simsec;
+        };
+      ]
+  in
+  emit_json ~label metrics
 
 (* {1 Part 2: the evaluation section} *)
 
@@ -249,8 +345,18 @@ let run_experiments ~fast =
 
 let () =
   let fast = Array.exists (String.equal "--fast") Sys.argv in
-  Format.printf "=== Part 1: primitive costs (real wall clock, Bechamel OLS) ===@.";
-  run_table1_microbench ();
-  run_sched_microbench ();
-  Format.printf "@.=== Part 2: reproduction of the paper's evaluation (simulated) ===@.";
-  run_experiments ~fast
+  if Array.exists (String.equal "--json") Sys.argv then begin
+    let label = ref "current" in
+    Array.iteri
+      (fun i arg ->
+        if arg = "--label" && i + 1 < Array.length Sys.argv then label := Sys.argv.(i + 1))
+      Sys.argv;
+    run_json ~fast ~label:!label
+  end
+  else begin
+    Format.printf "=== Part 1: primitive costs (real wall clock, Bechamel OLS) ===@.";
+    run_table1_microbench ();
+    run_sched_microbench ();
+    Format.printf "@.=== Part 2: reproduction of the paper's evaluation (simulated) ===@.";
+    run_experiments ~fast
+  end

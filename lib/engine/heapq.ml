@@ -1,42 +1,47 @@
 (* A classic array-backed binary heap.  Each inserted element gets a node
-   record; cancellation marks the node dead and decrements [live], and dead
-   nodes are discarded when they reach the top.  This keeps cancel O(1) at
-   the cost of dead nodes lingering in the array, which is fine for the
-   simulator (cancellations are rare relative to insertions). *)
+   record; cancellation marks the node dead and decrements [live].  Dead
+   nodes are discarded when they reach the top, and the whole heap is
+   compacted as soon as dead nodes outnumber live ones, so a cancel-heavy
+   workload (e.g. TCP timers under a SYN flood) cannot grow the array —
+   or pin cancelled payloads — without bound.
+
+   Slots are stored unboxed ([node array], not [node option array]): sift
+   steps move pointers without re-wrapping, and vacated slots are filled
+   with a sentinel so extracted payloads become collectable immediately.
+   The sentinel is an immediate value never dereferenced — every array
+   read is guarded by [size]. *)
 
 type 'a node = { prio : int; seq : int; value : 'a; mutable alive : bool }
 type handle = H : 'a node -> handle
 
 type 'a t = {
-  mutable arr : 'a node option array;
+  mutable arr : 'a node array; (* slots [0, size) hold real nodes *)
   mutable size : int; (* slots used in [arr], live or dead *)
   mutable live : int;
   mutable next_seq : int;
 }
 
-let create () = { arr = Array.make 64 None; size = 0; live = 0; next_seq = 0 }
+let nil () : 'a node = Obj.magic 0
+
+let create () = { arr = Array.make 64 (nil ()); size = 0; live = 0; next_seq = 0 }
 let length q = q.live
 let is_empty q = q.live = 0
+let physical_size q = q.size
 
 let node_lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
 
 let grow q =
-  let arr = Array.make (2 * Array.length q.arr) None in
+  let arr = Array.make (2 * Array.length q.arr) (nil ()) in
   Array.blit q.arr 0 arr 0 q.size;
   q.arr <- arr
-
-let get q i =
-  match q.arr.(i) with
-  | Some n -> n
-  | None -> assert false
 
 let rec sift_up q i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    let np = get q parent and ni = get q i in
+    let np = Array.unsafe_get q.arr parent and ni = Array.unsafe_get q.arr i in
     if node_lt ni np then begin
-      q.arr.(parent) <- Some ni;
-      q.arr.(i) <- Some np;
+      Array.unsafe_set q.arr parent ni;
+      Array.unsafe_set q.arr i np;
       sift_up q parent
     end
   end
@@ -44,12 +49,14 @@ let rec sift_up q i =
 let rec sift_down q i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < q.size && node_lt (get q l) (get q !smallest) then smallest := l;
-  if r < q.size && node_lt (get q r) (get q !smallest) then smallest := r;
+  if l < q.size && node_lt (Array.unsafe_get q.arr l) (Array.unsafe_get q.arr !smallest) then
+    smallest := l;
+  if r < q.size && node_lt (Array.unsafe_get q.arr r) (Array.unsafe_get q.arr !smallest) then
+    smallest := r;
   if !smallest <> i then begin
-    let tmp = get q i in
-    q.arr.(i) <- q.arr.(!smallest);
-    q.arr.(!smallest) <- Some tmp;
+    let tmp = Array.unsafe_get q.arr i in
+    Array.unsafe_set q.arr i (Array.unsafe_get q.arr !smallest);
+    Array.unsafe_set q.arr !smallest tmp;
     sift_down q !smallest
   end
 
@@ -57,30 +64,58 @@ let insert q ~prio value =
   let node = { prio; seq = q.next_seq; value; alive = true } in
   q.next_seq <- q.next_seq + 1;
   if q.size = Array.length q.arr then grow q;
-  q.arr.(q.size) <- Some node;
+  q.arr.(q.size) <- node;
   q.size <- q.size + 1;
   q.live <- q.live + 1;
   sift_up q (q.size - 1);
   H node
 
+(* Drop every dead node in one pass and re-establish the heap property.
+   Runs when dead nodes outnumber live ones (with a floor so tiny heaps
+   don't thrash), keeping the array at most ~2x the live population. *)
+let compact q =
+  let j = ref 0 in
+  for i = 0 to q.size - 1 do
+    let n = Array.unsafe_get q.arr i in
+    if n.alive then begin
+      Array.unsafe_set q.arr !j n;
+      incr j
+    end
+  done;
+  for i = !j to q.size - 1 do
+    Array.unsafe_set q.arr i (nil ())
+  done;
+  q.size <- !j;
+  let cap = Array.length q.arr in
+  if cap > 64 && q.size * 4 < cap then begin
+    let arr = Array.make (max 64 (2 * max 1 q.size)) (nil ()) in
+    Array.blit q.arr 0 arr 0 q.size;
+    q.arr <- arr
+  end;
+  for i = (q.size / 2) - 1 downto 0 do
+    sift_down q i
+  done
+
 let cancel q (H node) =
   if node.alive then begin
     node.alive <- false;
     q.live <- q.live - 1;
+    let dead = q.size - q.live in
+    if dead > q.live && dead > 64 then compact q;
     true
   end
   else false
 
 let remove_top q =
-  let top = get q 0 in
+  let top = q.arr.(0) in
   q.size <- q.size - 1;
   q.arr.(0) <- q.arr.(q.size);
-  q.arr.(q.size) <- None;
+  q.arr.(q.size) <- nil ();
   if q.size > 0 then sift_down q 0;
   top
 
 (* Discard dead nodes at the top until a live one (or nothing) remains. *)
-let rec skim q = if q.size > 0 && not (get q 0).alive then (ignore (remove_top q); skim q)
+let rec skim q = if q.size > 0 && not q.arr.(0).alive then (ignore (remove_top q); skim q)
 
 let pop_min q =
   skim q;
@@ -94,9 +129,9 @@ let pop_min q =
 
 let peek_min_prio q =
   skim q;
-  if q.size = 0 then None else Some (get q 0).prio
+  if q.size = 0 then None else Some q.arr.(0).prio
 
 let clear q =
-  Array.fill q.arr 0 q.size None;
+  Array.fill q.arr 0 q.size (nil ());
   q.size <- 0;
   q.live <- 0

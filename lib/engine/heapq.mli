@@ -16,6 +16,12 @@ val create : unit -> 'a t
 val length : 'a t -> int
 (** Number of live (non-cancelled) elements. *)
 
+val physical_size : 'a t -> int
+(** Number of array slots currently holding a node, live or cancelled.
+    Cancellation is lazy, but the heap compacts itself whenever dead nodes
+    outnumber live ones (beyond a small floor), so this stays within
+    [2 * length q + 65].  Exposed for tests and instrumentation. *)
+
 val is_empty : 'a t -> bool
 
 val insert : 'a t -> prio:int -> 'a -> handle

@@ -8,7 +8,10 @@ type t = {
   id : int;
   name : string;
   mutable parent : t option;
-  mutable children : t list;
+  mutable children_rev : t list; (* newest child first; O(1) insertion *)
+  mutable children_fwd : t list; (* memoized [List.rev children_rev] *)
+  mutable children_dirty : bool;
+  mutable ancestry : t array; (* [| self; parent; ...; top |]; [||] = stale *)
   mutable attrs : Attrs.t;
   usage : Usage.t;
   subtree_usage : Usage.t; (* this container plus all descendants, ever *)
@@ -24,11 +27,24 @@ let fresh_id () =
   incr next_id;
   !next_id
 
+(* Bumped whenever a parent link of an existing container changes (detach,
+   re-parent, destroy).  Schedulers cache per-subtree aggregates keyed on
+   this counter and rebuild them only when the tree actually moved. *)
+let topology_gen = ref 0
+let topology_generation () = !topology_gen
+
 let id t = t.id
 let name t = t.name
 let parent t = t.parent
-let children t = t.children
-let is_leaf t = t.children = []
+
+let children t =
+  if t.children_dirty then begin
+    t.children_fwd <- List.rev t.children_rev;
+    t.children_dirty <- false
+  end;
+  t.children_fwd
+
+let is_leaf t = t.children_rev = []
 let is_root t = t.root
 let is_destroyed t = t.destroyed
 let attrs t = t.attrs
@@ -36,12 +52,39 @@ let usage t = t.usage
 let binding_count t = t.bindings
 let ref_count t = t.refs
 
-let rec depth t = match t.parent with None -> 0 | Some p -> 1 + depth p
-let rec root_of t = match t.parent with None -> t | Some p -> root_of p
+(* The parent chain, cached flat so every charge is a plain array walk with
+   no closure and no per-level allocation.  Invalidated (set to [||]) for a
+   whole subtree whenever any parent link on the path changes. *)
+let ancestry t =
+  if Array.length t.ancestry = 0 then begin
+    let rec count n node = match node.parent with None -> n | Some p -> count (n + 1) p in
+    let len = count 1 t in
+    let arr = Array.make len t in
+    let rec fill i node =
+      Array.unsafe_set arr i node;
+      match node.parent with None -> () | Some p -> fill (i + 1) p
+    in
+    fill 0 t;
+    t.ancestry <- arr
+  end;
+  t.ancestry
 
-let rec iter_subtree f t =
-  f t;
-  List.iter (iter_subtree f) t.children
+let rec invalidate_subtree t =
+  t.ancestry <- [||];
+  List.iter invalidate_subtree t.children_rev
+
+let depth t = Array.length (ancestry t) - 1
+
+let root_of t =
+  let chain = ancestry t in
+  chain.(Array.length chain - 1)
+
+let iter_subtree f t =
+  let rec walk node =
+    f node;
+    List.iter walk (children node)
+  in
+  walk t
 
 let check_alive t = if t.destroyed then error "container %s (#%d) is destroyed" t.name t.id
 
@@ -58,10 +101,14 @@ let check_can_adopt parent extra_share =
         parent.name);
   if parent.bindings > 0 then
     error "container %s has thread bindings; threads bind only to leaves" parent.name;
-  let committed = List.fold_left (fun acc c -> acc +. share_of c) 0. parent.children in
+  let committed = List.fold_left (fun acc c -> acc +. share_of c) 0. (children parent) in
   if committed +. extra_share > 1. +. 1e-9 then
     error "fixed shares under %s would exceed 1.0 (%.3f committed + %.3f new)" parent.name
       committed extra_share
+
+let add_child p c =
+  p.children_rev <- c :: p.children_rev;
+  p.children_dirty <- true
 
 let make ?name ?(attrs = Attrs.default) ~parent ~root () =
   (match Attrs.validate attrs with Ok () -> () | Error msg -> error "invalid attributes: %s" msg);
@@ -72,7 +119,10 @@ let make ?name ?(attrs = Attrs.default) ~parent ~root () =
       id;
       name;
       parent;
-      children = [];
+      children_rev = [];
+      children_fwd = [];
+      children_dirty = false;
+      ancestry = [||];
       attrs;
       usage = Usage.create ();
       subtree_usage = Usage.create ();
@@ -85,7 +135,7 @@ let make ?name ?(attrs = Attrs.default) ~parent ~root () =
   (match parent with
   | Some p ->
       check_can_adopt p (share_of t);
-      p.children <- p.children @ [ t ]
+      add_child p t
   | None -> ());
   t
 
@@ -99,12 +149,18 @@ let detach t =
   match t.parent with
   | None -> ()
   | Some p ->
-      p.children <- List.filter (fun c -> c.id <> t.id) p.children;
-      t.parent <- None
+      p.children_rev <- List.filter (fun c -> c.id <> t.id) p.children_rev;
+      p.children_dirty <- true;
+      t.parent <- None;
+      incr topology_gen;
+      invalidate_subtree t
 
-let rec is_ancestor ~candidate t =
-  t.id = candidate.id
-  || match t.parent with None -> false | Some p -> is_ancestor ~candidate p
+let is_ancestor ~candidate t =
+  let chain = ancestry t in
+  let rec scan i =
+    i < Array.length chain && ((Array.unsafe_get chain i).id = candidate.id || scan (i + 1))
+  in
+  scan 0
 
 let has_ancestor t ~ancestor = is_ancestor ~candidate:ancestor t
 
@@ -120,13 +176,15 @@ let set_parent t new_parent =
   | None -> ()
   | Some p ->
       check_can_adopt p (share_of t);
-      p.children <- p.children @ [ t ];
-      t.parent <- Some p
+      add_child p t;
+      t.parent <- Some p;
+      incr topology_gen;
+      invalidate_subtree t
 
 let set_attrs t attrs =
   check_alive t;
   (match Attrs.validate attrs with Ok () -> () | Error msg -> error "invalid attributes: %s" msg);
-  (match (attrs.Attrs.sched_class, t.children) with
+  (match (attrs.Attrs.sched_class, t.children_rev) with
   | Attrs.Timeshare, _ :: _ ->
       error "container %s has children and must stay fixed-share" t.name
   | (Attrs.Fixed_share _ | Attrs.Timeshare), _ -> ());
@@ -134,7 +192,7 @@ let set_attrs t attrs =
   (match (t.parent, attrs.Attrs.sched_class) with
   | Some p, Attrs.Fixed_share s ->
       let committed =
-        List.fold_left (fun acc c -> if c.id = t.id then acc else acc +. share_of c) 0. p.children
+        List.fold_left (fun acc c -> if c.id = t.id then acc else acc +. share_of c) 0. (children p)
       in
       if committed +. s > 1. +. 1e-9 then
         error "fixed shares under %s would exceed 1.0" p.name
@@ -143,52 +201,79 @@ let set_attrs t attrs =
 
 (* Charges land on the container's own usage and roll up into the subtree
    usage of the container and every ancestor, so hierarchical accounting
-   survives the destruction of children (§4.5). *)
-let ascend t f =
-  let rec bump node =
-    f node.subtree_usage;
-    match node.parent with None -> () | Some p -> bump p
-  in
-  bump t
+   survives the destruction of children (§4.5).  The walk is a flat array
+   iteration over the cached chain: no closures, no allocation. *)
 
 let charge_cpu t ~kernel span =
   Usage.charge_cpu t.usage ~kernel span;
-  ascend t (fun u -> Usage.charge_cpu u ~kernel span)
+  let chain = ancestry t in
+  for i = 0 to Array.length chain - 1 do
+    Usage.charge_cpu (Array.unsafe_get chain i).subtree_usage ~kernel span
+  done
 
 let charge_rx t ~packets ~bytes =
   Usage.charge_rx t.usage ~packets ~bytes;
-  ascend t (fun u -> Usage.charge_rx u ~packets ~bytes)
+  let chain = ancestry t in
+  for i = 0 to Array.length chain - 1 do
+    Usage.charge_rx (Array.unsafe_get chain i).subtree_usage ~packets ~bytes
+  done
 
 let charge_tx t ~packets ~bytes =
   Usage.charge_tx t.usage ~packets ~bytes;
-  ascend t (fun u -> Usage.charge_tx u ~packets ~bytes)
+  let chain = ancestry t in
+  for i = 0 to Array.length chain - 1 do
+    Usage.charge_tx (Array.unsafe_get chain i).subtree_usage ~packets ~bytes
+  done
 
 let charge_memory t delta =
   Usage.charge_memory t.usage delta;
-  ascend t (fun u -> Usage.charge_memory u delta)
+  let chain = ancestry t in
+  for i = 0 to Array.length chain - 1 do
+    Usage.charge_memory (Array.unsafe_get chain i).subtree_usage delta
+  done
 
 let charge_disk t ~bytes span =
   Usage.charge_disk t.usage ~bytes span;
-  ascend t (fun u -> Usage.charge_disk u ~bytes span)
+  let chain = ancestry t in
+  for i = 0 to Array.length chain - 1 do
+    Usage.charge_disk (Array.unsafe_get chain i).subtree_usage ~bytes span
+  done
 
 let subtree_usage t = t.subtree_usage
 let subtree_cpu t = Usage.cpu_total t.subtree_usage
 
-let rec guaranteed_fraction t =
-  let parent_fraction = match t.parent with None -> 1.0 | Some p -> guaranteed_fraction p in
-  match t.attrs.Attrs.sched_class with
-  | Attrs.Fixed_share s -> s *. parent_fraction
-  | Attrs.Timeshare -> parent_fraction
+let guaranteed_fraction t =
+  let chain = ancestry t in
+  let acc = ref 1.0 in
+  for i = Array.length chain - 1 downto 0 do
+    match (Array.unsafe_get chain i).attrs.Attrs.sched_class with
+    | Attrs.Fixed_share s -> acc := s *. !acc
+    | Attrs.Timeshare -> ()
+  done;
+  !acc
 
-let rec effective_cpu_limit t =
-  let own = match t.attrs.Attrs.cpu_limit with Some l -> l | None -> 1.0 in
-  match t.parent with None -> own | Some p -> Float.min own (effective_cpu_limit p)
+let effective_cpu_limit t =
+  let chain = ancestry t in
+  let acc = ref 1.0 in
+  for i = Array.length chain - 1 downto 0 do
+    match (Array.unsafe_get chain i).attrs.Attrs.cpu_limit with
+    | Some l -> acc := Float.min l !acc
+    | None -> ()
+  done;
+  !acc
 
 let destroy t =
   if not t.destroyed then begin
     (* §4.6: when a parent is destroyed, its children get "no parent". *)
-    List.iter (fun c -> c.parent <- None) t.children;
-    t.children <- [];
+    List.iter
+      (fun c ->
+        c.parent <- None;
+        invalidate_subtree c)
+      t.children_rev;
+    t.children_rev <- [];
+    t.children_fwd <- [];
+    t.children_dirty <- false;
+    incr topology_gen;
     detach t;
     t.destroyed <- true
   end
@@ -223,6 +308,6 @@ let pp_tree ppf t =
     Format.fprintf ppf "%s%s [%a] cpu=%a subtree=%a@." indent node.name Attrs.pp node.attrs
       Simtime.pp_span (Usage.cpu_total node.usage) Simtime.pp_span
       (Usage.cpu_total node.subtree_usage);
-    List.iter (walk (indent ^ "  ")) node.children
+    List.iter (walk (indent ^ "  ")) (children node)
   in
   walk "" t

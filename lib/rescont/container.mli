@@ -55,6 +55,18 @@ val has_ancestor : t -> ancestor:t -> bool
 (** [has_ancestor c ~ancestor] is [true] when [ancestor] lies on [c]'s
     parent chain, or equals [c]. *)
 
+val ancestry : t -> t array
+(** The cached parent chain [[| c; parent; ...; top |]] (self first, the
+    chain's topmost container last).  O(1) when cached; rebuilt lazily
+    after a re-parent.  Callers must treat the array as read-only — it is
+    the cache itself, not a copy.  This is the closure-free fast path that
+    charging and scheduling iterate. *)
+
+val topology_generation : unit -> int
+(** Global counter bumped whenever a parent link of an existing container
+    changes (detach, re-parent, destroy).  Caches of per-subtree
+    aggregates (e.g. run-queue work counts) key their validity on it. *)
+
 (** {1 Attributes and usage} *)
 
 val attrs : t -> Attrs.t

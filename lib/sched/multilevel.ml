@@ -1,3 +1,25 @@
+(* Incremental reimplementation of the multilevel scheduler.  The policy's
+   semantics — virtual-time weighted fair queueing per node, the
+   start-time arrival rule, idle-class demotion and windowed CPU limits —
+   are specified by [Multilevel_ref], and the equivalence property test
+   holds this module to the exact pick sequence of that reference.
+
+   What changed is purely mechanical cost.  The original re-derived every
+   decision from scratch: per pick and per node it allocated filtered
+   lists, partitioned, folded weights, and ran an O(k log k) sort whose
+   comparator did two hash-table lookups per comparison.  Here each
+   interior node keeps an index of its children — container, scheduler
+   state and the run-queue's live-subtree counter, cached as a flat
+   array — so a pick is one allocation-free O(k) scan per node on the
+   path down the tree: eligibility, weight sums and the arrival rule in
+   one pass, then a min-scan instead of a sort (re-scanned only in the
+   rare case that a chosen subtree turns out to be fully throttled).
+
+   The child index is keyed on the physical identity of the container's
+   memoized children list, so it rebuilds itself exactly when the child
+   set changes; the run-queue counter refs survive topology rebuilds, so
+   cached pointers stay valid. *)
+
 module Simtime = Engine.Simtime
 module Container = Rescont.Container
 module Attrs = Rescont.Attrs
@@ -8,9 +30,15 @@ type cstate = {
   mutable win_id : int;
   mutable win_used : int; (* ns consumed by the subtree in current window *)
   mutable last_round : int; (* as a child: last pick round it was eligible *)
+  mutable tried_round : int; (* as a child: round in which retry already tried it *)
   mutable node_round : int; (* as a parent: pick round counter *)
   mutable node_vnow : float; (* as a parent: virtual clock (max served vt) *)
+  mutable kids_key : Container.t list; (* children list the index was built from *)
+  mutable kids : kid array; (* as a parent: index over children *)
+  mutable scratch : kid array; (* eligible children of the current round *)
 }
+
+and kid = { kc : Container.t; ks : cstate; kcount : int ref }
 
 let make ?(window = Simtime.ms 100) ~root () =
   let window_ns = Simtime.span_to_ns window in
@@ -24,14 +52,14 @@ let make ?(window = Simtime.ms 100) ~root () =
     | None ->
         let s =
           { vt = 0.; last_weight = 1.; win_id = -1; win_used = 0; last_round = 0;
-            node_round = 0; node_vnow = 0. }
+            tried_round = -1; node_round = 0; node_vnow = 0.; kids_key = []; kids = [||];
+            scratch = [||] }
         in
         Hashtbl.replace states cid s;
         s
   in
   let win_index now = Simtime.to_ns now / window_ns in
-  let win_used ~now container =
-    let s = state_of container in
+  let win_used_s ~now s =
     let idx = win_index now in
     if s.win_id <> idx then begin
       s.win_id <- idx;
@@ -39,10 +67,10 @@ let make ?(window = Simtime.ms 100) ~root () =
     end;
     s.win_used
   in
-  let throttled ~now container =
+  let throttled_s ~now container s =
     match (Container.attrs container).Attrs.cpu_limit with
     | None -> false
-    | Some limit -> float_of_int (win_used ~now container) >= limit *. float_of_int window_ns
+    | Some limit -> float_of_int (win_used_s ~now s) >= limit *. float_of_int window_ns
   in
   let is_idle_ts container =
     let attrs = Container.attrs container in
@@ -50,99 +78,128 @@ let make ?(window = Simtime.ms 100) ~root () =
     | Attrs.Timeshare -> Attrs.is_idle_class attrs
     | Attrs.Fixed_share _ -> false
   in
-  let share_of container =
-    match (Container.attrs container).Attrs.sched_class with
-    | Attrs.Fixed_share s -> s
-    | Attrs.Timeshare -> 0.
-  in
-  (* Weight of each eligible child of one parent: fixed-share children carry
-     their share; timeshare children split the residual in proportion to
-     numeric priority. *)
-  let weights eligible =
-    let fixed, ts =
-      List.partition
-        (fun c ->
-          match (Container.attrs c).Attrs.sched_class with
-          | Attrs.Fixed_share _ -> true
-          | Attrs.Timeshare -> false)
-        eligible
-    in
-    let fixed_sum = List.fold_left (fun acc c -> acc +. share_of c) 0. fixed in
-    let residual = Float.max 0.02 (1. -. fixed_sum) in
-    let prio c = float_of_int (max 1 (Container.attrs c).Attrs.priority) in
-    let ts_prio_sum = List.fold_left (fun acc c -> acc +. prio c) 0. ts in
-    fun c ->
-      match (Container.attrs c).Attrs.sched_class with
-      | Attrs.Fixed_share s -> Float.max 1e-3 s
-      | Attrs.Timeshare -> residual *. prio c /. Float.max 1e-9 ts_prio_sum
-  in
-  let rec pick_node ~now ~include_idle node =
-    if throttled ~now node then None
-    else begin
-      let children_with_work =
-        List.filter (fun c -> Runq.subtree_has_work runq c) (Container.children node)
+  (* Rebuild a node's child index iff its children list changed identity.
+     Retry markers are cleared on rebuild: a re-parented child must not
+     carry a marker stamped by another parent's round counter. *)
+  let refresh_kids nstate node =
+    let cs = Container.children node in
+    if not (nstate.kids_key == cs) then begin
+      let arr =
+        Array.of_list
+          (List.map
+             (fun c ->
+               let s = state_of c in
+               s.tried_round <- -1;
+               { kc = c; ks = s; kcount = Runq.subtree_count_ref runq c })
+             cs)
       in
-      match children_with_work with
-      | [] -> Runq.front runq node
-      | _ :: _ ->
-          let eligible =
-            List.filter
-              (fun c -> (include_idle || not (is_idle_ts c)) && not (throttled ~now c))
-              children_with_work
-          in
-          let weight_of = weights eligible in
-          (* Start-time fair queueing arrival rule: a child that was not
-             eligible in the previous round (fresh container, or waking
-             after idleness) starts at the node's virtual clock — it is
-             neither penalised for history nor allowed to replay it. *)
-          let ns = state_of node in
-          ns.node_round <- ns.node_round + 1;
-          List.iter
-            (fun c ->
-              let s = state_of c in
-              if s.last_round < ns.node_round - 1 && s.vt < ns.node_vnow then
-                s.vt <- ns.node_vnow;
-              s.last_round <- ns.node_round)
-            eligible;
-          let in_vt_order =
-            List.sort
-              (fun a b ->
-                match compare (state_of a).vt (state_of b).vt with
-                | 0 -> compare (Container.id a) (Container.id b)
-                | n -> n)
-              eligible
-          in
-          let rec try_children = function
-            | [] -> None
-            | child :: rest -> (
-                match pick_node ~now ~include_idle child with
-                | Some task ->
-                    let cs = state_of child in
-                    cs.last_weight <- weight_of child;
-                    ns.node_vnow <- Float.max ns.node_vnow cs.vt;
-                    Some task
-                | None -> try_children rest)
-          in
-          try_children in_vt_order
+      nstate.kids <- arr;
+      nstate.kids_key <- cs;
+      let n = Array.length arr in
+      if n > 0 && Array.length nstate.scratch < n then nstate.scratch <- Array.make n arr.(0)
     end
   in
+  let rec pick_node ~now ~include_idle node nstate =
+    if throttled_s ~now node nstate then None
+    else begin
+      refresh_kids nstate node;
+      let kids = nstate.kids in
+      let nkids = Array.length kids in
+      let scratch = nstate.scratch in
+      let any_work = ref false in
+      let elig_n = ref 0 in
+      let fixed_sum = ref 0. in
+      let ts_prio_sum = ref 0. in
+      (* One pass: children with queued subtree work, their eligibility
+         (idle demotion, window throttle) and the weight sums of the
+         eligible set — all in child order, as the reference does it. *)
+      for i = 0 to nkids - 1 do
+        let k = Array.unsafe_get kids i in
+        if !(k.kcount) > 0 then begin
+          any_work := true;
+          if
+            (include_idle || not (is_idle_ts k.kc)) && not (throttled_s ~now k.kc k.ks)
+          then begin
+            (match (Container.attrs k.kc).Attrs.sched_class with
+            | Attrs.Fixed_share s -> fixed_sum := !fixed_sum +. s
+            | Attrs.Timeshare ->
+                ts_prio_sum :=
+                  !ts_prio_sum +. float_of_int (max 1 (Container.attrs k.kc).Attrs.priority));
+            Array.unsafe_set scratch !elig_n k;
+            incr elig_n
+          end
+        end
+      done;
+      if not !any_work then Runq.front runq node
+      else begin
+        let round = nstate.node_round + 1 in
+        nstate.node_round <- round;
+        (* Start-time fair queueing arrival rule: a child that was not
+           eligible in the previous round (fresh container, or waking
+           after idleness) starts at the node's virtual clock — it is
+           neither penalised for history nor allowed to replay it. *)
+        for i = 0 to !elig_n - 1 do
+          let s = (Array.unsafe_get scratch i).ks in
+          if s.last_round < round - 1 && s.vt < nstate.node_vnow then s.vt <- nstate.node_vnow;
+          s.last_round <- round
+        done;
+        let residual = Float.max 0.02 (1. -. !fixed_sum) in
+        let ts_sum = Float.max 1e-9 !ts_prio_sum in
+        let weight_of k =
+          match (Container.attrs k.kc).Attrs.sched_class with
+          | Attrs.Fixed_share s -> Float.max 1e-3 s
+          | Attrs.Timeshare ->
+              residual *. float_of_int (max 1 (Container.attrs k.kc).Attrs.priority) /. ts_sum
+        in
+        (* Min-scan over (vt, id) replaces the sort: descend into the
+           lowest-vt eligible child; if its whole subtree yields nothing
+           (deep throttling), mark it tried and rescan. *)
+        let rec select () =
+          let best = ref (-1) in
+          for i = 0 to !elig_n - 1 do
+            let k = Array.unsafe_get scratch i in
+            if k.ks.tried_round <> round then
+              if !best < 0 then best := i
+              else
+                let b = Array.unsafe_get scratch !best in
+                if
+                  k.ks.vt < b.ks.vt
+                  || (k.ks.vt = b.ks.vt && Container.id k.kc < Container.id b.kc)
+                then best := i
+          done;
+          if !best < 0 then None
+          else begin
+            let k = Array.unsafe_get scratch !best in
+            k.ks.tried_round <- round;
+            match pick_node ~now ~include_idle k.kc k.ks with
+            | Some task ->
+                k.ks.last_weight <- weight_of k;
+                nstate.node_vnow <- Float.max nstate.node_vnow k.ks.vt;
+                Some task
+            | None -> select ()
+          end
+        in
+        select ()
+      end
+    end
+  in
+  let root_state = state_of root in
   let pick ~now =
-    match pick_node ~now ~include_idle:false root with
+    Runq.sync runq;
+    match pick_node ~now ~include_idle:false root root_state with
     | Some task -> Some task
-    | None -> pick_node ~now ~include_idle:true root
+    | None -> pick_node ~now ~include_idle:true root root_state
   in
   let charge ~container ~now span =
     let span_ns = Simtime.span_to_ns span in
-    let rec ascend node =
-      let s = state_of node in
-      ignore (win_used ~now node);
+    let chain = Container.ancestry container in
+    let len = Array.length chain in
+    for i = 0 to len - 1 do
+      let s = state_of (Array.unsafe_get chain i) in
+      ignore (win_used_s ~now s);
       s.win_used <- s.win_used + span_ns;
-      (match Container.parent node with
-      | Some _ -> s.vt <- s.vt +. (float_of_int span_ns /. Float.max 1e-9 s.last_weight)
-      | None -> ());
-      match Container.parent node with Some p -> ascend p | None -> ()
-    in
-    ascend container;
+      if i < len - 1 then s.vt <- s.vt +. (float_of_int span_ns /. Float.max 1e-9 s.last_weight)
+    done;
     Runq.rotate runq container
   in
   let next_release ~now =

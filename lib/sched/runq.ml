@@ -1,43 +1,122 @@
 module Container = Rescont.Container
 
+(* Queues use lazy deletion: [where] is the source of truth for membership
+   (task id -> container id + enqueue stamp), and a queue entry is live only
+   while [where] still matches its stamp.  Dequeue is therefore O(1); stale
+   entries are skipped when they reach the front and bulk-compacted if they
+   ever dominate a queue.
+
+   [counts] holds, per container, the number of live tasks queued anywhere
+   in its subtree, maintained incrementally along the cached ancestor chain
+   on enqueue/dequeue — so [subtree_has_work] is an O(1) lookup instead of
+   a recursive walk.  The counts are keyed on the container topology
+   generation and rebuilt from the queues when the tree is re-shaped. *)
+
+type entry = { task : Task.t; stamp : int }
+type cq = { q : entry Queue.t; container : Container.t; mutable live : int }
+
 type t = {
-  queues : (int, Task.t Queue.t * Container.t) Hashtbl.t; (* container id -> queue *)
-  where : (int, int) Hashtbl.t; (* task id -> container id it is queued under *)
+  queues : (int, cq) Hashtbl.t; (* container id -> queue *)
+  where : (int, int * int) Hashtbl.t; (* task id -> (container id, stamp) *)
+  counts : (int, int ref) Hashtbl.t; (* container id -> live tasks in subtree *)
+  mutable next_stamp : int;
+  mutable topo_gen : int;
 }
 
-let create () = { queues = Hashtbl.create 64; where = Hashtbl.create 64 }
+let create () =
+  {
+    queues = Hashtbl.create 64;
+    where = Hashtbl.create 64;
+    counts = Hashtbl.create 64;
+    next_stamp = 0;
+    topo_gen = Container.topology_generation ();
+  }
+
+let subtree_count_ref t container =
+  let cid = Container.id container in
+  match Hashtbl.find_opt t.counts cid with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace t.counts cid r;
+      r
+
+let bump_chain t container delta =
+  let chain = Container.ancestry container in
+  for i = 0 to Array.length chain - 1 do
+    let r = subtree_count_ref t (Array.unsafe_get chain i) in
+    r := !r + delta
+  done
+
+(* The refs keep their identity across a rebuild, so cached pointers into
+   [counts] (e.g. the multilevel scheduler's per-parent child index) stay
+   valid. *)
+let rebuild_counts t =
+  Hashtbl.iter (fun _ r -> r := 0) t.counts;
+  Hashtbl.iter (fun _ cq -> if cq.live > 0 then bump_chain t cq.container cq.live) t.queues
+
+let sync t =
+  let g = Container.topology_generation () in
+  if g <> t.topo_gen then begin
+    t.topo_gen <- g;
+    rebuild_counts t
+  end
 
 let queue_for t container =
   let cid = Container.id container in
   match Hashtbl.find_opt t.queues cid with
-  | Some (q, _) -> q
+  | Some cq -> cq
   | None ->
-      let q = Queue.create () in
-      Hashtbl.replace t.queues cid (q, container);
-      q
+      let cq = { q = Queue.create (); container; live = 0 } in
+      Hashtbl.replace t.queues cid cq;
+      cq
 
 let mem t task = Hashtbl.mem t.where task.Task.id
 
+let entry_live t cid e =
+  match Hashtbl.find_opt t.where e.task.Task.id with
+  | Some (c, s) -> c = cid && s = e.stamp
+  | None -> false
+
+(* Drop stale entries sitting at the front. *)
+let rec skim t cid cq =
+  match Queue.peek_opt cq.q with
+  | Some e when not (entry_live t cid e) ->
+      ignore (Queue.pop cq.q);
+      skim t cid cq
+  | Some _ | None -> ()
+
+let compact_cq t cid cq =
+  let keep = Queue.create () in
+  Queue.iter (fun e -> if entry_live t cid e then Queue.push e keep) cq.q;
+  Queue.clear cq.q;
+  Queue.transfer keep cq.q
+
 let enqueue t task =
   if not (mem t task) then begin
+    sync t;
     let container = Task.container task in
-    Queue.push task (queue_for t container);
-    Hashtbl.replace t.where task.Task.id (Container.id container)
+    let cid = Container.id container in
+    let cq = queue_for t container in
+    let stamp = t.next_stamp in
+    t.next_stamp <- stamp + 1;
+    Queue.push { task; stamp } cq.q;
+    Hashtbl.replace t.where task.Task.id (cid, stamp);
+    cq.live <- cq.live + 1;
+    bump_chain t container 1;
+    if Queue.length cq.q > 8 + (2 * cq.live) then compact_cq t cid cq
   end
-
-let remove_from_queue q task =
-  let keep = Queue.create () in
-  Queue.iter (fun x -> if not (Task.equal x task) then Queue.push x keep) q;
-  Queue.clear q;
-  Queue.transfer keep q
 
 let dequeue t task =
   match Hashtbl.find_opt t.where task.Task.id with
   | None -> ()
-  | Some cid ->
+  | Some (cid, _stamp) -> (
+      sync t;
       Hashtbl.remove t.where task.Task.id;
-      (match Hashtbl.find_opt t.queues cid with
-      | Some (q, _) -> remove_from_queue q task
+      match Hashtbl.find_opt t.queues cid with
+      | Some cq ->
+          cq.live <- cq.live - 1;
+          bump_chain t cq.container (-1)
       | None -> ())
 
 let requeue t task =
@@ -47,25 +126,31 @@ let requeue t task =
 let count t = Hashtbl.length t.where
 
 let front t container =
-  match Hashtbl.find_opt t.queues (Container.id container) with
-  | Some (q, _) -> Queue.peek_opt q
-  | None -> None
+  let cid = Container.id container in
+  match Hashtbl.find_opt t.queues cid with
+  | Some cq when cq.live > 0 -> (
+      skim t cid cq;
+      match Queue.peek_opt cq.q with Some e -> Some e.task | None -> None)
+  | Some _ | None -> None
 
 let rotate t container =
-  match Hashtbl.find_opt t.queues (Container.id container) with
-  | Some (q, _) when Queue.length q > 1 ->
-      let head = Queue.pop q in
-      Queue.push head q
+  let cid = Container.id container in
+  match Hashtbl.find_opt t.queues cid with
+  | Some cq when cq.live > 1 -> (
+      skim t cid cq;
+      match Queue.take_opt cq.q with Some head -> Queue.push head cq.q | None -> ())
   | Some _ | None -> ()
 
 let container_has_work t container =
   match Hashtbl.find_opt t.queues (Container.id container) with
-  | Some (q, _) -> not (Queue.is_empty q)
+  | Some cq -> cq.live > 0
   | None -> false
 
-let rec subtree_has_work t container =
-  container_has_work t container
-  || List.exists (subtree_has_work t) (Container.children container)
+let subtree_has_work t container =
+  sync t;
+  match Hashtbl.find_opt t.counts (Container.id container) with
+  | Some r -> !r > 0
+  | None -> false
 
 let containers_with_work t =
-  Hashtbl.fold (fun _ (q, c) acc -> if Queue.is_empty q then acc else c :: acc) t.queues []
+  Hashtbl.fold (fun _ cq acc -> if cq.live > 0 then cq.container :: acc else acc) t.queues []

@@ -30,7 +30,22 @@ val rotate : t -> Rescont.Container.t -> unit
 val container_has_work : t -> Rescont.Container.t -> bool
 
 val subtree_has_work : t -> Rescont.Container.t -> bool
-(** Does the container or any descendant have a queued task? *)
+(** Does the container or any descendant have a queued task?  O(1): live
+    per-subtree task counts are maintained incrementally on
+    enqueue/dequeue and rebuilt only when the container tree is
+    re-shaped. *)
+
+val subtree_count_ref : t -> Rescont.Container.t -> int ref
+(** The live-task counter backing {!subtree_has_work} for one container.
+    The ref's identity is stable across topology rebuilds, so policies may
+    cache it in per-node indexes and read it on the pick fast path.
+    Callers must never write through it. *)
+
+val sync : t -> unit
+(** Revalidate the subtree counters against the current container
+    topology (rebuilding them if containers were re-parented or
+    destroyed).  Policies call this once per pick before trusting cached
+    {!subtree_count_ref} values. *)
 
 val containers_with_work : t -> Rescont.Container.t list
 (** Distinct containers with non-empty queues, in no specified order. *)

@@ -205,6 +205,128 @@ let test_set_attrs_rules () =
     | Attrs.Fixed_share s -> s = 0.9
     | Attrs.Timeshare -> false)
 
+(* {1 Ancestor-chain cache invalidation}
+
+   Charges walk a cached flat ancestor array; these tests pin down that the
+   cache is rebuilt whenever the parent chain changes, so charges roll up
+   to the *current* ancestors only. *)
+
+let ns_of span = Simtime.span_to_ns span
+let cpu c = ns_of (Container.subtree_cpu c)
+
+let test_reparent_redirects_charges () =
+  let root_a = Container.create_root () in
+  let pa = Container.create ~parent:root_a ~name:"pa" ~attrs:(fixed 0.5) () in
+  let pb = Container.create ~parent:root_a ~name:"pb" ~attrs:(fixed 0.5) () in
+  let c = Container.create ~parent:pa ~name:"c" ~attrs:(ts 10) () in
+  Container.charge_cpu c ~kernel:false (Simtime.us 10);
+  Alcotest.(check int) "pa sees first charge" 10_000 (cpu pa);
+  Alcotest.(check int) "pb sees nothing yet" 0 (cpu pb);
+  Container.set_parent c (Some pb);
+  Container.charge_cpu c ~kernel:false (Simtime.us 5);
+  Alcotest.(check int) "pa frozen after re-parent" 10_000 (cpu pa);
+  Alcotest.(check int) "pb gets post-move charge" 5_000 (cpu pb);
+  Alcotest.(check int) "own usage keeps accumulating" 15_000
+    (ns_of (Usage.cpu_total (Container.usage c)));
+  Alcotest.(check int) "root sees both" 15_000 (cpu root_a);
+  Alcotest.(check int) "depth rebuilt" 2 (Container.depth c)
+
+let test_reparent_invalidates_descendants () =
+  (* Moving an interior node must invalidate the cached chains of its
+     whole subtree, not just its own. *)
+  let root = Container.create_root () in
+  let a = Container.create ~parent:root ~name:"a" ~attrs:(fixed 0.4) () in
+  let b = Container.create ~parent:a ~name:"b" ~attrs:(fixed 0.5) () in
+  let leaf = Container.create ~parent:b ~name:"leaf" ~attrs:(ts 10) () in
+  (* Prime every cache on the path. *)
+  Container.charge_cpu leaf ~kernel:false (Simtime.us 1);
+  Alcotest.(check int) "depth before" 3 (Container.depth leaf);
+  Alcotest.(check (float 1e-9)) "guarantee before" 0.2 (Container.guaranteed_fraction leaf);
+  let root2 = Container.create_root () in
+  Container.set_parent b (Some root2);
+  Container.charge_cpu leaf ~kernel:false (Simtime.us 7);
+  Alcotest.(check int) "old chain frozen at a" 1_000 (cpu a);
+  Alcotest.(check int) "old root frozen" 1_000 (cpu root);
+  Alcotest.(check int) "new root collects" 7_000 (cpu root2);
+  Alcotest.(check int) "grandchild depth rebuilt" 2 (Container.depth leaf);
+  Alcotest.(check (float 1e-9)) "guarantee follows new chain" 0.5
+    (Container.guaranteed_fraction leaf);
+  Alcotest.(check bool) "root_of follows new chain" true (Container.root_of leaf == root2)
+
+let test_destroy_orphans_charging () =
+  let root = Container.create_root () in
+  let p = Container.create ~parent:root ~name:"p" ~attrs:(fixed 0.5) () in
+  let c = Container.create ~parent:p ~name:"c" ~attrs:(ts 10) () in
+  Container.charge_cpu c ~kernel:false (Simtime.us 3);
+  Container.destroy p;
+  Alcotest.(check bool) "orphaned" true (Container.parent c = None);
+  Container.charge_cpu c ~kernel:false (Simtime.us 4);
+  Alcotest.(check int) "destroyed parent keeps only pre-destroy history" 3_000 (cpu p);
+  Alcotest.(check int) "root likewise" 3_000 (cpu root);
+  Alcotest.(check int) "orphan accumulates alone" 7_000 (cpu c);
+  Alcotest.(check int) "orphan depth" 0 (Container.depth c)
+
+let test_children_insertion_order () =
+  let root = Container.create_root () in
+  let names = [ "a"; "b"; "c"; "d" ] in
+  let kids =
+    List.map (fun n -> Container.create ~parent:root ~name:n ~attrs:(ts 10) ()) names
+  in
+  Alcotest.(check (list string)) "insertion order preserved" names
+    (List.map Container.name (Container.children root));
+  Container.set_parent (List.nth kids 1) None;
+  Alcotest.(check (list string)) "order stable across removal" [ "a"; "c"; "d" ]
+    (List.map Container.name (Container.children root));
+  let e = Container.create ~parent:root ~name:"e" ~attrs:(ts 10) () in
+  ignore e;
+  Alcotest.(check (list string)) "append goes last" [ "a"; "c"; "d"; "e" ]
+    (List.map Container.name (Container.children root))
+
+let test_topology_generation () =
+  let g0 = Container.topology_generation () in
+  let root = Container.create_root () in
+  let a = Container.create ~parent:root ~attrs:(fixed 0.5) () in
+  Alcotest.(check int) "creation does not bump topology" g0
+    (Container.topology_generation ());
+  Container.set_parent a None;
+  Alcotest.(check bool) "detach bumps topology" true (Container.topology_generation () > g0);
+  let g1 = Container.topology_generation () in
+  Container.destroy a;
+  Alcotest.(check bool) "destroy bumps topology" true (Container.topology_generation () > g1)
+
+(* Property: after an arbitrary sequence of re-parents across a small
+   forest, depth/guarantee/ancestry agree with a fresh recursive walk. *)
+let prop_chain_matches_recursion =
+  QCheck2.Test.make ~name:"cached chain always matches the parent links" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 30) (pair (int_range 0 5) (int_range 0 5)))
+    (fun moves ->
+      let root = Container.create_root () in
+      let groups =
+        Array.init 3 (fun i ->
+            Container.create ~parent:root ~name:(Printf.sprintf "g%d" i)
+              ~attrs:(fixed 0.25) ())
+      in
+      let leaves =
+        Array.init 6 (fun i ->
+            Container.create ~parent:groups.(i mod 3) ~name:(Printf.sprintf "l%d" i)
+              ~attrs:(ts 10) ())
+      in
+      List.iter
+        (fun (li, gi) ->
+          match Container.set_parent leaves.(li) (Some groups.(gi mod 3)) with
+          | () -> ()
+          | exception Container.Error _ -> ())
+        moves;
+      Array.for_all
+        (fun leaf ->
+          let rec walk_depth c = match Container.parent c with None -> 0 | Some p -> 1 + walk_depth p in
+          let chain = Container.ancestry leaf in
+          Container.depth leaf = walk_depth leaf
+          && Array.length chain = walk_depth leaf + 1
+          && chain.(0) == leaf
+          && Container.root_of leaf == root)
+        leaves)
+
 (* Property: creating any sequence of fixed shares under one parent never
    exceeds 1.0 committed. *)
 let prop_no_oversubscription =
@@ -241,5 +363,12 @@ let suite =
     Alcotest.test_case "iter_subtree" `Quick test_iter_subtree;
     Alcotest.test_case "has_ancestor" `Quick test_has_ancestor;
     Alcotest.test_case "set_attrs rules" `Quick test_set_attrs_rules;
+    Alcotest.test_case "re-parent redirects charges" `Quick test_reparent_redirects_charges;
+    Alcotest.test_case "re-parent invalidates descendants" `Quick
+      test_reparent_invalidates_descendants;
+    Alcotest.test_case "destroy orphans charging" `Quick test_destroy_orphans_charging;
+    Alcotest.test_case "children insertion order" `Quick test_children_insertion_order;
+    Alcotest.test_case "topology generation" `Quick test_topology_generation;
+    QCheck_alcotest.to_alcotest prop_chain_matches_recursion;
     QCheck_alcotest.to_alcotest prop_no_oversubscription;
   ]

@@ -74,6 +74,73 @@ let test_growth () =
   Alcotest.(check int) "all inserted" 1000 (Heapq.length q);
   Alcotest.(check (option int)) "min" (Some 1) (Heapq.peek_min_prio q)
 
+let test_compaction_reclaims_dead () =
+  (* Cancelling most of a large heap must shrink physical storage while
+     preserving the survivors' pop order. *)
+  let q = Heapq.create () in
+  let handles = Array.init 2000 (fun i -> Heapq.insert q ~prio:i i) in
+  for i = 0 to 1999 do
+    if i mod 10 <> 0 then ignore (Heapq.cancel q handles.(i))
+  done;
+  Alcotest.(check int) "length counts live only" 200 (Heapq.length q);
+  Alcotest.(check bool) "dead storage reclaimed" true
+    (Heapq.physical_size q <= (2 * Heapq.length q) + 65);
+  let rec drain acc =
+    match Heapq.pop_min q with Some (_, v) -> drain (v :: acc) | None -> List.rev acc
+  in
+  Alcotest.(check (list int)) "survivors in order"
+    (List.init 200 (fun i -> i * 10))
+    (drain [])
+
+(* Model-based property: drive the heap with interleaved inserts, cancels
+   and pops against a sorted-list model; pop order, length and the
+   physical-storage bound must all hold at every step. *)
+let prop_compaction_model =
+  QCheck2.Test.make ~name:"heap matches model under insert/cancel/pop" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 400) (pair (int_range 0 5) (int_range 0 1000)))
+    (fun ops ->
+      let q = Heapq.create () in
+      (* model: seq -> prio of live elements; seq gives FIFO among ties *)
+      let model : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      let handles = ref [] in
+      let seq = ref 0 in
+      List.for_all
+        (fun (op, p) ->
+          (match op with
+          | 0 | 1 | 2 ->
+              let id = !seq in
+              incr seq;
+              let h = Heapq.insert q ~prio:p id in
+              Hashtbl.replace model id p;
+              handles := (id, h) :: !handles
+          | 3 -> (
+              (* cancel a pseudo-random live-or-dead handle *)
+              match !handles with
+              | [] -> ()
+              | hs ->
+                  let id, h = List.nth hs (p mod List.length hs) in
+                  let was_live = Hashtbl.mem model id in
+                  let did = Heapq.cancel q h in
+                  if did <> was_live then failwith "cancel result mismatch";
+                  Hashtbl.remove model id)
+          | _ -> (
+              let expect =
+                Hashtbl.fold
+                  (fun id prio best ->
+                    match best with
+                    | Some (bp, bid) when (bp, bid) <= (prio, id) -> best
+                    | _ -> Some (prio, id))
+                  model None
+              in
+              match (Heapq.pop_min q, expect) with
+              | None, None -> ()
+              | Some (gp, gid), Some (ep, eid) when gp = ep && gid = eid ->
+                  Hashtbl.remove model gid
+              | _ -> failwith "pop mismatch"));
+          Heapq.length q = Hashtbl.length model
+          && Heapq.physical_size q <= (2 * Heapq.length q) + 65)
+        ops)
+
 let prop_heap_sorts =
   QCheck2.Test.make ~name:"heap drains any list sorted" ~count:200
     QCheck2.Gen.(list (int_range (-1000) 1000))
@@ -113,6 +180,8 @@ let suite =
     Alcotest.test_case "cancel at min" `Quick test_cancel_min;
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "growth" `Quick test_growth;
+    Alcotest.test_case "compaction reclaims dead" `Quick test_compaction_reclaims_dead;
+    QCheck_alcotest.to_alcotest prop_compaction_model;
     QCheck_alcotest.to_alcotest prop_heap_sorts;
     QCheck_alcotest.to_alcotest prop_cancel_removes;
   ]

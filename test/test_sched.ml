@@ -369,6 +369,125 @@ let prop_multilevel_hierarchy_product =
       close a1 (sa /. 2.) && close a2 (sa /. 2.) && close b1 sb
       && Float.abs (Container.guaranteed_fraction a1 -. (sa /. 2.)) < 1e-9)
 
+let test_runq_lazy_reenqueue () =
+  (* Dequeue-then-re-enqueue must not resurrect the stale queue entry:
+     the re-enqueued task goes to the back, and front order stays FIFO. *)
+  let _, _, leaves = setup_leaves 1 in
+  let a = List.hd leaves in
+  let q = Runq.create () in
+  let t1 = task_on a "t1" and t2 = task_on a "t2" in
+  Runq.enqueue q t1;
+  Runq.enqueue q t2;
+  Runq.dequeue q t1;
+  Runq.enqueue q t1;
+  let front () = match Runq.front q a with Some t -> t.Task.name | None -> "-" in
+  Alcotest.(check string) "t2 now first" "t2" (front ());
+  Runq.rotate q a;
+  Alcotest.(check string) "t1 behind it" "t1" (front ());
+  Runq.rotate q a;
+  Alcotest.(check string) "back to t2" "t2" (front ());
+  Alcotest.(check int) "count" 2 (Runq.count q);
+  (* Heavy churn triggers in-place queue compaction without losing order. *)
+  for _ = 1 to 100 do
+    Runq.dequeue q t2;
+    Runq.enqueue q t2
+  done;
+  Alcotest.(check string) "t1 survived churn in front" "t1" (front ());
+  Alcotest.(check int) "count stable" 2 (Runq.count q)
+
+(* {1 Multilevel vs. its executable specification}
+
+   [Sched.Multilevel] is an incremental rewrite of [Sched.Multilevel_ref];
+   this property drives both instances over the same randomized workload —
+   enqueues, dequeues, re-parenting, picks and charges — and demands that
+   every pick returns the same task. *)
+let prop_multilevel_matches_reference =
+  QCheck2.Test.make ~name:"multilevel matches reference pick-for-pick" ~count:25
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Engine.Rng.create ~seed in
+      let root = Container.create_root () in
+      let ngroups = 2 + Engine.Rng.int rng 3 in
+      let groups =
+        List.init ngroups (fun i ->
+            let cpu_limit = if Engine.Rng.int rng 4 = 0 then Some 0.4 else None in
+            Container.create ~parent:root
+              ~name:(Printf.sprintf "g%d" i)
+              ~attrs:(Attrs.fixed_share ~share:(1. /. float_of_int (ngroups + 1)) ?cpu_limit ())
+              ())
+      in
+      let prio () = List.nth [ 0; 1; 5; 10; 30 ] (Engine.Rng.int rng 5) in
+      let leaves =
+        List.concat_map
+          (fun g ->
+            List.init
+              (1 + Engine.Rng.int rng 3)
+              (fun i ->
+                Container.create ~parent:g ~name:(Printf.sprintf "l%d" i)
+                  ~attrs:(ts (prio ())) ()))
+          groups
+        @ List.init
+            (1 + Engine.Rng.int rng 2)
+            (fun i ->
+              Container.create ~parent:root ~name:(Printf.sprintf "r%d" i)
+                ~attrs:(ts (prio ())) ())
+      in
+      let tasks =
+        List.concat_map
+          (fun leaf ->
+            List.init (1 + Engine.Rng.int rng 2) (fun i ->
+                task_on leaf (Printf.sprintf "%s.t%d" (Container.name leaf) i)))
+          leaves
+      in
+      let opt = Sched.Multilevel.make ~root () in
+      let refp = Sched.Multilevel_ref.make ~root () in
+      let leaves_arr = Array.of_list leaves in
+      let groups_arr = Array.of_list groups in
+      let tasks_arr = Array.of_list tasks in
+      List.iter
+        (fun t ->
+          opt.Sched.Policy.enqueue t;
+          refp.Sched.Policy.enqueue t)
+        tasks;
+      let now = ref Simtime.zero in
+      let ok = ref true in
+      for step = 1 to 400 do
+        now := Simtime.add !now (Simtime.ns (100_000 + Engine.Rng.int rng 2_000_000));
+        (match Engine.Rng.int rng 10 with
+        | 0 ->
+            let t = tasks_arr.(Engine.Rng.int rng (Array.length tasks_arr)) in
+            opt.Sched.Policy.dequeue t;
+            refp.Sched.Policy.dequeue t
+        | 1 ->
+            let t = tasks_arr.(Engine.Rng.int rng (Array.length tasks_arr)) in
+            opt.Sched.Policy.enqueue t;
+            refp.Sched.Policy.enqueue t
+        | 2 -> (
+            (* Re-shape the tree under both schedulers' feet. *)
+            let leaf = leaves_arr.(Engine.Rng.int rng (Array.length leaves_arr)) in
+            let g = groups_arr.(Engine.Rng.int rng (Array.length groups_arr)) in
+            try Container.set_parent leaf (Some g) with Container.Error _ -> ())
+        | _ ->
+            let po = opt.Sched.Policy.pick ~now:!now in
+            let pr = refp.Sched.Policy.pick ~now:!now in
+            (match (po, pr) with
+            | None, None -> ()
+            | Some a, Some b when Task.equal a b -> ()
+            | _ ->
+                let name = function Some t -> t.Task.name | None -> "<none>" in
+                ok := false;
+                Alcotest.failf "step %d: optimized picked %s, reference picked %s" step
+                  (name po) (name pr));
+            (match po with
+            | Some task ->
+                let c = Task.container task in
+                let span = Simtime.ns (10_000 + Engine.Rng.int rng 500_000) in
+                opt.Sched.Policy.charge ~container:c ~now:!now span;
+                refp.Sched.Policy.charge ~container:c ~now:!now span
+            | None -> ()))
+      done;
+      !ok)
+
 let suite =
   [
     Alcotest.test_case "decay accumulates" `Quick test_decay_accumulates;
@@ -377,6 +496,7 @@ let suite =
     Alcotest.test_case "runq basics" `Quick test_runq_basic;
     Alcotest.test_case "runq requeue" `Quick test_runq_requeue_moves;
     Alcotest.test_case "runq subtree" `Quick test_runq_subtree;
+    Alcotest.test_case "runq lazy re-enqueue" `Quick test_runq_lazy_reenqueue;
     Alcotest.test_case "timeshare equal sharing" `Quick test_timeshare_equal_sharing;
     Alcotest.test_case "timeshare priority weights" `Quick test_timeshare_priority_weighting;
     Alcotest.test_case "timeshare idle class" `Quick test_timeshare_idle_class;
@@ -396,4 +516,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_multilevel_proportional;
     QCheck_alcotest.to_alcotest prop_multilevel_hierarchy_product;
     QCheck_alcotest.to_alcotest prop_stride_accuracy;
+    QCheck_alcotest.to_alcotest prop_multilevel_matches_reference;
   ]
