@@ -345,18 +345,30 @@ let run_experiments ~fast =
 
 let () =
   let fast = Array.exists (String.equal "--fast") Sys.argv in
-  if Array.exists (String.equal "--json") Sys.argv then begin
-    let label = ref "current" in
+  let opt_value name =
+    let result = ref None in
     Array.iteri
       (fun i arg ->
-        if arg = "--label" && i + 1 < Array.length Sys.argv then label := Sys.argv.(i + 1))
+        if arg = name && i + 1 < Array.length Sys.argv then result := Some Sys.argv.(i + 1))
       Sys.argv;
-    run_json ~fast ~label:!label
-  end
-  else begin
-    Format.printf "=== Part 1: primitive costs (real wall clock, Bechamel OLS) ===@.";
-    run_table1_microbench ();
-    run_sched_microbench ();
-    Format.printf "@.=== Part 2: reproduction of the paper's evaluation (simulated) ===@.";
-    run_experiments ~fast
-  end
+    !result
+  in
+  let trace_out = opt_value "--trace-out" in
+  let metrics_out = opt_value "--metrics-out" in
+  if trace_out <> None || metrics_out <> None then Experiments.Harness.observe ();
+  (if Array.exists (String.equal "--json") Sys.argv then begin
+     let label =
+       match opt_value "--label" with Some label -> label | None -> "current"
+     in
+     run_json ~fast ~label
+   end
+   else begin
+     Format.printf "=== Part 1: primitive costs (real wall clock, Bechamel OLS) ===@.";
+     run_table1_microbench ();
+     run_sched_microbench ();
+     Format.printf "@.=== Part 2: reproduction of the paper's evaluation (simulated) ===@.";
+     run_experiments ~fast
+   end);
+  match Experiments.Harness.last_rig () with
+  | Some rig -> Experiments.Harness.export ?trace_out ?metrics_out rig
+  | None -> ()

@@ -30,6 +30,14 @@ let chart_flag =
   let doc = "Render figures as ASCII bar charts." in
   Arg.(value & flag & info [ "chart" ] ~doc)
 
+let trace_out_flag =
+  let doc = "Write the run's kernel trace as JSON lines to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~doc ~docv:"FILE")
+
+let metrics_out_flag =
+  let doc = "Write an end-of-run metrics snapshot as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~doc ~docv:"FILE")
+
 let run_baseline fast csv =
   let measure = if fast then Simtime.sec 2 else Simtime.sec 5 in
   let t =
@@ -96,22 +104,13 @@ let run_latency fast csv =
 let run_trace _fast _csv =
   let module Container = Rescont.Container in
   let module Machine = Procsim.Machine in
-  let sim = Engine.Sim.create () in
-  let root = Container.create_root () in
-  let trace = Engine.Tracelog.create ~enabled:true ~capacity:64 () in
-  let machine =
-    Machine.create ~trace ~sim ~policy:(Sched.Multilevel.make ~root ()) ~root ()
-  in
-  let proc = Procsim.Process.create machine ~name:"httpd" () in
-  let stack =
-    Netsim.Stack.create ~machine ~mode:Netsim.Stack.Rc
-      ~owner:(Procsim.Process.default_container proc) ()
-  in
-  let cache = Httpsim.File_cache.create () in
-  Httpsim.File_cache.add_document cache ~path:"/doc/1k" ~bytes:1024;
-  Httpsim.File_cache.warm cache;
+  let module Harness = Experiments.Harness in
+  if not (Harness.observing ()) then Harness.observe ~capacity:64 ();
+  let rig = Harness.make_rig Harness.Rc_sys in
+  let machine = rig.Harness.machine in
+  let stack = rig.Harness.stack in
   let hi =
-    Container.create ~parent:root ~name:"premium"
+    Container.create ~parent:rig.Harness.root ~name:"premium"
       ~attrs:(Rescont.Attrs.timeshare ~priority:90 ())
       ()
   in
@@ -123,7 +122,7 @@ let run_trace _fast _csv =
     ]
   in
   let server =
-    Httpsim.Event_server.create ~stack ~process:proc ~cache
+    Httpsim.Event_server.create ~stack ~process:rig.Harness.server_proc ~cache:rig.Harness.cache
       ~policy:Httpsim.Event_server.Inherit_listen ~listens ()
   in
   ignore (Httpsim.Event_server.start server);
@@ -137,10 +136,10 @@ let run_trace _fast _csv =
   Workload.Sclient.start clients;
   Workload.Sclient.start vip;
   Machine.run_until machine (Engine.Simtime.add Engine.Simtime.zero (Engine.Simtime.ms 10));
-  Format.printf "Kernel trace of the first 10 simulated milliseconds (last 64 events):@.";
+  Format.printf "Kernel trace of the first 10 simulated milliseconds (most recent events):@.";
   List.iter
     (fun e -> Format.printf "  %a@." Engine.Tracelog.pp_entry e)
-    (Engine.Tracelog.entries trace)
+    (Engine.Tracelog.entries (Machine.trace machine))
 
 let run_ablation fast csv =
   let measure = if fast then Simtime.sec 3 else Simtime.sec 10 in
@@ -164,12 +163,19 @@ let run_all fast csv =
   run_latency fast csv;
   run_ablation fast csv
 
-let subcommand name doc f =
-  let apply fast csv chart =
+let term_of f =
+  let apply fast csv chart trace_out metrics_out =
     chart_mode := chart;
-    f fast csv
+    if trace_out <> None || metrics_out <> None then Experiments.Harness.observe ();
+    f fast csv;
+    (* Export the observability of the last rig the run built. *)
+    match Experiments.Harness.last_rig () with
+    | Some rig -> Experiments.Harness.export ?trace_out ?metrics_out rig
+    | None -> ()
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const apply $ fast_flag $ csv_flag $ chart_flag)
+  Term.(const apply $ fast_flag $ csv_flag $ chart_flag $ trace_out_flag $ metrics_out_flag)
+
+let subcommand name doc f = Cmd.v (Cmd.info name ~doc) (term_of f)
 
 let cmds =
   [
@@ -190,4 +196,7 @@ let cmds =
 
 let () =
   let doc = "Reproduction of 'Resource Containers' (Banga, Druschel & Mogul, OSDI '99)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "rc_sim" ~doc) cmds))
+  (* With no subcommand, run the traced demo scenario — so
+     [rc_sim --trace-out t.jsonl --metrics-out m.json] exports something
+     useful out of the box. *)
+  exit (Cmd.eval (Cmd.group ~default:(term_of run_trace) (Cmd.info "rc_sim" ~doc) cmds))

@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI gate: build everything, run the test suites, and check the
+# fast-path benchmarks against the committed baseline (BENCH_PR1.json).
+# Referenced from README.md "Install and build".
+set -eu
+cd "$(dirname "$0")"
+
+echo "== dune build @all"
+dune build @all
+
+echo "== dune runtest"
+dune runtest
+
+echo "== dune build @bench-check"
+dune build @bench-check
+
+echo "CI gate passed."

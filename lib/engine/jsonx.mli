@@ -1,0 +1,43 @@
+(** A minimal JSON tree: writer and parser.
+
+    The repository has no external JSON dependency; this module covers what
+    the observability exporters need — emitting JSON-lines traces and
+    metrics snapshots, and re-parsing them in tests and tooling.  Numbers
+    are kept as either [Int] or [Float] so integer counters survive a
+    round trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (no trailing newline). *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parse one JSON document.  Trailing whitespace is allowed; trailing
+    garbage is an error. *)
+
+val parse_exn : string -> t
+(** @raise Invalid_argument on malformed input. *)
+
+(** {1 Accessors} (convenience for tests and tooling) *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] is the value bound to [key], if any. *)
+
+val to_list : t -> t list
+(** [[]] when the value is not a [List]. *)
+
+val string_value : t -> string option
+val int_value : t -> int option
+(** [int_value] accepts [Int] and integral [Float]s. *)
+
+val float_value : t -> float option
+(** [float_value] accepts both [Int] and [Float]. *)

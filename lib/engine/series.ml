@@ -5,8 +5,21 @@ let add_point c ~x ~y = c.pts <- (x, y) :: c.pts
 let curve_name c = c.name
 let points c = List.rev c.pts
 
-let y_at c x =
-  List.find_map (fun (px, py) -> if px = x then Some py else None) (points c)
+let y_at ?(eps = 1e-9) c x =
+  (* Abscissae are often computed (e.g. [i * step]), so exact float equality
+     misses points; match within a tolerance scaled to the magnitude of [x]
+     and return the closest match. *)
+  let tol = eps *. Float.max 1.0 (Float.abs x) in
+  List.fold_left
+    (fun best (px, py) ->
+      let d = Float.abs (px -. x) in
+      if d <= tol then
+        match best with
+        | Some (bd, _) when bd <= d -> best
+        | _ -> Some (d, py)
+      else best)
+    None (points c)
+  |> Option.map snd
 
 type figure = { title : string; x_label : string; y_label : string; curves : curve list }
 

@@ -114,6 +114,8 @@ module Histogram = struct
     t.total <- t.total + 1
 
   let count t = t.total
+  let lo t = t.lo
+  let hi t = t.hi
   let bucket_counts t = Array.copy t.counts
 
   let pp ppf t =
@@ -130,26 +132,65 @@ module Histogram = struct
 end
 
 module Rate = struct
-  type t = { mutable marks : (Simtime.t * int) list; mutable count : int }
+  (* Marks live in a fixed-capacity ring so memory stays bounded over long
+     runs; [count] remains the all-time weighted total. *)
+  type t = {
+    capacity : int;
+    times : int array; (* timestamps in ns *)
+    weights : int array;
+    mutable head : int; (* next write position *)
+    mutable len : int; (* retained marks, <= capacity *)
+    mutable count : int;
+    mutable latest : int; (* ns of the most recent mark *)
+  }
 
-  let create () = { marks = []; count = 0 }
+  let create ?(capacity = 4096) () =
+    if capacity <= 0 then invalid_arg "Rate.create: capacity must be positive";
+    {
+      capacity;
+      times = Array.make capacity 0;
+      weights = Array.make capacity 0;
+      head = 0;
+      len = 0;
+      count = 0;
+      latest = min_int;
+    }
 
   let mark t ?(weight = 1) now =
-    t.marks <- (now, weight) :: t.marks;
-    t.count <- t.count + weight
+    let ns = Simtime.to_ns now in
+    t.times.(t.head) <- ns;
+    t.weights.(t.head) <- weight;
+    t.head <- (t.head + 1) mod t.capacity;
+    if t.len < t.capacity then t.len <- t.len + 1;
+    t.count <- t.count + weight;
+    if ns > t.latest then t.latest <- ns
 
   let count t = t.count
+  let retained t = t.len
+
+  let fold_marks t f init =
+    let acc = ref init in
+    let start = ((t.head - t.len) mod t.capacity + t.capacity) mod t.capacity in
+    for i = 0 to t.len - 1 do
+      let idx = (start + i) mod t.capacity in
+      acc := f !acc t.times.(idx) t.weights.(idx)
+    done;
+    !acc
 
   let rate_over t window =
     let secs = Simtime.span_to_sec_f window in
-    if secs <= 0. then 0. else float_of_int t.count /. secs
+    if secs <= 0. || t.len = 0 then 0.
+    else begin
+      let cutoff = t.latest - Simtime.span_to_ns window in
+      let in_window =
+        fold_marks t (fun acc ts w -> if ts > cutoff && ts <= t.latest then acc + w else acc) 0
+      in
+      float_of_int in_window /. secs
+    end
 
   let rate_between t t0 t1 =
-    let in_window =
-      List.fold_left
-        (fun acc (ts, w) -> if Simtime.(ts >= t0) && Simtime.(ts < t1) then acc + w else acc)
-        0 t.marks
-    in
+    let lo = Simtime.to_ns t0 and hi = Simtime.to_ns t1 in
+    let in_window = fold_marks t (fun acc ts w -> if ts >= lo && ts < hi then acc + w else acc) 0 in
     let secs = Simtime.span_to_sec_f (Simtime.diff t1 t0) in
     if secs <= 0. then 0. else float_of_int in_window /. secs
 end

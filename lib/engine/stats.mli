@@ -47,23 +47,38 @@ module Histogram : sig
   val create : lo:float -> hi:float -> buckets:int -> t
   val add : t -> float -> unit
   val count : t -> int
+  val lo : t -> float
+  val hi : t -> float
   val bucket_counts : t -> int array
   val pp : Format.formatter -> t -> unit
 end
 
 module Rate : sig
-  (** Event counting over simulated time, e.g. requests per second. *)
+  (** Event counting over simulated time, e.g. requests per second.
+
+      Marks are retained in a fixed-capacity ring buffer, so memory stays
+      bounded over arbitrarily long runs; windowed queries see at most the
+      last [capacity] marks. *)
 
   type t
 
-  val create : unit -> t
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] bounds the retained marks (default 4096). *)
+
   val mark : t -> ?weight:int -> Simtime.t -> unit
+
   val count : t -> int
+  (** All-time weighted mark count (not bounded by the ring). *)
+
+  val retained : t -> int
+  (** Number of marks currently held in the ring. *)
 
   val rate_over : t -> Simtime.span -> float
-  (** [rate_over t window] is the count divided by [window] in seconds. *)
+  (** [rate_over t window] is the weighted count of marks whose timestamps
+      fall within [window] of the most recent mark, divided by [window] in
+      seconds.  Zero when empty or the window is non-positive. *)
 
   val rate_between : t -> Simtime.t -> Simtime.t -> float
-  (** Events with timestamps inside the half-open interval, per second.
-      Retains all marks; intended for bounded experiment runs. *)
+  (** Retained events with timestamps inside the half-open interval, per
+      second. *)
 end

@@ -1,4 +1,4 @@
-type entry = { time : Simtime.t; category : string; message : string }
+type entry = { time : Simtime.t; event : Trace_event.t }
 
 type t = {
   mutable on : bool;
@@ -15,17 +15,20 @@ let create ?(enabled = false) ?(capacity = 65536) () =
 let enabled t = t.on
 let set_enabled t v = t.on <- v
 
-let emit t time ~category message =
+let event t time ev =
   if t.on then begin
-    t.buffer.(t.head) <- Some { time; category; message };
+    t.buffer.(t.head) <- Some { time; event = ev };
     t.head <- (t.head + 1) mod t.capacity;
     if t.count < t.capacity then t.count <- t.count + 1
   end
 
+let emit t time ~category message =
+  if t.on then event t time (Trace_event.Message { category; message })
+
 let emitf t time ~category fmt =
-  Format.kasprintf
-    (fun message -> emit t time ~category message)
-    fmt
+  if t.on then
+    Format.kasprintf (fun message -> emit t time ~category message) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let entries t =
   let result = ref [] in
@@ -37,11 +40,35 @@ let entries t =
   done;
   !result
 
-let find t ~category = List.filter (fun e -> String.equal e.category category) (entries t)
+let find t ~category =
+  List.filter (fun e -> String.equal (Trace_event.category e.event) category) (entries t)
 
 let clear t =
   Array.fill t.buffer 0 t.capacity None;
   t.head <- 0;
   t.count <- 0
 
-let pp_entry ppf e = Format.fprintf ppf "[%a] %s: %s" Simtime.pp e.time e.category e.message
+let entry_to_json e =
+  let fields =
+    match Trace_event.to_json e.event with
+    | Jsonx.Obj fields -> fields
+    | other -> [ ("event", other) ]
+  in
+  Jsonx.Obj
+    (("t_ns", Jsonx.Int (Simtime.to_ns e.time))
+    :: ("cat", Jsonx.String (Trace_event.category e.event))
+    :: fields)
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Jsonx.to_buffer buf (entry_to_json e);
+      Buffer.add_char buf '\n')
+    (entries t);
+  Buffer.contents buf
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%a] %s: %s" Simtime.pp e.time
+    (Trace_event.category e.event)
+    (Trace_event.render e.event)

@@ -25,6 +25,16 @@ let default_port = 80
 let doc_path = "/doc/1k"
 let cgi_path = "/cgi/run"
 
+(* Observability plumbing: when [observe] has been called, every rig built
+   afterwards gets an enabled trace log, and the most recent rig is
+   remembered so CLI drivers can export after the experiment ran. *)
+let observe_capacity = ref None
+let last = ref None
+
+let observe ?(capacity = 65536) () = observe_capacity := Some capacity
+let observing () = !observe_capacity <> None
+let last_rig () = !last
+
 let make_rig ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(limit_window = Simtime.ms 100)
     ?server_attrs system =
   let sim = Sim.create () in
@@ -34,7 +44,12 @@ let make_rig ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(limit_window = Simtime.ms 1
     | Unmodified | Lrp_sys -> Sched.Timeshare.make ()
     | Rc_sys -> Sched.Multilevel.make ~window:limit_window ~root ()
   in
-  let machine = Machine.create ~cpus ~quantum ~sim ~policy ~root () in
+  let trace =
+    match !observe_capacity with
+    | Some capacity -> Some (Engine.Tracelog.create ~enabled:true ~capacity ())
+    | None -> None
+  in
+  let machine = Machine.create ~cpus ~quantum ?trace ~sim ~policy ~root () in
   let server_proc = Process.create machine ?container_attrs:server_attrs ~name:"httpd" () in
   let mode =
     match system with Unmodified -> Stack.Softirq | Lrp_sys -> Stack.Lrp | Rc_sys -> Stack.Rc
@@ -43,12 +58,28 @@ let make_rig ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(limit_window = Simtime.ms 1
     Stack.create ~machine ~mode ~owner:(Process.default_container server_proc) ()
   in
   let cache = Httpsim.File_cache.create () in
+  Httpsim.File_cache.register_metrics cache (Machine.metrics machine);
   Httpsim.File_cache.add_document cache ~path:doc_path ~bytes:1024;
   Httpsim.File_cache.add_document cache ~path:"/doc/8k" ~bytes:8192;
   Httpsim.File_cache.add_document cache ~path:"/doc/64k" ~bytes:65536;
   Httpsim.File_cache.add_document cache ~path:cgi_path ~bytes:0;
   Httpsim.File_cache.warm cache;
-  { sim; root; machine; server_proc; stack; cache }
+  let rig = { sim; root; machine; server_proc; stack; cache } in
+  last := Some rig;
+  rig
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let export ?trace_out ?metrics_out rig =
+  (match trace_out with
+  | Some path -> write_file path (Engine.Tracelog.to_jsonl (Machine.trace rig.machine))
+  | None -> ());
+  match metrics_out with
+  | Some path ->
+      write_file path (Engine.Jsonx.to_string (Engine.Metrics.to_json (Machine.metrics rig.machine)) ^ "\n")
+  | None -> ()
 
 let run_for rig span = Machine.run_until rig.machine (Simtime.add (Sim.now rig.sim) span)
 

@@ -61,3 +61,21 @@ val cpu_share_between :
 val default_port : int
 val doc_path : string
 val cgi_path : string
+
+(** {1 Observability}
+
+    Trace/metrics export for the CLI drivers: call {!observe} before
+    building rigs, run the experiment, then {!export} the last rig. *)
+
+val observe : ?capacity:int -> unit -> unit
+(** Arm observability: every rig built afterwards gets an enabled trace log
+    retaining up to [capacity] entries (default 65536). *)
+
+val observing : unit -> bool
+
+val last_rig : unit -> rig option
+(** The most recently built rig, if any. *)
+
+val export : ?trace_out:string -> ?metrics_out:string -> rig -> unit
+(** Write the rig's trace as JSON lines to [trace_out] and a metrics
+    snapshot as JSON to [metrics_out] (each omitted: not written). *)

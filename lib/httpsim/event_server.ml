@@ -34,15 +34,17 @@ type t = {
   listens : Socket.listen list;
   mutable conns : tracked list; (* accept order = fd order *)
   wq : Machine.Waitq.t;
-  mutable static_served : int;
-  mutable accepts : int;
-  mutable poll_rounds : int;
+  static_served : Engine.Metrics.counter;
+  accepts : Engine.Metrics.counter;
+  poll_rounds : Engine.Metrics.counter;
   mutable started : bool;
 }
 
 let create ~stack ~process ~cache ?disk ?(api = Select) ?(policy = No_containers)
     ?(user_preference = fun _ -> 0) ?dynamic_handler ~listens () =
   let machine = Stack.machine stack in
+  let registry = Machine.metrics machine in
+  let labels = [ ("server", Process.name process) ] in
   let t =
     {
       stack;
@@ -56,20 +58,22 @@ let create ~stack ~process ~cache ?disk ?(api = Select) ?(policy = No_containers
       listens;
       conns = [];
       wq = Machine.Waitq.create ~name:"http-server" machine;
-      static_served = 0;
-      accepts = 0;
-      poll_rounds = 0;
+      static_served = Engine.Metrics.counter registry ~labels "http.static_served";
+      accepts = Engine.Metrics.counter registry ~labels "http.accepts";
+      poll_rounds = Engine.Metrics.counter registry ~labels "http.poll_rounds";
       started = false;
     }
   in
+  Engine.Metrics.gauge registry ~labels "http.open_conns" (fun () ->
+      float_of_int (List.length t.conns));
   List.iter (Stack.add_listen stack) listens;
   Stack.set_on_event stack (fun () -> Machine.Waitq.signal t.wq);
   t
 
-let static_served t = t.static_served
+let static_served t = Engine.Metrics.counter_value t.static_served
 let open_conns t = List.length t.conns
-let accepts t = t.accepts
-let poll_rounds t = t.poll_rounds
+let accepts t = Engine.Metrics.counter_value t.accepts
+let poll_rounds t = Engine.Metrics.counter_value t.poll_rounds
 let process t = t.process
 
 let uses_containers t =
@@ -133,7 +137,7 @@ let close_conn t tracked =
 
 let accept_one t listen conn =
   Machine.cpu ~kernel:true (Simtime.span_add Costs.accept_syscall Costs.conn_setup_misc);
-  t.accepts <- t.accepts + 1;
+  Engine.Metrics.incr t.accepts;
   let tracked = { conn; desc = None } in
   (match t.policy with
   | No_containers -> ()
@@ -155,7 +159,7 @@ let accept_one t listen conn =
 
 let respond t tracked meta =
   let close_now = Serve.static ~stack:t.stack ~cache:t.cache ?disk:t.disk tracked.conn meta in
-  t.static_served <- t.static_served + 1;
+  Engine.Metrics.incr t.static_served;
   if close_now then close_conn t tracked
 
 let handle_request t tracked payload =
@@ -235,7 +239,7 @@ let body t () =
     end
     else begin
       rebind_default t;
-      t.poll_rounds <- t.poll_rounds + 1;
+      Engine.Metrics.incr t.poll_rounds;
       charge_poll t ~ready_count:(List.length events);
       serve_round t events;
       loop ()

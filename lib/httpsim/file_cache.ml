@@ -6,8 +6,8 @@ type t = {
   mutable order : string list; (* registration order, for [warm] *)
   mutable cached_bytes : int;
   mutable clock : int;
-  mutable hits : int;
-  mutable misses : int;
+  hits : Engine.Metrics.counter;
+  misses : Engine.Metrics.counter;
 }
 
 let create ?(capacity_bytes = 64 * 1024 * 1024) () =
@@ -18,9 +18,14 @@ let create ?(capacity_bytes = 64 * 1024 * 1024) () =
     order = [];
     cached_bytes = 0;
     clock = 0;
-    hits = 0;
-    misses = 0;
+    hits = Engine.Metrics.make_counter "cache.hits";
+    misses = Engine.Metrics.make_counter "cache.misses";
   }
+
+let register_metrics t registry =
+  Engine.Metrics.register_counter registry t.hits;
+  Engine.Metrics.register_counter registry t.misses;
+  Engine.Metrics.gauge registry "cache.cached_bytes" (fun () -> float_of_int t.cached_bytes)
 
 let add_document t ~path ~bytes =
   if bytes < 0 then invalid_arg "File_cache.add_document: negative size";
@@ -69,11 +74,11 @@ let lookup t ~path =
   | Some e ->
       e.last_used <- t.clock;
       if e.cached then begin
-        t.hits <- t.hits + 1;
+        Engine.Metrics.incr t.hits;
         Hit e.bytes
       end
       else begin
-        t.misses <- t.misses + 1;
+        Engine.Metrics.incr t.misses;
         load t e;
         Miss e.bytes
       end
@@ -90,6 +95,6 @@ let warm t =
       | Some _ | None -> ())
     t.order
 
-let hits t = t.hits
-let misses t = t.misses
+let hits t = Engine.Metrics.counter_value t.hits
+let misses t = Engine.Metrics.counter_value t.misses
 let cached_bytes t = t.cached_bytes

@@ -33,3 +33,8 @@ val warm : t -> unit
 val hits : t -> int
 val misses : t -> int
 val cached_bytes : t -> int
+
+val register_metrics : t -> Engine.Metrics.t -> unit
+(** Register the cache's hit/miss counters and a [cache.cached_bytes]
+    gauge into [registry].  {!hits}/{!misses} remain views over the same
+    counters, so the registry and the accessors always agree. *)

@@ -27,14 +27,16 @@ type t = {
   master_wq : Machine.Waitq.t;
   mutable workers : worker list;
   mutable backlog : job list; (* accepted, waiting for a worker *)
-  mutable served : int;
-  mutable accepts : int;
+  served : Engine.Metrics.counter;
+  accepts : Engine.Metrics.counter;
   mutable started : bool;
 }
 
 let create ~stack ~master ~cache ?disk ?(workers = 8)
     ?(policy = Event_server.No_containers) ~listens () =
   let machine = Stack.machine stack in
+  let registry = Machine.metrics machine in
+  let labels = [ ("server", Process.name master) ] in
   let t =
     {
       stack;
@@ -47,23 +49,25 @@ let create ~stack ~master ~cache ?disk ?(workers = 8)
       master_wq = Machine.Waitq.create ~name:"forked-master" machine;
       workers = [];
       backlog = [];
-      served = 0;
-      accepts = 0;
+      served = Engine.Metrics.counter registry ~labels "http.static_served";
+      accepts = Engine.Metrics.counter registry ~labels "http.accepts";
       started = false;
     }
   in
+  Engine.Metrics.gauge registry ~labels "http.backlog" (fun () ->
+      float_of_int (List.length t.backlog));
   List.iter (Stack.add_listen stack) listens;
   Stack.add_on_event stack (fun () -> Machine.Waitq.signal t.master_wq);
   t
 
-let served t = t.served
-let accepts t = t.accepts
+let served t = Engine.Metrics.counter_value t.served
+let accepts t = Engine.Metrics.counter_value t.accepts
 let idle_workers t = List.length (List.filter (fun w -> not w.w_busy) t.workers)
 let backlog t = List.length t.backlog
 
 let respond t conn meta =
   let close_now = Serve.static ~stack:t.stack ~cache:t.cache ?disk:t.disk conn meta in
-  t.served <- t.served + 1;
+  Engine.Metrics.incr t.served;
   close_now
 
 (* The body each pre-forked worker runs inside its own process. *)
@@ -137,7 +141,7 @@ let assign _t worker job =
 
 let accept_job t listen conn =
   Machine.cpu ~kernel:true (Simtime.span_add Costs.accept_syscall Costs.conn_setup_misc);
-  t.accepts <- t.accepts + 1;
+  Engine.Metrics.incr t.accepts;
   let container =
     match t.policy with
     | Event_server.No_containers -> None

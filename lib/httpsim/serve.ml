@@ -5,7 +5,20 @@ let parse_request payload =
   Machine.cpu ~kernel:true Costs.read_parse;
   Http.parse payload
 
+let trace_request ~stack conn meta =
+  let trace = Machine.trace (Netsim.Stack.machine stack) in
+  if Engine.Tracelog.enabled trace then
+    Engine.Tracelog.event trace
+      (Machine.now (Netsim.Stack.machine stack))
+      (Engine.Trace_event.Http_request
+         {
+           conn = conn.Netsim.Socket.conn_id;
+           path = meta.Http.path;
+           dynamic = Http.is_dynamic meta;
+         })
+
 let static ~stack ~cache ?disk conn meta =
+  trace_request ~stack conn meta;
   let outcome = File_cache.lookup cache ~path:meta.Http.path in
   let body_bytes =
     match (outcome, disk) with
@@ -30,6 +43,11 @@ let static ~stack ~cache ?disk conn meta =
         80
   in
   Machine.cpu ~kernel:true (Simtime.span_add Costs.write_syscall Costs.request_misc);
-  Netsim.Stack.send stack conn
-    (Http.response ~now:(Machine.now (Netsim.Stack.machine stack)) meta ~body_bytes);
+  let machine = Netsim.Stack.machine stack in
+  let trace = Machine.trace machine in
+  if Engine.Tracelog.enabled trace then
+    Engine.Tracelog.event trace (Machine.now machine)
+      (Engine.Trace_event.Http_response
+         { conn = conn.Netsim.Socket.conn_id; path = meta.Http.path; bytes = body_bytes });
+  Netsim.Stack.send stack conn (Http.response ~now:(Machine.now machine) meta ~body_bytes);
   not meta.Http.keep_alive

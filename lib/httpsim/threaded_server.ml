@@ -17,8 +17,8 @@ type t = {
   dynamic_handler : (Socket.conn -> Http.meta -> unit) option;
   listens : Socket.listen list;
   wq : Machine.Waitq.t;
-  mutable served : int;
-  mutable accepts : int;
+  served : Engine.Metrics.counter;
+  accepts : Engine.Metrics.counter;
   mutable active : int;
   mutable started : bool;
 }
@@ -26,6 +26,8 @@ type t = {
 let create ~stack ~process ~cache ?disk ?(workers = 16)
     ?(policy = Event_server.No_containers) ?dynamic_handler ~listens () =
   let machine = Stack.machine stack in
+  let registry = Machine.metrics machine in
+  let labels = [ ("server", Process.name process) ] in
   let t =
     {
       stack;
@@ -37,19 +39,20 @@ let create ~stack ~process ~cache ?disk ?(workers = 16)
       dynamic_handler;
       listens;
       wq = Machine.Waitq.create ~name:"threaded-http" machine;
-      served = 0;
-      accepts = 0;
+      served = Engine.Metrics.counter registry ~labels "http.static_served";
+      accepts = Engine.Metrics.counter registry ~labels "http.accepts";
       active = 0;
       started = false;
     }
   in
+  Engine.Metrics.gauge registry ~labels "http.active_workers" (fun () -> float_of_int t.active);
   List.iter (Stack.add_listen stack) listens;
   (* All idle workers race for each event; the first to run claims it. *)
   Stack.set_on_event stack (fun () -> Machine.Waitq.broadcast t.wq);
   t
 
-let served t = t.served
-let accepts t = t.accepts
+let served t = Engine.Metrics.counter_value t.served
+let accepts t = Engine.Metrics.counter_value t.accepts
 let active_workers t = t.active
 
 let try_accept t =
@@ -64,7 +67,7 @@ let try_accept t =
 
 let respond t conn meta =
   let close_now = Serve.static ~stack:t.stack ~cache:t.cache ?disk:t.disk conn meta in
-  t.served <- t.served + 1;
+  Engine.Metrics.incr t.served;
   close_now
 
 type disposition = Close_now | Keep_serving | Detached
@@ -83,7 +86,7 @@ let handle_request t conn payload =
 let serve_conn t listen conn =
   let machine = Stack.machine t.stack in
   Machine.cpu ~kernel:true (Simtime.span_add Costs.accept_syscall Costs.conn_setup_misc);
-  t.accepts <- t.accepts + 1;
+  Engine.Metrics.incr t.accepts;
   let container_ref =
     match t.policy with
     | Event_server.No_containers -> None

@@ -131,8 +131,8 @@ let schedule_to_client t conn delay f =
 let listens t = t.listen_sockets
 let now t = Machine.now t.machine
 
-let emit t ~category fmt =
-  Engine.Tracelog.emitf (Machine.trace t.machine) (now t) ~category fmt
+let tracing t = Engine.Tracelog.enabled (Machine.trace t.machine)
+let tell t ev = Engine.Tracelog.event (Machine.trace t.machine) (now t) ev
 
 let add_listen t l = t.listen_sockets <- l :: t.listen_sockets
 
@@ -200,7 +200,10 @@ let memory_limit_exceeded container ~extra =
 
 let schedule t delay f = ignore (Sim.after (Machine.sim t.machine) delay f)
 
-(* Lazily purge SYN-queue entries that completed, died, or timed out. *)
+(* Lazily purge SYN-queue entries that completed, died, or timed out.  A
+   timed-out half-open connection is a drop like any other: it counts
+   against the listener and the stack, and fires the drop callback, so SYN
+   flood damage is visible whether entries die by eviction or by timeout. *)
 let purge_syn_queue t l =
   let rec purge () =
     match Queue.peek_opt l.Socket.syn_queue with
@@ -212,6 +215,17 @@ let purge_syn_queue t l =
       ->
         ignore (Queue.pop l.Socket.syn_queue);
         conn.Socket.state <- Socket.Closed;
+        l.Socket.syn_drops <- l.Socket.syn_drops + 1;
+        t.stats.syn_queue_drops <- t.stats.syn_queue_drops + 1;
+        if tracing t then
+          tell t
+            (Engine.Trace_event.Syn_drop
+               {
+                 listen = l.Socket.listen_id;
+                 src = Ipaddr.to_string conn.Socket.src;
+                 reason = Engine.Trace_event.Timeout;
+               });
+        t.on_syn_drop l conn.Socket.src;
         purge ()
     | Some _ | None -> ()
   in
@@ -228,6 +242,14 @@ let evict_syn t l =
             victim.Socket.state <- Socket.Closed;
             l.Socket.syn_drops <- l.Socket.syn_drops + 1;
             t.stats.syn_queue_drops <- t.stats.syn_queue_drops + 1;
+            if tracing t then
+              tell t
+                (Engine.Trace_event.Syn_drop
+                   {
+                     listen = l.Socket.listen_id;
+                     src = Ipaddr.to_string victim.Socket.src;
+                     reason = Engine.Trace_event.Overflow;
+                   });
             t.on_syn_drop l victim.Socket.src
           end;
           evict ()
@@ -245,7 +267,10 @@ let rec perform t work =
       t.stats.refused <- t.stats.refused + 1;
       schedule t t.latency (fun () -> client.Socket.on_refused ())
   | W_syn { src; src_port; listen = Some l; client; completes } ->
-      emit t ~category:"net" "SYN from %s on listen#%d" (Ipaddr.to_string src) l.Socket.listen_id;
+      if tracing t then
+        tell t
+          (Engine.Trace_event.Net_syn
+             { src = Ipaddr.to_string src; listen = l.Socket.listen_id });
       purge_syn_queue t l;
       evict_syn t l;
       let conn = Socket.make_conn ~src ~src_port ~client ~now:(now t) in
@@ -266,12 +291,18 @@ let rec perform t work =
                  client finds out via its retransmission timer. *)
               conn.Socket.state <- Socket.Closed;
               l.Socket.accept_drops <- l.Socket.accept_drops + 1;
-              t.stats.accept_queue_drops <- t.stats.accept_queue_drops + 1
+              t.stats.accept_queue_drops <- t.stats.accept_queue_drops + 1;
+              if tracing t then
+                tell t
+                  (Engine.Trace_event.Accept_drop
+                     { listen = l.Socket.listen_id; conn = conn.Socket.conn_id })
             end
             else begin
               conn.Socket.state <- Socket.Established;
-              emit t ~category:"net" "conn#%d established from %s" conn.Socket.conn_id
-                (Ipaddr.to_string conn.Socket.src);
+              if tracing t then
+                tell t
+                  (Engine.Trace_event.Net_established
+                     { conn = conn.Socket.conn_id; src = Ipaddr.to_string conn.Socket.src });
               Queue.push conn l.Socket.accept_queue;
               t.stats.conns_established <- t.stats.conns_established + 1;
               t.on_event ();
@@ -284,10 +315,19 @@ let rec perform t work =
       charge_rx container (Payload.packet_count ~mtu:t.mtu payload) payload.Payload.bytes;
       if conn.Socket.state = Socket.Established then begin
         let owner = rx_memory_container t conn in
-        if memory_limit_exceeded owner ~extra:payload.Payload.bytes then
+        if memory_limit_exceeded owner ~extra:payload.Payload.bytes then begin
           (* Buffer memory exhausted for this principal: drop the data;
              the client's retransmission machinery will retry. *)
-          t.stats.rx_queue_drops <- t.stats.rx_queue_drops + 1
+          t.stats.rx_queue_drops <- t.stats.rx_queue_drops + 1;
+          if tracing t then
+            tell t
+              (Engine.Trace_event.Rx_discard
+                 {
+                   cid = Container.id owner;
+                   container = Container.name owner;
+                   bytes = payload.Payload.bytes;
+                 })
+        end
         else begin
           (* Buffered data occupies socket-buffer memory until the
              application reads it (§4.4). *)
@@ -368,6 +408,14 @@ and pick_work t svc =
           t.pending <- t.pending - 1;
           t.service_tick <- t.service_tick + 1;
           Hashtbl.replace t.served_stamp (Container.id container) t.service_tick;
+          if tracing t then
+            tell t
+              (Engine.Trace_event.Net_dequeue
+                 {
+                   cid = Container.id container;
+                   container = Container.name container;
+                   depth = Queue.length q;
+                 });
           Some (container, work))
 
 and enqueue_work t work =
@@ -376,12 +424,27 @@ and enqueue_work t work =
   if Queue.length q >= t.queue_cap then begin
     (* Early discard at interrupt level: the whole point of LRP/RC under
        overload — no further CPU is spent on this packet. *)
-    emit t ~category:"drop" "early discard at container %s" (Container.name container);
+    if tracing t then
+      tell t
+        (Engine.Trace_event.Early_discard
+           {
+             cid = Container.id container;
+             container = Container.name container;
+             depth = Queue.length q;
+           });
     t.stats.rx_queue_drops <- t.stats.rx_queue_drops + 1
   end
   else begin
     Queue.push work q;
     t.pending <- t.pending + 1;
+    if tracing t then
+      tell t
+        (Engine.Trace_event.Net_enqueue
+           {
+             cid = Container.id container;
+             container = Container.name container;
+             depth = Queue.length q;
+           });
     (* Make the covering network kernel thread runnable at the priority of
        its best pending container (paper §4.7). *)
     match service_for t container with
@@ -442,6 +505,14 @@ let kthread_body t svc () =
           t.pending <- t.pending - 1;
           t.service_tick <- t.service_tick + 1;
           Hashtbl.replace t.served_stamp (Container.id container) t.service_tick;
+          if tracing t then
+            tell t
+              (Engine.Trace_event.Net_dequeue
+                 {
+                   cid = Container.id container;
+                   container = Container.name container;
+                   depth = Queue.length (queue_for t container);
+                 });
           Machine.cpu ~kernel:true (cost_of_work t work);
           perform t work;
           if not (is_idle_class container) then drain container
@@ -525,6 +596,20 @@ let create ?(mtu = 1460) ?(latency = Simtime.us 150) ?(costs = default_costs)
         };
     }
   in
+  (* Expose the stack's counters as pull gauges over the live stats record:
+     exported values agree with the in-process view by construction. *)
+  let registry = Machine.metrics machine in
+  let s = t.stats in
+  let expose name read = Engine.Metrics.gauge registry name (fun () -> float_of_int (read ())) in
+  expose "net.syns_received" (fun () -> s.syns_received);
+  expose "net.syn_queue_drops" (fun () -> s.syn_queue_drops);
+  expose "net.accept_queue_drops" (fun () -> s.accept_queue_drops);
+  expose "net.rx_queue_drops" (fun () -> s.rx_queue_drops);
+  expose "net.packets_processed" (fun () -> s.packets_processed);
+  expose "net.conns_established" (fun () -> s.conns_established);
+  expose "net.conns_closed" (fun () -> s.conns_closed);
+  expose "net.refused" (fun () -> s.refused);
+  expose "net.pending_work" (fun () -> t.pending);
   (match mode with
   | Softirq -> ()
   | Lrp | Rc ->
@@ -571,7 +656,19 @@ let close t conn =
     Machine.cpu ~kernel:true
       (Simtime.span_add t.costs.fin_process t.costs.conn_teardown);
     conn.Socket.state <- Socket.Closed;
+    (* Unread buffered data still occupies socket-buffer memory charged to
+       the owning container; tearing the connection down frees the buffers,
+       so the charge must be credited back or the principal leaks memory
+       accounting with every abandoned connection. *)
+    let refunded = ref 0 in
+    Queue.iter (fun p -> refunded := !refunded + p.Payload.bytes) conn.Socket.rx_queue;
+    Queue.clear conn.Socket.rx_queue;
+    if !refunded > 0 then Container.charge_memory (rx_memory_container t conn) (- !refunded);
     t.stats.conns_closed <- t.stats.conns_closed + 1;
+    if tracing t then
+      tell t
+        (Engine.Trace_event.Conn_close
+           { conn = conn.Socket.conn_id; refunded_bytes = !refunded });
     schedule_to_client t conn t.latency (fun () -> conn.Socket.client.Socket.on_closed conn)
   end
 

@@ -37,6 +37,13 @@ type t = {
   by_task : (int, thread) Hashtbl.t;
   mutable on_idle : unit -> unit;
   trace : Engine.Tracelog.t;
+  metrics : Engine.Metrics.t;
+  c_dispatches : Engine.Metrics.counter;
+  c_preemptions : Engine.Metrics.counter;
+  c_spawns : Engine.Metrics.counter;
+  c_kills : Engine.Metrics.counter;
+  c_rebinds : Engine.Metrics.counter;
+  c_irq_steals : Engine.Metrics.counter;
 }
 
 type _ Effect.t +=
@@ -61,15 +68,26 @@ let binding thread = thread.task.Task.binding
 let is_done thread = thread.state = Done
 
 let trace m = m.trace
+let metrics m = m.metrics
 
-let emit m ~category fmt = Engine.Tracelog.emitf m.trace (now m) ~category fmt
+let tracing m = Engine.Tracelog.enabled m.trace
+let tell m ev = Engine.Tracelog.event m.trace (now m) ev
 
 let charge_to m container ~kernel span_ns =
   if span_ns > 0 then begin
     let span = Simtime.span_of_ns span_ns in
     Container.charge_cpu container ~kernel span;
     m.pol.Sched.Policy.charge ~container ~now:(now m) span;
-    m.busy <- m.busy + span_ns
+    m.busy <- m.busy + span_ns;
+    if tracing m then
+      tell m
+        (Engine.Trace_event.Charge
+           {
+             resource = Engine.Trace_event.Cpu;
+             cid = Container.id container;
+             container = Container.name container;
+             amount = span_ns;
+           })
   end
 
 let cpus m = Array.length m.currents
@@ -213,9 +231,19 @@ and dispatch_on m ~from_cpu =
 
 and start_slice m thread ~cpu =
   let work = min m.quantum thread.pending in
-  emit m ~category:"dispatch" "cpu%d runs %s for %dns (binding %s)" cpu thread.task.Task.name
-    work
-    (Container.name (Binding.resource_binding thread.task.Task.binding));
+  Engine.Metrics.incr m.c_dispatches;
+  if tracing m then begin
+    let c = Binding.resource_binding thread.task.Task.binding in
+    tell m
+      (Engine.Trace_event.Dispatch
+         {
+           cpu;
+           thread = thread.task.Task.name;
+           cid = Container.id c;
+           container = Container.name c;
+           work_ns = work;
+         })
+  end;
   thread.state <- Running;
   (* A running task leaves the policy's queues so another processor cannot
      pick it concurrently; it re-enters at slice end. *)
@@ -247,6 +275,11 @@ and finish_slice m d =
       resume_thread m thread
     end
     else begin
+      Engine.Metrics.incr m.c_preemptions;
+      if tracing m then
+        tell m
+          (Engine.Trace_event.Preempt
+             { cpu = d.d_cpu; thread = thread.task.Task.name; remaining_ns = thread.pending });
       thread.state <- Ready;
       m.pol.Sched.Policy.enqueue thread.task
     end
@@ -254,9 +287,10 @@ and finish_slice m d =
   dispatch_next m
 
 let create ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(prune_interval = Simtime.ms 100)
-    ?(prune_age = Simtime.ms 500) ?trace ~sim ~policy:pol ~root () =
+    ?(prune_age = Simtime.ms 500) ?trace ?metrics ~sim ~policy:pol ~root () =
   if cpus <= 0 then invalid_arg "Machine.create: cpus must be positive";
   let trace = match trace with Some t -> t | None -> Engine.Tracelog.create () in
+  let metrics = match metrics with Some r -> r | None -> Engine.Metrics.create () in
   let m =
     {
       sim;
@@ -272,8 +306,22 @@ let create ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(prune_interval = Simtime.ms 1
       by_task = Hashtbl.create 64;
       on_idle = (fun () -> ());
       trace;
+      metrics;
+      c_dispatches = Engine.Metrics.counter metrics "sched.dispatches";
+      c_preemptions = Engine.Metrics.counter metrics "sched.preemptions";
+      c_spawns = Engine.Metrics.counter metrics "machine.spawns";
+      c_kills = Engine.Metrics.counter metrics "machine.kills";
+      c_rebinds = Engine.Metrics.counter metrics "machine.rebinds";
+      c_irq_steals = Engine.Metrics.counter metrics "machine.irq_steals";
     }
   in
+  Engine.Metrics.gauge metrics "machine.busy_ns" (fun () -> float_of_int m.busy);
+  Engine.Metrics.gauge metrics "machine.runnable_tasks" (fun () ->
+      float_of_int (m.pol.Sched.Policy.runnable_count ()));
+  Engine.Metrics.gauge metrics "rc.root.cpu_ns" (fun () ->
+      Simtime.span_to_sec_f (Rescont.Usage.cpu_total (Container.subtree_usage root)) *. 1e9);
+  Engine.Metrics.gauge metrics "rc.root.memory_bytes" (fun () ->
+      float_of_int (Rescont.Usage.memory_bytes (Container.subtree_usage root)));
   (* Periodic pruning of scheduler-binding sets (paper §4.3). *)
   ignore
     (Sim.every sim prune_interval (fun () ->
@@ -286,7 +334,11 @@ let create ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(prune_interval = Simtime.ms 1
   m
 
 let spawn m ?(kernel = false) ~name ~container body =
-  emit m ~category:"spawn" "thread %s in container %s" name (Container.name container);
+  Engine.Metrics.incr m.c_spawns;
+  if tracing m then
+    tell m
+      (Engine.Trace_event.Spawn
+         { thread = name; cid = Container.id container; container = Container.name container });
   let b = Binding.create ~now:(now m) container in
   let task = Task.create ~kernel ~name b in
   let thread =
@@ -300,7 +352,15 @@ let spawn m ?(kernel = false) ~name ~container body =
   thread
 
 let rebind m thread container =
-  emit m ~category:"rebind" "%s -> %s" thread.task.Task.name (Container.name container);
+  Engine.Metrics.incr m.c_rebinds;
+  if tracing m then
+    tell m
+      (Engine.Trace_event.Rebind
+         {
+           thread = thread.task.Task.name;
+           cid = Container.id container;
+           container = Container.name container;
+         });
   Binding.set_resource_binding thread.task.Task.binding ~now:(now m) container;
   match thread.state with
   | Ready -> m.pol.Sched.Policy.requeue thread.task
@@ -313,7 +373,9 @@ let kill m thread =
   match thread.state with
   | Done -> ()
   | Ready | Blocked | Running ->
-      emit m ~category:"kill" "%s" thread.task.Task.name;
+      Engine.Metrics.incr m.c_kills;
+      if tracing m then
+        tell m (Engine.Trace_event.Kill { thread = thread.task.Task.name });
       thread.cont <- None;
       thread.entry <- None;
       thread.pending <- 0;
@@ -369,7 +431,11 @@ let steal_time m ~cost ~charge =
           | None -> m.root)
     in
     charge_to m victim ~kernel:true cost_ns;
-    emit m ~category:"irq" "steal %dns charged to %s" cost_ns (Container.name victim);
+    Engine.Metrics.incr m.c_irq_steals;
+    if tracing m then
+      tell m
+        (Engine.Trace_event.Irq_steal
+           { cost_ns; cid = Container.id victim; container = Container.name victim });
     match m.currents.(0) with
     | Some d ->
         ignore (Sim.cancel m.sim d.d_end_event);

@@ -21,6 +21,7 @@ val create :
   ?prune_interval:Engine.Simtime.span ->
   ?prune_age:Engine.Simtime.span ->
   ?trace:Engine.Tracelog.t ->
+  ?metrics:Engine.Metrics.t ->
   sim:Engine.Sim.t ->
   policy:Sched.Policy.t ->
   root:Rescont.Container.t ->
@@ -132,4 +133,11 @@ val cpus : t -> int
 
 val trace : t -> Engine.Tracelog.t
 (** The machine's trace log (disabled unless the log passed at creation was
-    enabled).  Categories: "spawn", "dispatch", "rebind", "irq". *)
+    enabled).  Categories: "spawn", "dispatch", "preempt", "rebind", "kill",
+    "irq", "charge". *)
+
+val metrics : t -> Engine.Metrics.t
+(** The machine's metrics registry (fresh unless one was passed at
+    creation).  The machine registers the [sched.*] and [machine.*]
+    counters and gauges plus root-subtree [rc.root.*] gauges; other
+    subsystems sharing the machine register their own instruments here. *)

@@ -7,6 +7,7 @@ let () =
       ("heapq", Test_heapq.suite);
       ("rng+dist", Test_rng_dist.suite);
       ("stats", Test_stats.suite);
+      ("series", Test_series.suite);
       ("sim", Test_sim.suite);
       ("container", Test_container.suite);
       ("rescont", Test_rescont_rest.suite);
@@ -18,5 +19,6 @@ let () =
       ("netsim", Test_netsim.suite);
       ("httpsim", Test_httpsim.suite);
       ("workload", Test_workload.suite);
+      ("observability", Test_observability.suite);
       ("integration", Test_integration.suite);
     ]

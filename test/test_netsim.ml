@@ -355,6 +355,58 @@ let test_memory_limit_drops () =
   Alcotest.(check int) "retry accepted after read" 600
     (Rescont.Usage.memory_bytes (Container.usage limited))
 
+(* Regression: closing a connection with unread buffered data must credit
+   the buffered bytes back, or the owning container's memory accounting
+   leaks a little with every abandoned connection. *)
+let test_close_refunds_buffered_rx () =
+  let rig = make_rig Stack.Rc in
+  let listen = Socket.make_listen ~port:80 () in
+  Stack.add_listen rig.stack listen;
+  let the_conn = ref None in
+  connect_one rig ~on_established:(fun conn -> the_conn := Some conn);
+  run rig (Simtime.ms 10);
+  let conn = match !the_conn with Some c -> c | None -> Alcotest.fail "no conn" in
+  Stack.client_send rig.stack conn (Payload.make ~tag:"r" ~bytes:700 (Sim.now rig.sim));
+  run rig (Simtime.ms 10);
+  Alcotest.(check int) "memory charged while buffered" 700
+    (Rescont.Usage.memory_bytes (Container.usage rig.owner));
+  (* Server closes without ever reading the request. *)
+  ignore
+    (Machine.spawn rig.machine ~name:"closer" ~container:rig.owner (fun () ->
+         Stack.close rig.stack conn));
+  run rig (Simtime.ms 10);
+  Alcotest.(check int) "buffered rx refunded on close" 0
+    (Rescont.Usage.memory_bytes (Container.usage rig.owner));
+  Alcotest.(check int) "whole subtree balances" 0
+    (Rescont.Usage.memory_bytes (Container.subtree_usage rig.root))
+
+(* Regression: SYN-queue entries that die by timeout (not eviction) must be
+   counted as drops and reported through on_syn_drop. *)
+let test_syn_timeout_counted () =
+  let sim = Sim.create () in
+  let root = Container.create_root () in
+  let machine = Machine.create ~sim ~policy:(Sched.Multilevel.make ~root ()) ~root () in
+  let proc = Process.create machine ~name:"srv" () in
+  let owner = Process.default_container proc in
+  let stack =
+    Stack.create ~machine ~mode:Stack.Softirq ~syn_timeout:(Simtime.ms 100) ~owner ()
+  in
+  let listen = Socket.make_listen ~port:80 () in
+  Stack.add_listen stack listen;
+  let reported = ref [] in
+  Stack.set_on_syn_drop stack (fun _l src -> reported := Ipaddr.to_string src :: !reported);
+  Stack.inject_syn stack ~src:(Ipaddr.v 192 168 66 1) ~port:80;
+  Machine.run_until machine (Simtime.of_ns 200_000_000);
+  (* Expired entries are reaped lazily, on the next SYN for the listener. *)
+  Alcotest.(check int) "nothing dropped yet" 0 (Stack.stats stack).Stack.syn_queue_drops;
+  Stack.inject_syn stack ~src:(Ipaddr.v 10 0 0 2) ~port:80;
+  Machine.run_until machine (Simtime.of_ns 400_000_000);
+  Alcotest.(check int) "timeout counted as stack drop" 1
+    (Stack.stats stack).Stack.syn_queue_drops;
+  Alcotest.(check int) "timeout counted on the listener" 1 listen.Socket.syn_drops;
+  Alcotest.(check (list string)) "callback fired with the timed-out source"
+    [ "192.168.66.1" ] !reported
+
 let test_add_service_covers () =
   let rig = make_rig Stack.Rc in
   let guest = Container.create ~parent:rig.root ~name:"guest" ~attrs:(Attrs.fixed_share ~share:0.5 ()) () in
@@ -536,6 +588,8 @@ let suite =
     Alcotest.test_case "softirq steals from current" `Quick test_softirq_steals_from_current;
     Alcotest.test_case "socket buffer memory" `Quick test_socket_buffer_memory;
     Alcotest.test_case "memory limit drops" `Quick test_memory_limit_drops;
+    Alcotest.test_case "close refunds buffered rx" `Quick test_close_refunds_buffered_rx;
+    Alcotest.test_case "SYN timeout counted" `Quick test_syn_timeout_counted;
     Alcotest.test_case "add_service coverage" `Quick test_add_service_covers;
     Alcotest.test_case "remove listen" `Quick test_remove_listen;
     Alcotest.test_case "link serialisation + FIFO" `Quick test_link_serialisation;

@@ -1,0 +1,44 @@
+(* Tests for Engine.Series lookup semantics. *)
+
+module S = Engine.Series
+
+(* Regression: [y_at] used exact float equality, so abscissae produced by
+   arithmetic (0.1 +. 0.2) failed to find points stored at the literal
+   value (0.3). *)
+let test_y_at_computed_abscissa () =
+  let c = S.curve "c" in
+  S.add_point c ~x:0.3 ~y:42.;
+  Alcotest.(check (option (float 1e-9)))
+    "0.1 +. 0.2 finds the point at 0.3" (Some 42.)
+    (S.y_at c (0.1 +. 0.2))
+
+let test_y_at_exact_hit () =
+  let c = S.curve "c" in
+  S.add_point c ~x:1. ~y:10.;
+  S.add_point c ~x:2. ~y:20.;
+  Alcotest.(check (option (float 1e-9))) "exact x" (Some 10.) (S.y_at c 1.);
+  Alcotest.(check (option (float 1e-9))) "other exact x" (Some 20.) (S.y_at c 2.)
+
+let test_y_at_clear_miss () =
+  let c = S.curve "c" in
+  S.add_point c ~x:1. ~y:10.;
+  Alcotest.(check (option (float 1e-9))) "far-away x misses" None (S.y_at c 1.5);
+  Alcotest.(check (option (float 1e-9))) "empty curve misses" None (S.y_at (S.curve "e") 0.)
+
+let test_y_at_large_magnitude () =
+  let c = S.curve "c" in
+  S.add_point c ~x:1e12 ~y:7.;
+  (* The tolerance scales with |x|, so a 1-ulp-ish perturbation at large
+     magnitude still matches... *)
+  Alcotest.(check (option (float 1e-9))) "relative tolerance" (Some 7.)
+    (S.y_at c (1e12 +. 0.0001));
+  (* ...while a genuinely different abscissa does not. *)
+  Alcotest.(check (option (float 1e-9))) "still discriminates" None (S.y_at c (1e12 +. 1e6))
+
+let suite =
+  [
+    Alcotest.test_case "y_at computed abscissa" `Quick test_y_at_computed_abscissa;
+    Alcotest.test_case "y_at exact hit" `Quick test_y_at_exact_hit;
+    Alcotest.test_case "y_at clear miss" `Quick test_y_at_clear_miss;
+    Alcotest.test_case "y_at large magnitude" `Quick test_y_at_large_magnitude;
+  ]

@@ -125,7 +125,9 @@ let test_tracelog () =
   let entries = T.entries tr in
   Alcotest.(check int) "capacity bound" 4 (List.length entries);
   (match entries with
-  | first :: _ -> Alcotest.(check string) "oldest retained" "event 3" first.T.message
+  | first :: _ ->
+      Alcotest.(check string) "oldest retained" "event 3"
+        (Engine.Trace_event.render first.T.event)
   | [] -> Alcotest.fail "no entries");
   Alcotest.(check int) "find by category" 4 (List.length (T.find tr ~category:"cat"));
   Alcotest.(check int) "find missing" 0 (List.length (T.find tr ~category:"nope"));

@@ -86,6 +86,32 @@ let test_rate () =
     3_000_000.
     (Stats.Rate.rate_between r (Simtime.of_ns 0) (Simtime.of_ns 1_000))
 
+(* Regression: [rate_over] used to divide the all-time mark count by the
+   window span, ignoring timestamps entirely.  A 1-second window over marks
+   ten seconds apart must only see the recent one. *)
+let test_rate_window_aware () =
+  let r = Stats.Rate.create () in
+  Stats.Rate.mark r (Simtime.of_ns 0);
+  Stats.Rate.mark r (Simtime.of_ns 10_000_000_000);
+  Alcotest.(check int) "all-time count still 2" 2 (Stats.Rate.count r);
+  Alcotest.(check (float 1e-9)) "1s window sees only the recent mark" 1.
+    (Stats.Rate.rate_over r (Simtime.sec 1));
+  Alcotest.(check (float 1e-9)) "wide window sees both" 0.1
+    (Stats.Rate.rate_over r (Simtime.sec 20))
+
+(* Regression: [marks] used to grow without bound.  The ring buffer keeps a
+   fixed number of recent marks while the all-time count keeps counting. *)
+let test_rate_bounded_memory () =
+  let r = Stats.Rate.create ~capacity:8 () in
+  for i = 1 to 100 do
+    Stats.Rate.mark r (Simtime.of_ns (i * 1_000))
+  done;
+  Alcotest.(check int) "retention capped at capacity" 8 (Stats.Rate.retained r);
+  Alcotest.(check int) "all-time count unaffected" 100 (Stats.Rate.count r);
+  (* Only the retained (most recent) marks participate in windowed rates. *)
+  Alcotest.(check (float 1e-9)) "windowed rate over retained marks" 8.
+    (Stats.Rate.rate_over r (Simtime.sec 1))
+
 let prop_summary_mean_bounded =
   QCheck2.Test.make ~name:"summary mean within [min,max]" ~count:300
     QCheck2.Gen.(list_size (int_range 1 50) (float_range (-1e6) 1e6))
@@ -106,5 +132,7 @@ let suite =
     Alcotest.test_case "reservoir errors" `Quick test_reservoir_errors;
     Alcotest.test_case "histogram" `Quick test_histogram;
     Alcotest.test_case "rate" `Quick test_rate;
+    Alcotest.test_case "rate window aware" `Quick test_rate_window_aware;
+    Alcotest.test_case "rate bounded memory" `Quick test_rate_bounded_memory;
     QCheck_alcotest.to_alcotest prop_summary_mean_bounded;
   ]
