@@ -163,6 +163,80 @@ let run_all fast csv =
   run_latency fast csv;
   run_ablation fast csv
 
+(* Conservation-law fuzzing: run seeded random scenarios with every
+   invariant armed.  Exit status 0 means every law held on every run (or,
+   under --inject, that the planted bug was caught on every run). *)
+let run_fuzz seeds seed mode inject trace_out =
+  let modes =
+    if mode = "all" then Fuzz.all_modes
+    else
+      match Fuzz.mode_of_string mode with
+      | Some m -> [ m ]
+      | None ->
+          Format.eprintf "fuzz: unknown --mode %S (want all, softirq, lrp or rc)@." mode;
+          Stdlib.exit 2
+  in
+  let inject =
+    match inject with
+    | None -> false
+    | Some "mischarge" -> true
+    | Some other ->
+        Format.eprintf "fuzz: unknown --inject %S (only 'mischarge' is defined)@." other;
+        Stdlib.exit 2
+  in
+  let seed_list =
+    match seed with Some s -> [ s ] | None -> List.init seeds (fun i -> i + 1)
+  in
+  let outcomes =
+    match (seed_list, modes) with
+    | [ s ], [ m ] ->
+        (* Single replay: honour --trace-out for the violation dump. *)
+        let o = Fuzz.run_seed ~inject ?trace_path:trace_out ~mode:m ~seed:s () in
+        Format.printf "%a@." Fuzz.pp_outcome o;
+        [ o ]
+    | _ ->
+        Fuzz.run_batch ~inject
+          ~log:(fun o -> Format.printf "%a@." Fuzz.pp_outcome o)
+          ~modes ~seeds:seed_list ()
+  in
+  let violations = List.filter (fun o -> o.Fuzz.violation <> None) outcomes in
+  let total = List.length outcomes and bad = List.length violations in
+  if inject then
+    if bad = total then
+      Format.printf "fuzz: injected mis-charge caught on all %d run(s)@." total
+    else begin
+      Format.printf "fuzz: injected mis-charge MISSED on %d of %d run(s)@." (total - bad) total;
+      Stdlib.exit 1
+    end
+  else begin
+    Format.printf "fuzz: %d run(s), %d violation(s)@." total bad;
+    if bad > 0 then Stdlib.exit 1
+  end
+
+let fuzz_cmd =
+  let seeds_arg =
+    let doc = "Run seeds 1..$(docv) (ignored when --seed is given)." in
+    Arg.(value & opt int 20 & info [ "seeds" ] ~doc ~docv:"N")
+  in
+  let seed_arg =
+    let doc = "Run exactly this seed." in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~doc ~docv:"SEED")
+  in
+  let mode_arg =
+    let doc = "Stack mode to fuzz: $(b,all), $(b,softirq), $(b,lrp) or $(b,rc)." in
+    Arg.(value & opt string "all" & info [ "mode" ] ~doc ~docv:"MODE")
+  in
+  let inject_arg =
+    let doc =
+      "Plant a known accounting bug ($(b,mischarge)); every run must then be caught \
+       by the cpu.conservation law or the command fails."
+    in
+    Arg.(value & opt (some string) None & info [ "inject" ] ~doc ~docv:"BUG")
+  in
+  let doc = "Fuzz random scenarios under the conservation-law invariants." in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run_fuzz $ seeds_arg $ seed_arg $ mode_arg $ inject_arg $ trace_out_flag)
+
 let term_of f =
   let apply fast csv chart trace_out metrics_out =
     chart_mode := chart;
@@ -191,6 +265,7 @@ let cmds =
     subcommand "latency" "Run the latency-vs-load extension sweep." run_latency;
     subcommand "trace" "Dump a kernel trace of a small RC scenario." run_trace;
     subcommand "ablation" "Run the design-choice ablations." run_ablation;
+    fuzz_cmd;
     subcommand "all" "Run every experiment." run_all;
   ]
 

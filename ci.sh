@@ -14,4 +14,11 @@ dune runtest
 echo "== dune build @bench-check"
 dune build @bench-check
 
+echo "== fuzz smoke (fixed seeds, invariants armed)"
+dune exec bin/rc_sim.exe -- fuzz --seeds 5
+
+echo "== fuzz self-test (planted mis-charge must be caught)"
+dune exec bin/rc_sim.exe -- fuzz --seed 1 --mode rc --inject mischarge \
+  --trace-out "${TMPDIR:-/tmp}/rc-fuzz-selftest.trace.jsonl"
+
 echo "CI gate passed."

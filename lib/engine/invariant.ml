@@ -1,0 +1,66 @@
+type violation = { law : string; detail : string }
+
+exception Violation of violation
+
+let pp_violation ppf v = Format.fprintf ppf "invariant %s violated: %s" v.law v.detail
+
+let () =
+  Printexc.register_printer (function
+    | Violation v -> Some (Format.asprintf "%a" pp_violation v)
+    | _ -> None)
+
+type law = { name : string; check : unit -> (unit, string) result }
+
+type t = {
+  mutable laws : law list; (* registration order, oldest first *)
+  mutable armed : bool;
+  mutable checks_run : int;
+  mutable violations_seen : int;
+}
+
+let create () = { laws = []; armed = false; checks_run = 0; violations_seen = 0 }
+
+let register t ~law check = t.laws <- t.laws @ [ { name = law; check } ]
+
+let names t = List.map (fun l -> l.name) t.laws
+
+let arm t = t.armed <- true
+let disarm t = t.armed <- false
+let armed t = t.armed
+let checks_run t = t.checks_run
+let violations_seen t = t.violations_seen
+
+let check t =
+  t.checks_run <- t.checks_run + 1;
+  let violations =
+    List.filter_map
+      (fun l ->
+        match l.check () with
+        | Ok () -> None
+        | Error detail -> Some { law = l.name; detail }
+        | exception exn ->
+            (* A law that cannot even be evaluated is itself a violation:
+               conservation checks must be total. *)
+            Some { law = l.name; detail = "check raised: " ^ Printexc.to_string exn })
+      t.laws
+  in
+  t.violations_seen <- t.violations_seen + List.length violations;
+  violations
+
+let check_exn t =
+  match check t with [] -> () | v :: _ -> raise (Violation v)
+
+(* Law-writing helpers: most conservation laws are equalities or bounds
+   over integer quantities; these produce uniform diagnostics. *)
+
+let require cond fmt =
+  Format.kasprintf (fun detail -> if cond then Ok () else Error detail) fmt
+
+let equal_int ~what expected actual =
+  require (expected = actual) "%s: expected %d, got %d (delta %d)" what expected actual
+    (actual - expected)
+
+let leq_int ~what actual bound =
+  require (actual <= bound) "%s: %d exceeds bound %d" what actual bound
+
+let non_negative ~what actual = require (actual >= 0) "%s: %d is negative" what actual

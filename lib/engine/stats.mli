@@ -73,6 +73,10 @@ module Rate : sig
   val retained : t -> int
   (** Number of marks currently held in the ring. *)
 
+  val fold_marks : t -> ('a -> int -> int -> 'a) -> 'a -> 'a
+  (** [fold_marks t f init] folds [f acc time_ns weight] over the retained
+      marks, oldest first.  Only the last {!retained} marks are visible. *)
+
   val rate_over : t -> Simtime.span -> float
   (** [rate_over t window] is the weighted count of marks whose timestamps
       fall within [window] of the most recent mark, divided by [window] in

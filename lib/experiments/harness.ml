@@ -39,17 +39,18 @@ let make_rig ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(limit_window = Simtime.ms 1
     ?server_attrs system =
   let sim = Sim.create () in
   let root = Container.create_root () in
+  let invariants = Engine.Invariant.create () in
   let policy =
     match system with
     | Unmodified | Lrp_sys -> Sched.Timeshare.make ()
-    | Rc_sys -> Sched.Multilevel.make ~window:limit_window ~root ()
+    | Rc_sys -> Sched.Multilevel.make ~window:limit_window ~invariants ~root ()
   in
   let trace =
     match !observe_capacity with
     | Some capacity -> Some (Engine.Tracelog.create ~enabled:true ~capacity ())
     | None -> None
   in
-  let machine = Machine.create ~cpus ~quantum ?trace ~sim ~policy ~root () in
+  let machine = Machine.create ~cpus ~quantum ?trace ~sim ~policy ~root ~invariants () in
   let server_proc = Process.create machine ?container_attrs:server_attrs ~name:"httpd" () in
   let mode =
     match system with Unmodified -> Stack.Softirq | Lrp_sys -> Stack.Lrp | Rc_sys -> Stack.Rc
@@ -59,6 +60,7 @@ let make_rig ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(limit_window = Simtime.ms 1
   in
   let cache = Httpsim.File_cache.create () in
   Httpsim.File_cache.register_metrics cache (Machine.metrics machine);
+  Httpsim.File_cache.register_invariants cache (Machine.invariants machine);
   Httpsim.File_cache.add_document cache ~path:doc_path ~bytes:1024;
   Httpsim.File_cache.add_document cache ~path:"/doc/8k" ~bytes:8192;
   Httpsim.File_cache.add_document cache ~path:"/doc/64k" ~bytes:65536;

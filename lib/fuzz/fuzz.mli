@@ -1,0 +1,65 @@
+(** Seeded scenario fuzzer for the conservation-law invariants.
+
+    Each run builds a randomised-but-reproducible server rig — a random
+    container hierarchy with filtered listen sockets, one of the three
+    server architectures (event-driven, thread pool, pre-forked), one of
+    the three container policies, closed-loop client groups and an
+    optional SYN flood — arms every registered conservation law
+    ({!Procsim.Machine.arm_invariants}), drives it for a random duration,
+    and reports the first violation.
+
+    A scenario is a pure function of [(seed, mode)]: a failing seed
+    replays bit-for-bit with the printed command on any machine, and the
+    run's kernel trace is dumped as JSON lines next to it. *)
+
+type server_model = Event | Threaded | Forked
+
+val server_model_name : server_model -> string
+
+val mode_name : Netsim.Stack.mode -> string
+val mode_of_string : string -> Netsim.Stack.mode option
+
+val all_modes : Netsim.Stack.mode list
+(** [Softirq; Lrp; Rc]. *)
+
+type outcome = {
+  seed : int;
+  mode : Netsim.Stack.mode;
+  scenario : string;  (** one-line description of the generated scenario *)
+  checks : int;  (** invariant sweeps that ran *)
+  completed : int;  (** client requests completed *)
+  packets : int;  (** packets the stack processed *)
+  established : int;
+  injected : bool;  (** the deliberate mis-charge was planted *)
+  violation : string option;  (** [None] = every law held *)
+  trace_file : string option;  (** JSONL trace written on violation *)
+}
+
+val replay_command : ?inject:bool -> mode:Netsim.Stack.mode -> seed:int -> unit -> string
+(** The one-command replay line printed with a violation. *)
+
+val run_seed :
+  ?inject:bool ->
+  ?trace_path:string ->
+  mode:Netsim.Stack.mode ->
+  seed:int ->
+  unit ->
+  outcome
+(** Run one scenario.  [inject] plants a deliberate accounting bug
+    (interrupt time charged to a container outside the root's subtree)
+    halfway through the run, which the [cpu.conservation] law must catch —
+    the self-test that the checker checks.  [trace_path] overrides where
+    the JSONL trace is written on violation (default
+    [fuzz-<mode>-seed<seed>.trace.jsonl] in the working directory).
+    Restores the process-wide strict-memory flag on exit. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val run_batch :
+  ?inject:bool ->
+  ?log:(outcome -> unit) ->
+  modes:Netsim.Stack.mode list ->
+  seeds:int list ->
+  unit ->
+  outcome list
+(** Run every (seed, mode) pair, calling [log] after each. *)

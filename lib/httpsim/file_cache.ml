@@ -27,6 +27,18 @@ let register_metrics t registry =
   Engine.Metrics.register_counter registry t.misses;
   Engine.Metrics.gauge registry "cache.cached_bytes" (fun () -> float_of_int t.cached_bytes)
 
+let register_invariants t registry =
+  Engine.Invariant.register registry ~law:"cache.bytes-consistency" (fun () ->
+      let actual =
+        Hashtbl.fold (fun _ e acc -> if e.cached then acc + e.bytes else acc) t.docs 0
+      in
+      match Engine.Invariant.equal_int ~what:"cache cached_bytes" actual t.cached_bytes with
+      | Error _ as e -> e
+      | Ok () -> (
+          match Engine.Invariant.non_negative ~what:"cache cached_bytes" t.cached_bytes with
+          | Error _ as e -> e
+          | Ok () -> Engine.Invariant.leq_int ~what:"cache cached_bytes" t.cached_bytes t.capacity))
+
 let add_document t ~path ~bytes =
   if bytes < 0 then invalid_arg "File_cache.add_document: negative size";
   if not (Hashtbl.mem t.docs path) then begin

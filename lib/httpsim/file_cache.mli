@@ -38,3 +38,8 @@ val register_metrics : t -> Engine.Metrics.t -> unit
 (** Register the cache's hit/miss counters and a [cache.cached_bytes]
     gauge into [registry].  {!hits}/{!misses} remain views over the same
     counters, so the registry and the accessors always agree. *)
+
+val register_invariants : t -> Engine.Invariant.t -> unit
+(** Register the [cache.bytes-consistency] law: {!cached_bytes} equals the
+    sum of resident entries' sizes, is non-negative, and never exceeds the
+    configured capacity. *)

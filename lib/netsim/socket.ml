@@ -6,6 +6,7 @@ type conn = {
   src_port : int;
   mutable state : conn_state;
   mutable container : Rescont.Container.t option;
+  mutable rx_mem_owner : Rescont.Container.t option;
   rx_queue : Payload.t Queue.t;
   mutable listen : listen option;
   client : client_handlers;
@@ -71,6 +72,7 @@ let make_conn ~src ~src_port ~client ~now =
     src_port;
     state = Syn_rcvd;
     container = None;
+    rx_mem_owner = None;
     rx_queue = Queue.create ();
     listen = None;
     client;
@@ -87,6 +89,19 @@ let conn_container_or conn ~default =
       | None -> default)
 
 let bind_container conn container =
+  (* Buffered bytes were charged to the connection's previous principal;
+     the charge moves with the binding (§4.6 moves resources between
+     containers), or the new principal's balance would go negative when
+     the application drains data that arrived before the rebind. *)
+  (match conn.rx_mem_owner with
+  | Some old when Rescont.Container.id old <> Rescont.Container.id container ->
+      let buffered = Queue.fold (fun acc p -> acc + p.Payload.bytes) 0 conn.rx_queue in
+      if buffered > 0 then begin
+        Rescont.Container.charge_memory old (-buffered);
+        Rescont.Container.charge_memory container buffered
+      end;
+      conn.rx_mem_owner <- Some container
+  | Some _ | None -> ());
   (match conn.container with
   | Some old -> Rescont.Usage.decr_kernel_objects (Rescont.Container.usage old)
   | None -> ());

@@ -15,6 +15,11 @@ type conn = {
   mutable container : Rescont.Container.t option;
       (** The resource container this connection's kernel processing is
           charged to (socket→container binding, §4.6). *)
+  mutable rx_mem_owner : Rescont.Container.t option;
+      (** The container currently holding the charge for this connection's
+          buffered receive bytes.  {!Stack} stamps it at the first charge;
+          {!bind_container} moves the outstanding charge when the binding
+          changes, so refunds always credit whoever was debited. *)
   rx_queue : Payload.t Queue.t;  (** Messages received, awaiting the application. *)
   mutable listen : listen option;  (** Back-pointer while not yet accepted. *)
   client : client_handlers;

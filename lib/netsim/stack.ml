@@ -79,6 +79,8 @@ type t = {
   mutable service_tick : int;
   mutable pending : int;
   mutable services : service list; (* specific first, catch-all last *)
+  mutable conns : Socket.conn list; (* every connection this stack created *)
+  mutable conns_since_prune : int;
   stats : stats;
 }
 
@@ -111,6 +113,8 @@ let add_on_event t f =
 let set_on_event = add_on_event
 let set_on_syn_drop t f = t.on_syn_drop <- f
 let pending_work t = t.pending
+let queue_table_size t = Hashtbl.length t.queues
+let stamp_table_size t = Hashtbl.length t.served_stamp
 
 (* Wire time of a payload on the access link: propagation plus
    serialisation at the link rate (a 4 MB response takes ~1/3 s on the
@@ -140,18 +144,25 @@ let remove_listen t l =
   t.listen_sockets <-
     List.filter (fun l' -> l'.Socket.listen_id <> l.Socket.listen_id) t.listen_sockets
 
-(* Most-specific-filter demultiplex (paper §4.8). *)
+(* Most-specific-filter demultiplex (paper §4.8).  A single fold replaces
+   the sort-and-take-head: [compare_specificity] ranks the more specific
+   filter first (negative result), and ties break to the earliest-bound
+   socket (lowest listen id), so overlapping filters of equal specificity
+   demultiplex identically whatever order the listens were added in —
+   [listen_sockets] is newest-first, which the old head-of-sort leaked
+   through OCaml's unstable [List.sort]. *)
 let demux_listen t ~port ~src =
-  let candidates =
-    List.filter
-      (fun l -> l.Socket.port = port && Filter.matches l.Socket.filter src)
-      t.listen_sockets
-  in
-  match List.sort (fun a b -> Filter.compare_specificity a.Socket.filter b.Socket.filter)
-          candidates
-  with
-  | [] -> None
-  | best :: _ -> Some best
+  List.fold_left
+    (fun best l ->
+      if l.Socket.port <> port || not (Filter.matches l.Socket.filter src) then best
+      else
+        match best with
+        | None -> Some l
+        | Some b ->
+            let c = Filter.compare_specificity l.Socket.filter b.Socket.filter in
+            if c < 0 || (c = 0 && l.Socket.listen_id < b.Socket.listen_id) then Some l
+            else best)
+    None t.listen_sockets
 
 let cost_of_work t = function
   | W_syn _ -> t.costs.syn_process
@@ -178,12 +189,21 @@ let container_of_work t work =
 
 let is_idle_class container = Attrs.is_idle_class (Container.attrs container)
 
-(* The principal that owns a connection's buffered bytes; must be computed
-   identically at enqueue and at read so memory balances. *)
+(* The principal that owns a connection's buffered bytes.  Resolved once
+   and stamped on the connection: charge and refund must hit the same
+   container even if the connection is rebound in between
+   ([Socket.bind_container] moves the stamped charge with the binding). *)
 let rx_memory_container t conn =
-  match t.mode with
-  | Lrp | Softirq -> t.owner
-  | Rc -> Socket.conn_container_or conn ~default:t.owner
+  match conn.Socket.rx_mem_owner with
+  | Some owner -> owner
+  | None ->
+      let owner =
+        match t.mode with
+        | Lrp | Softirq -> t.owner
+        | Rc -> Socket.conn_container_or conn ~default:t.owner
+      in
+      conn.Socket.rx_mem_owner <- Some owner;
+      owner
 
 (* Memory-limit enforcement (the [memory_limit] attribute, §4.1): buffered
    socket memory held anywhere on the container's parent chain must stay
@@ -257,6 +277,44 @@ let evict_syn t l =
   in
   evict ()
 
+(* Connection registry: the source of truth the memory-conservation
+   invariant sums buffered rx bytes over.  Closed connections are pruned
+   amortised (every 256 creations) so the list tracks live traffic, not
+   history. *)
+let prune_conns t =
+  t.conns <- List.filter (fun c -> c.Socket.state <> Socket.Closed) t.conns
+
+let track_conn t conn =
+  t.conns <- conn :: t.conns;
+  t.conns_since_prune <- t.conns_since_prune + 1;
+  if t.conns_since_prune >= 256 then begin
+    t.conns_since_prune <- 0;
+    prune_conns t
+  end
+
+let buffered_rx_bytes t =
+  List.fold_left
+    (fun acc conn ->
+      Queue.fold (fun a p -> a + p.Payload.bytes) acc conn.Socket.rx_queue)
+    0 t.conns
+
+(* Container teardown (§4.6): drop the per-container deferred-processing
+   queue and service stamp, or both tables grow forever under per-connection
+   container churn.  Work still queued for the dead principal is discarded
+   like an early drop — no further CPU will be spent on it. *)
+let forget_container t container =
+  let cid = Container.id container in
+  (match Hashtbl.find_opt t.queues cid with
+  | Some (q, _) ->
+      let dropped = Queue.length q in
+      if dropped > 0 then begin
+        t.pending <- t.pending - dropped;
+        t.stats.rx_queue_drops <- t.stats.rx_queue_drops + dropped
+      end;
+      Hashtbl.remove t.queues cid
+  | None -> ());
+  Hashtbl.remove t.served_stamp cid
+
 (* The protocol action itself; its CPU cost has already been consumed by
    the caller (softirq steal or network kernel thread). *)
 let rec perform t work =
@@ -274,6 +332,7 @@ let rec perform t work =
       purge_syn_queue t l;
       evict_syn t l;
       let conn = Socket.make_conn ~src ~src_port ~client ~now:(now t) in
+      track_conn t conn;
       conn.Socket.listen <- Some l;
       Queue.push conn l.Socket.syn_queue;
       charge_rx (container_of_work t work) 1 40;
@@ -352,7 +411,14 @@ and queue_for t container =
   | Some (q, _) -> q
   | None ->
       let q = Queue.create () in
-      Hashtbl.replace t.queues cid (q, container);
+      (* Only live containers get a tracked queue: a service thread that
+         kept a reference across the teardown would otherwise resurrect the
+         table entry with no hook left to prune it — a leak per churned
+         container.  The untracked queue is a harmless sink. *)
+      if not (Container.is_destroyed container) then begin
+        Hashtbl.replace t.queues cid (q, container);
+        Container.on_destroy container (fun c -> forget_container t c)
+      end;
       q
 
 and best_pending t ~covers ~allow_idle =
@@ -420,6 +486,11 @@ and pick_work t svc =
 
 and enqueue_work t work =
   let container = container_of_work t work in
+  if Container.is_destroyed container then
+    (* The principal died between demux and enqueue: discard like any
+       early drop — an untracked queue would strand the pending count. *)
+    t.stats.rx_queue_drops <- t.stats.rx_queue_drops + 1
+  else
   let q = queue_for t container in
   if Queue.length q >= t.queue_cap then begin
     (* Early discard at interrupt level: the whole point of LRP/RC under
@@ -583,6 +654,8 @@ let create ?(mtu = 1460) ?(latency = Simtime.us 150) ?(costs = default_costs)
       service_tick = 0;
       pending = 0;
       services = [];
+      conns = [];
+      conns_since_prune = 0;
       stats =
         {
           syns_received = 0;
@@ -610,6 +683,45 @@ let create ?(mtu = 1460) ?(latency = Simtime.us 150) ?(costs = default_costs)
   expose "net.conns_closed" (fun () -> s.conns_closed);
   expose "net.refused" (fun () -> s.refused);
   expose "net.pending_work" (fun () -> t.pending);
+  (* Conservation laws over the stack's queues and socket-buffer memory.
+     The memory law assumes one stack per machine — true of every rig here
+     (Net attaches each stack to its own machine) — so it is registered
+     once per registry. *)
+  let module I = Engine.Invariant in
+  let inv = Machine.invariants machine in
+  if not (List.mem "net.pending-consistency" (I.names inv)) then begin
+    I.register inv ~law:"net.pending-consistency" (fun () ->
+        let queued = Hashtbl.fold (fun _ (q, _) acc -> acc + Queue.length q) t.queues 0 in
+        I.equal_int ~what:"queued deferred packets vs stack pending counter" queued t.pending);
+    I.register inv ~law:"net.queue-bounds" (fun () ->
+        let rec scan = function
+          | [] -> Ok ()
+          | l :: rest -> (
+              let what kind =
+                Printf.sprintf "listen #%d %s queue" l.Socket.listen_id kind
+              in
+              match
+                I.leq_int ~what:(what "syn") (Queue.length l.Socket.syn_queue)
+                  l.Socket.syn_backlog
+              with
+              | Error _ as e -> e
+              | Ok () -> (
+                  match
+                    I.leq_int ~what:(what "accept")
+                      (Queue.length l.Socket.accept_queue)
+                      l.Socket.backlog
+                  with
+                  | Error _ as e -> e
+                  | Ok () -> scan rest))
+        in
+        scan t.listen_sockets);
+    I.register inv ~law:"net.memory-conservation" (fun () ->
+        prune_conns t;
+        I.equal_int ~what:"buffered rx bytes vs root-subtree memory_bytes"
+          (buffered_rx_bytes t)
+          (Rescont.Usage.memory_bytes
+             (Container.subtree_usage (Machine.root machine))))
+  end;
   (match mode with
   | Softirq -> ()
   | Lrp | Rc ->

@@ -157,4 +157,12 @@ val add_service :
 val pending_work : t -> int
 (** Packets queued for deferred protocol processing (LRP/RC modes). *)
 
+val queue_table_size : t -> int
+(** Containers with a deferred-processing queue.  Bounded by the live
+    container population: queues are torn down with their container. *)
+
+val stamp_table_size : t -> int
+(** Containers with a recorded last-served tick (same lifetime as the
+    queue table). *)
+
 val listens : t -> Socket.listen list

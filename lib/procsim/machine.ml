@@ -2,6 +2,7 @@ module Simtime = Engine.Simtime
 module Sim = Engine.Sim
 module Container = Rescont.Container
 module Binding = Rescont.Binding
+module Attrs = Rescont.Attrs
 module Task = Sched.Task
 
 type state = Ready | Running | Blocked | Done
@@ -13,6 +14,7 @@ type thread = {
   mutable kernel_mode : bool; (* mode of the pending request *)
   mutable cont : (unit, unit) Effect.Deep.continuation option;
   mutable entry : (unit -> unit) option; (* body not yet started *)
+  mutable ready_since : Simtime.t; (* when it last became runnable *)
 }
 
 type dispatch = {
@@ -36,6 +38,8 @@ type t = {
   mutable threads : thread list;
   by_task : (int, thread) Hashtbl.t;
   mutable on_idle : unit -> unit;
+  invariants : Engine.Invariant.t;
+  mutable starvation_bound : int; (* ns a non-idle thread may wait while idle runs *)
   trace : Engine.Tracelog.t;
   metrics : Engine.Metrics.t;
   c_dispatches : Engine.Metrics.counter;
@@ -133,6 +137,7 @@ and start_body m thread body =
                   thread.pending <- max 0 cost;
                   thread.kernel_mode <- kernel;
                   thread.state <- Ready;
+                  thread.ready_since <- now m;
                   m.pol.Sched.Policy.enqueue thread.task;
                   kick m)
           | E_sleep span_ns ->
@@ -149,6 +154,7 @@ and start_body m thread body =
                 (fun k ->
                   thread.cont <- Some k;
                   thread.state <- Ready;
+                  thread.ready_since <- now m;
                   m.pol.Sched.Policy.enqueue thread.task;
                   kick m)
           | E_wait wq ->
@@ -165,6 +171,7 @@ and start_body m thread body =
 and make_runnable m thread =
   if thread.state = Blocked then begin
     thread.state <- Ready;
+    thread.ready_since <- now m;
     m.pol.Sched.Policy.enqueue thread.task;
     kick m
   end
@@ -281,16 +288,20 @@ and finish_slice m d =
           (Engine.Trace_event.Preempt
              { cpu = d.d_cpu; thread = thread.task.Task.name; remaining_ns = thread.pending });
       thread.state <- Ready;
+      thread.ready_since <- now m;
       m.pol.Sched.Policy.enqueue thread.task
     end
   end;
   dispatch_next m
 
 let create ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(prune_interval = Simtime.ms 100)
-    ?(prune_age = Simtime.ms 500) ?trace ?metrics ~sim ~policy:pol ~root () =
+    ?(prune_age = Simtime.ms 500) ?trace ?metrics ?invariants ~sim ~policy:pol ~root () =
   if cpus <= 0 then invalid_arg "Machine.create: cpus must be positive";
   let trace = match trace with Some t -> t | None -> Engine.Tracelog.create () in
   let metrics = match metrics with Some r -> r | None -> Engine.Metrics.create () in
+  let invariants =
+    match invariants with Some i -> i | None -> Engine.Invariant.create ()
+  in
   let m =
     {
       sim;
@@ -305,6 +316,8 @@ let create ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(prune_interval = Simtime.ms 1
       threads = [];
       by_task = Hashtbl.create 64;
       on_idle = (fun () -> ());
+      invariants;
+      starvation_bound = Simtime.span_to_ns (Simtime.ms 100);
       trace;
       metrics;
       c_dispatches = Engine.Metrics.counter metrics "sched.dispatches";
@@ -331,6 +344,69 @@ let create ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(prune_interval = Simtime.ms 1
              ignore
                (Binding.prune thread.task.Task.binding ~now:(now m) ~max_age:prune_age))
            m.threads));
+  (* Conservation laws (paper §4.4: every consumed unit lands on exactly
+     one container).  Registered always; they only run when the registry is
+     checked, so the fast paths pay nothing. *)
+  let module I = Engine.Invariant in
+  I.register invariants ~law:"cpu.conservation" (fun () ->
+      (* Every nanosecond the machine consumed must have rolled up into the
+         root's subtree usage — a charge to a detached container increments
+         [busy] without reaching the root and is caught here. *)
+      I.equal_int ~what:"machine busy ns vs root-subtree cpu ns" m.busy
+        (Simtime.span_to_ns (Rescont.Usage.cpu_total (Container.subtree_usage root))));
+  I.register invariants ~law:"cpu.subtree-rollup" (fun () ->
+      (* Own usage summed over the live subtree can only fall short of the
+         root's subtree aggregate by what destroyed containers consumed —
+         never exceed it. *)
+      let own = ref 0 in
+      Container.iter_subtree
+        (fun c -> own := !own + Simtime.span_to_ns (Rescont.Usage.cpu_total (Container.usage c)))
+        root;
+      I.leq_int ~what:"live-subtree own cpu ns vs root-subtree aggregate ns" !own
+        (Simtime.span_to_ns (Rescont.Usage.cpu_total (Container.subtree_usage root))));
+  I.register invariants ~law:"memory.non-negative" (fun () ->
+      let bad = ref (Ok ()) in
+      Container.iter_subtree
+        (fun c ->
+          match !bad with
+          | Error _ -> ()
+          | Ok () ->
+              let own = Rescont.Usage.memory_bytes (Container.usage c) in
+              let sub = Rescont.Usage.memory_bytes (Container.subtree_usage c) in
+              if own < 0 then
+                bad := I.non_negative ~what:(Container.name c ^ " memory_bytes") own
+              else if sub < 0 then
+                bad := I.non_negative ~what:(Container.name c ^ " subtree memory_bytes") sub)
+        root;
+      !bad);
+  I.register invariants ~law:"sched.no-idle-starvation" (fun () ->
+      let container_of th = Binding.resource_binding th.task.Task.binding in
+      let idle_running =
+        Array.exists
+          (function
+            | Some d -> Attrs.is_idle_class (Container.attrs (container_of d.d_thread))
+            | None -> false)
+          m.currents
+      in
+      if not idle_running then Ok ()
+      else
+        let now_ns = Simtime.to_ns (now m) in
+        let starved =
+          List.find_opt
+            (fun th ->
+              th.state = Ready
+              && (not (Attrs.is_idle_class (Container.attrs (container_of th))))
+              && now_ns - Simtime.to_ns th.ready_since > m.starvation_bound)
+            m.threads
+        in
+        match starved with
+        | None -> Ok ()
+        | Some th ->
+            Error
+              (Printf.sprintf "thread %s (container %s) runnable for %d ns while idle-class runs"
+                 th.task.Task.name
+                 (Container.name (container_of th))
+                 (now_ns - Simtime.to_ns th.ready_since)));
   m
 
 let spawn m ?(kernel = false) ~name ~container body =
@@ -342,7 +418,8 @@ let spawn m ?(kernel = false) ~name ~container body =
   let b = Binding.create ~now:(now m) container in
   let task = Task.create ~kernel ~name b in
   let thread =
-    { task; state = Blocked; pending = 0; kernel_mode = kernel; cont = None; entry = Some body }
+    { task; state = Blocked; pending = 0; kernel_mode = kernel; cont = None; entry = Some body;
+      ready_since = now m }
   in
   Hashtbl.replace m.by_task task.Task.id thread;
   m.threads <- thread :: m.threads;
@@ -445,6 +522,23 @@ let steal_time m ~cost ~charge =
         m.irq_busy_until <- Simtime.add (Simtime.max m.irq_busy_until (now m)) cost
   end
 
-let run_until m horizon = Sim.run_until m.sim horizon
+let invariants m = m.invariants
+
+let check_invariants m = Engine.Invariant.check m.invariants
+
+let arm_invariants ?(interval = Simtime.ms 10) ?starvation_bound m =
+  (match starvation_bound with
+  | Some b -> m.starvation_bound <- Simtime.span_to_ns b
+  | None -> ());
+  Engine.Invariant.arm m.invariants;
+  Rescont.Usage.set_strict_memory true;
+  ignore (Sim.every m.sim interval (fun () -> Engine.Invariant.check_exn m.invariants))
+
+let run_until m horizon =
+  Sim.run_until m.sim horizon;
+  (* Quiesce check: the horizon is an event boundary, so every law must
+     hold exactly here. *)
+  if Engine.Invariant.armed m.invariants then Engine.Invariant.check_exn m.invariants
+
 let set_on_idle m f = m.on_idle <- f
 let runnable_tasks m = m.pol.Sched.Policy.runnable_count ()

@@ -22,6 +22,7 @@ val create :
   ?prune_age:Engine.Simtime.span ->
   ?trace:Engine.Tracelog.t ->
   ?metrics:Engine.Metrics.t ->
+  ?invariants:Engine.Invariant.t ->
   sim:Engine.Sim.t ->
   policy:Sched.Policy.t ->
   root:Rescont.Container.t ->
@@ -115,7 +116,33 @@ val steal_time :
     to an explicit container. *)
 
 val run_until : t -> Engine.Simtime.t -> unit
-(** Drive the simulation to the horizon. *)
+(** Drive the simulation to the horizon.  When the machine's invariant
+    registry is armed, every conservation law is re-checked at the horizon
+    (simulation quiesce); @raise Engine.Invariant.Violation on failure. *)
+
+(** {1 Conservation-law invariants} *)
+
+val invariants : t -> Engine.Invariant.t
+(** The machine's invariant registry (fresh unless one was passed at
+    creation).  The machine registers [cpu.conservation] (every nanosecond
+    of {!busy_time} rolled up into the root's subtree usage),
+    [cpu.subtree-rollup], [memory.non-negative] (no container's memory
+    balance below zero) and [sched.no-idle-starvation] (no non-idle
+    runnable thread waits past a bound while an idle-class thread holds a
+    processor); the network stack, scheduler and caches sharing the
+    machine register their own laws here. *)
+
+val check_invariants : t -> Engine.Invariant.violation list
+(** Run every registered law now (independent of arming). *)
+
+val arm_invariants :
+  ?interval:Engine.Simtime.span -> ?starvation_bound:Engine.Simtime.span -> t -> unit
+(** Arm the registry: check every law every [interval] of simulated time
+    (default 10 ms) and at every {!run_until} horizon, raising
+    {!Engine.Invariant.Violation} on the first broken law.  Also switches
+    {!Rescont.Usage.set_strict_memory} on process-wide, so double refunds
+    raise at the charge site.  [starvation_bound] (default 100 ms) tunes
+    [sched.no-idle-starvation]. *)
 
 val set_on_idle : t -> (unit -> unit) -> unit
 (** [on_idle] fires whenever the dispatcher finds no eligible task.  The

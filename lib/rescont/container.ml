@@ -18,6 +18,7 @@ type t = {
   mutable refs : int;
   mutable bindings : int;
   mutable destroyed : bool;
+  mutable destroy_hooks : (t -> unit) list; (* newest first; run once at destroy *)
   root : bool;
 }
 
@@ -129,6 +130,7 @@ let make ?name ?(attrs = Attrs.default) ~parent ~root () =
       refs = 1;
       bindings = 0;
       destroyed = false;
+      destroy_hooks = [];
       root;
     }
   in
@@ -275,8 +277,18 @@ let destroy t =
     t.children_dirty <- false;
     incr topology_gen;
     detach t;
-    t.destroyed <- true
+    t.destroyed <- true;
+    (* Teardown notifications (kernel modules drop per-container state —
+       deferred-processing queues, service stamps).  Hooks run exactly
+       once, after the container is marked destroyed. *)
+    let hooks = t.destroy_hooks in
+    t.destroy_hooks <- [];
+    List.iter (fun f -> f t) hooks
   end
+
+let on_destroy t f =
+  check_alive t;
+  t.destroy_hooks <- f :: t.destroy_hooks
 
 let retain t =
   check_alive t;

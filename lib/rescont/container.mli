@@ -127,6 +127,13 @@ val destroy : t -> unit
 (** Force destruction regardless of reference counts (used by the
     primitive-cost benchmarks; the kernel path uses {!release}). *)
 
+val on_destroy : t -> (t -> unit) -> unit
+(** Register a teardown hook, run exactly once when the container is
+    destroyed (after it is marked destroyed and unlinked).  Kernel modules
+    use this to drop per-container state — e.g. the network stack prunes a
+    destroyed container's deferred-processing queue and service stamp.
+    @raise Error if the container is already destroyed. *)
+
 val pp : Format.formatter -> t -> unit
 
 val pp_tree : Format.formatter -> t -> unit

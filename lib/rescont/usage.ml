@@ -1,5 +1,21 @@
 module Simtime = Engine.Simtime
 
+exception Negative_memory of { have : int; delta : int }
+
+let () =
+  Printexc.register_printer (function
+    | Negative_memory { have; delta } ->
+        Some (Printf.sprintf "Usage.Negative_memory (have %d B, delta %d B)" have delta)
+    | _ -> None)
+
+(* Under armed invariants a refund that exceeds the balance is a hard
+   accounting error; otherwise it saturates at zero, matching what a
+   defensive kernel counter would do. *)
+let strict_memory = ref false
+
+let set_strict_memory on = strict_memory := on
+let strict_memory_enabled () = !strict_memory
+
 type t = {
   mutable cpu_user : Simtime.span;
   mutable cpu_kernel : Simtime.span;
@@ -41,7 +57,12 @@ let charge_tx t ~packets ~bytes =
   t.tx_packets <- t.tx_packets + packets;
   t.tx_bytes <- t.tx_bytes + bytes
 
-let charge_memory t delta = t.memory_bytes <- t.memory_bytes + delta
+let charge_memory t delta =
+  let balance = t.memory_bytes + delta in
+  if balance < 0 then
+    if !strict_memory then raise (Negative_memory { have = t.memory_bytes; delta })
+    else t.memory_bytes <- 0
+  else t.memory_bytes <- balance
 
 let charge_disk t ~bytes span =
   t.disk_reads <- t.disk_reads + 1;

@@ -40,10 +40,14 @@ type cstate = {
 
 and kid = { kc : Container.t; ks : cstate; kcount : int ref }
 
-let make ?(window = Simtime.ms 100) ~root () =
+let make ?(window = Simtime.ms 100) ?invariants ~root () =
   let window_ns = Simtime.span_to_ns window in
   if window_ns <= 0 then invalid_arg "Multilevel.make: window must be positive";
   let runq = Runq.create () in
+  (match invariants with
+  | Some registry ->
+      Engine.Invariant.register registry ~law:"sched.runq-counts" (fun () -> Runq.validate runq)
+  | None -> ());
   let states : (int, cstate) Hashtbl.t = Hashtbl.create 64 in
   let state_of container =
     let cid = Container.id container in

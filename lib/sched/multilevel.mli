@@ -17,5 +17,12 @@
     Only leaf containers hold runnable tasks (threads bind to leaves,
     §5.1); interior nodes aggregate. *)
 
-val make : ?window:Engine.Simtime.span -> root:Rescont.Container.t -> unit -> Policy.t
-(** [window] is the CPU-limit accounting window (default 100 ms). *)
+val make :
+  ?window:Engine.Simtime.span ->
+  ?invariants:Engine.Invariant.t ->
+  root:Rescont.Container.t ->
+  unit ->
+  Policy.t
+(** [window] is the CPU-limit accounting window (default 100 ms).
+    [invariants], when given, receives the [sched.runq-counts] law
+    ({!Runq.validate} over this policy's run queue). *)

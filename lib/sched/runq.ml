@@ -154,3 +154,63 @@ let subtree_has_work t container =
 
 let containers_with_work t =
   Hashtbl.fold (fun _ cq acc -> if cq.live > 0 then cq.container :: acc else acc) t.queues []
+
+(* Re-derive every maintained count from the membership table and compare:
+   the incremental bookkeeping ([live], [counts], [where]) must agree with
+   a from-scratch recomputation at any event boundary. *)
+let validate t =
+  sync t;
+  let live_by_cid = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _task (cid, _stamp) ->
+      let n = match Hashtbl.find_opt live_by_cid cid with Some n -> n | None -> 0 in
+      Hashtbl.replace live_by_cid cid (n + 1))
+    t.where;
+  let mismatch = ref None in
+  Hashtbl.iter
+    (fun cid cq ->
+      let expected = match Hashtbl.find_opt live_by_cid cid with Some n -> n | None -> 0 in
+      if !mismatch = None && cq.live <> expected then
+        mismatch :=
+          Some
+            (Printf.sprintf "queue %s: live=%d but %d tasks mapped to it"
+               (Container.name cq.container) cq.live expected))
+    t.queues;
+  Hashtbl.iter
+    (fun cid n ->
+      if !mismatch = None && not (Hashtbl.mem t.queues cid) then
+        mismatch := Some (Printf.sprintf "%d tasks mapped to container #%d with no queue" n cid))
+    live_by_cid;
+  (match !mismatch with
+  | Some _ -> ()
+  | None ->
+      (* Subtree occupancy: rebuild the ancestor-chain sums and compare
+         with the incrementally maintained counters. *)
+      let fresh = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun _ cq ->
+          if cq.live > 0 then begin
+            let chain = Container.ancestry cq.container in
+            for i = 0 to Array.length chain - 1 do
+              let cid = Container.id (Array.unsafe_get chain i) in
+              let n = match Hashtbl.find_opt fresh cid with Some n -> n | None -> 0 in
+              Hashtbl.replace fresh cid (n + cq.live)
+            done
+          end)
+        t.queues;
+      Hashtbl.iter
+        (fun cid r ->
+          let expected = match Hashtbl.find_opt fresh cid with Some n -> n | None -> 0 in
+          if !mismatch = None && !r <> expected then
+            mismatch :=
+              Some
+                (Printf.sprintf "subtree count for container #%d: cached %d, recomputed %d" cid
+                   !r expected))
+        t.counts;
+      Hashtbl.iter
+        (fun cid n ->
+          if !mismatch = None && not (Hashtbl.mem t.counts cid) then
+            mismatch :=
+              Some (Printf.sprintf "container #%d has %d queued in subtree but no counter" cid n))
+        fresh);
+  match !mismatch with None -> Ok () | Some msg -> Error msg

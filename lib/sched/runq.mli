@@ -49,3 +49,9 @@ val sync : t -> unit
 
 val containers_with_work : t -> Rescont.Container.t list
 (** Distinct containers with non-empty queues, in no specified order. *)
+
+val validate : t -> (unit, string) result
+(** Conservation check: re-derives per-container live counts and subtree
+    occupancy from the membership table and compares them with the
+    incrementally maintained counters.  [Ok ()] iff they all agree.  Used
+    as the [sched.runq-counts] invariant law. *)

@@ -19,6 +19,8 @@ let () =
       ("netsim", Test_netsim.suite);
       ("httpsim", Test_httpsim.suite);
       ("workload", Test_workload.suite);
+      ("invariant", Test_invariant.suite);
+      ("fuzz", Test_fuzz.suite);
       ("observability", Test_observability.suite);
       ("integration", Test_integration.suite);
     ]

@@ -448,6 +448,157 @@ let prop_memory_balance =
             ops;
           Rescont.Usage.memory_bytes (Container.usage rig.owner) = !outstanding)
 
+(* Regression: when several listen sockets tie on filter specificity, demux
+   must pick the same socket (the earliest-bound one) no matter what order
+   the sockets were registered in — [List.sort] instability used to make the
+   winner depend on insertion order. *)
+let test_demux_tie_break_order_independent () =
+  let src = Ipaddr.v 10 77 0 9 in
+  let filter () = Filter.prefix ~template:(Ipaddr.v 10 77 0 0) ~bits:24 in
+  let winner insertion_order =
+    let rig = make_rig Stack.Rc in
+    (* Creation order fixes listen ids: first < second. *)
+    let first = Socket.make_listen ~port:80 ~filter:(filter ()) () in
+    let second = Socket.make_listen ~port:80 ~filter:(filter ()) () in
+    List.iter (Stack.add_listen rig.stack)
+      (match insertion_order with `First_then_second -> [ first; second ] | `Reversed -> [ second; first ]);
+    connect_one rig ~src ~on_established:(fun _ -> ());
+    run rig (Simtime.ms 20);
+    (Socket.accept_ready first, Socket.accept_ready second)
+  in
+  Alcotest.(check (pair bool bool)) "earliest-bound socket wins (in order)" (true, false)
+    (winner `First_then_second);
+  Alcotest.(check (pair bool bool)) "earliest-bound socket wins (reversed)" (true, false)
+    (winner `Reversed)
+
+(* The most-specific-match rule itself must also be insertion-order
+   independent: a /32 host filter beats the wildcard whichever was added
+   first. *)
+let test_demux_specificity_both_orders () =
+  let special = Ipaddr.v 10 9 9 9 in
+  List.iter
+    (fun reversed ->
+      let rig = make_rig Stack.Rc in
+      let l_host = Socket.make_listen ~port:80 ~filter:(Filter.host special) () in
+      let l_any = Socket.make_listen ~port:80 () in
+      List.iter (Stack.add_listen rig.stack)
+        (if reversed then [ l_any; l_host ] else [ l_host; l_any ]);
+      connect_one rig ~src:special ~on_established:(fun _ -> ());
+      connect_one rig ~src:(Ipaddr.v 10 0 0 7) ~on_established:(fun _ -> ());
+      run rig (Simtime.ms 20);
+      Alcotest.(check bool) "host socket got the special client" true
+        (Socket.accept_ready l_host);
+      Alcotest.(check bool) "wildcard got the other" true (Socket.accept_ready l_any))
+    [ false; true ]
+
+(* Regression: the per-container queue and last-served tables must not
+   grow with container churn — each teardown prunes both (§4.6: containers
+   are transient, per-connection in the extreme). *)
+let test_tables_bounded_under_container_churn () =
+  let rig = make_rig Stack.Rc in
+  for i = 1 to 10_000 do
+    let c = Container.create ~parent:rig.root ~name:(Printf.sprintf "churn%d" i) () in
+    let l = Socket.make_listen ~port:80 ~container:c () in
+    Stack.add_listen rig.stack l;
+    (* A SYN for the container queues deferred work against it. *)
+    Stack.inject_syn rig.stack ~src:(Ipaddr.offset (Ipaddr.v 10 50 0 1) (i mod 1024)) ~port:80;
+    run rig (Simtime.us 30);
+    Stack.remove_listen rig.stack l;
+    Container.destroy c
+  done;
+  run rig (Simtime.ms 10);
+  Alcotest.(check bool) "queue table bounded by live containers" true
+    (Stack.queue_table_size rig.stack <= 4);
+  Alcotest.(check bool) "stamp table bounded by live containers" true
+    (Stack.stamp_table_size rig.stack <= 4);
+  Alcotest.(check int) "no deferred work points at dead containers" 0
+    (Stack.pending_work rig.stack)
+
+(* Regression (found by the scenario fuzzer): data buffered before a
+   connection is rebound must move its memory charge with the binding, or
+   draining and closing afterwards refunds the new container for bytes it
+   was never charged — a negative balance. *)
+let test_rebind_moves_buffered_charge () =
+  let strict_before = Rescont.Usage.strict_memory_enabled () in
+  Rescont.Usage.set_strict_memory true;
+  Fun.protect
+    ~finally:(fun () -> Rescont.Usage.set_strict_memory strict_before)
+    (fun () ->
+      let rig = make_rig Stack.Rc in
+      let listen = Socket.make_listen ~port:80 () in
+      Stack.add_listen rig.stack listen;
+      let the_conn = ref None in
+      connect_one rig ~on_established:(fun conn -> the_conn := Some conn);
+      run rig (Simtime.ms 10);
+      let conn = match !the_conn with Some c -> c | None -> Alcotest.fail "no conn" in
+      Stack.client_send rig.stack conn (Payload.make ~tag:"r" ~bytes:500 (Sim.now rig.sim));
+      run rig (Simtime.ms 10);
+      Alcotest.(check int) "charged to the pre-bind owner" 500
+        (Rescont.Usage.memory_bytes (Container.usage rig.owner));
+      (* The server accepts and gives the connection its own container —
+         the per-connection policy. *)
+      let per_conn = Container.create ~parent:rig.root ~name:"conn-1" () in
+      Socket.bind_container conn per_conn;
+      Alcotest.(check int) "charge moved off the old owner" 0
+        (Rescont.Usage.memory_bytes (Container.usage rig.owner));
+      Alcotest.(check int) "charge moved onto the new container" 500
+        (Rescont.Usage.memory_bytes (Container.usage per_conn));
+      (* Drain then close: both refunds must hit the rebound container
+         without driving any balance negative (strict mode would raise). *)
+      ignore (Stack.recv rig.stack conn);
+      Alcotest.(check int) "drain refunds the new container" 0
+        (Rescont.Usage.memory_bytes (Container.usage per_conn));
+      Stack.client_send rig.stack conn (Payload.make ~tag:"s" ~bytes:300 (Sim.now rig.sim));
+      run rig (Simtime.ms 10);
+      ignore
+        (Machine.spawn rig.machine ~name:"closer" ~container:rig.owner (fun () ->
+             Stack.close rig.stack conn));
+      run rig (Simtime.ms 10);
+      Alcotest.(check int) "close refunds the rebound container too" 0
+        (Rescont.Usage.memory_bytes (Container.usage per_conn));
+      Alcotest.(check int) "whole subtree balances" 0
+        (Rescont.Usage.memory_bytes (Container.subtree_usage rig.root)))
+
+(* Every half-open connection that dies — evicted on overflow or timed out
+   — is dropped {e exactly once}: the listener's counter, the stack-wide
+   counter and the §5.7 notification callback all agree, and they equal
+   injected minus still-pending. *)
+let prop_syn_drops_exactly_once =
+  QCheck2.Test.make ~name:"evict/purge drop exactly once" ~count:30
+    QCheck2.Gen.(pair (int_range 1 8) (int_range 0 40))
+    (fun (syn_backlog, n) ->
+      let sim = Sim.create () in
+      let root = Container.create_root () in
+      let policy = Sched.Multilevel.make ~root () in
+      let machine = Machine.create ~sim ~policy ~root () in
+      let proc = Process.create machine ~name:"srv" () in
+      let stack =
+        Stack.create ~machine ~mode:Stack.Softirq ~syn_timeout:(Simtime.ms 50)
+          ~owner:(Process.default_container proc) ()
+      in
+      let listen = Socket.make_listen ~port:80 ~syn_backlog () in
+      Stack.add_listen stack listen;
+      let notified = ref 0 in
+      Stack.set_on_syn_drop stack (fun _ _ -> incr notified);
+      let run span = Machine.run_until machine (Simtime.add (Sim.now sim) span) in
+      for i = 0 to n - 1 do
+        Stack.inject_syn stack ~src:(Ipaddr.offset (Ipaddr.v 192 168 66 1) i) ~port:80
+      done;
+      run (Simtime.ms 10);
+      (* Let the survivors time out, then one trailing SYN makes the stack
+         purge the queue. *)
+      run (Simtime.ms 60);
+      Stack.inject_syn stack ~src:(Ipaddr.v 192 168 67 1) ~port:80;
+      run (Simtime.ms 10);
+      let injected = n + 1 in
+      let live =
+        Queue.fold
+          (fun acc c -> if c.Socket.state = Socket.Syn_rcvd then acc + 1 else acc)
+          0 listen.Socket.syn_queue
+      in
+      let drops = (Stack.stats stack).Stack.syn_queue_drops in
+      drops = listen.Socket.syn_drops && drops = !notified && drops = injected - live)
+
 let test_remove_listen () =
   let rig = make_rig Stack.Rc in
   let listen = Socket.make_listen ~port:80 () in
@@ -589,6 +740,12 @@ let suite =
     Alcotest.test_case "socket buffer memory" `Quick test_socket_buffer_memory;
     Alcotest.test_case "memory limit drops" `Quick test_memory_limit_drops;
     Alcotest.test_case "close refunds buffered rx" `Quick test_close_refunds_buffered_rx;
+    Alcotest.test_case "demux tie-break order independent" `Quick
+      test_demux_tie_break_order_independent;
+    Alcotest.test_case "demux specificity both orders" `Quick test_demux_specificity_both_orders;
+    Alcotest.test_case "tables bounded under churn" `Slow test_tables_bounded_under_container_churn;
+    Alcotest.test_case "rebind moves buffered charge" `Quick test_rebind_moves_buffered_charge;
+    QCheck_alcotest.to_alcotest prop_syn_drops_exactly_once;
     Alcotest.test_case "SYN timeout counted" `Quick test_syn_timeout_counted;
     Alcotest.test_case "add_service coverage" `Quick test_add_service_covers;
     Alcotest.test_case "remove listen" `Quick test_remove_listen;

@@ -64,6 +64,31 @@ let test_sclient_reset_and_window () =
     (Workload.Sclient.completed clients)
     (Workload.Sclient.completions_in clients t0 t1)
 
+(* Regression: completion marks moved from an unbounded list to a bounded
+   ring.  With a fixed seed, the windowed counts must agree exactly with the
+   all-time counter (the ring is far larger than any test run), and windows
+   must be additive. *)
+let test_sclient_marks_ring_equivalence () =
+  let sim, machine, stack, _server = with_server (make_rig ()) in
+  let clients =
+    Workload.Sclient.create ~stack ~port:80 ~path:"/doc/1k" ~seed:11 ~count:2 ()
+  in
+  let t0 = Sim.now sim in
+  Workload.Sclient.start clients;
+  run machine sim (Simtime.ms 200);
+  let tm = Sim.now sim in
+  run machine sim (Simtime.ms 200);
+  let t1 = Sim.now sim in
+  let total = Workload.Sclient.completed clients in
+  Alcotest.(check bool) "enough samples to be meaningful" true (total > 50);
+  Alcotest.(check int) "full window equals all-time counter" total
+    (Workload.Sclient.completions_in clients t0 t1);
+  Alcotest.(check int) "sub-windows are additive" total
+    (Workload.Sclient.completions_in clients t0 tm
+    + Workload.Sclient.completions_in clients tm t1);
+  Alcotest.(check int) "empty window counts nothing" 0
+    (Workload.Sclient.completions_in clients t1 t1)
+
 let test_sclient_timeout_on_dead_port () =
   let sim, machine, _, stack, _ = make_rig () in
   (* No listen socket: connects are refused (RST), clients count refusals
@@ -160,6 +185,8 @@ let suite =
     Alcotest.test_case "sclient closed loop" `Quick test_sclient_closed_loop;
     Alcotest.test_case "sclient stop" `Quick test_sclient_stop;
     Alcotest.test_case "sclient reset and window" `Quick test_sclient_reset_and_window;
+    Alcotest.test_case "sclient marks ring equivalence" `Quick
+      test_sclient_marks_ring_equivalence;
     Alcotest.test_case "sclient refused retries" `Quick test_sclient_timeout_on_dead_port;
     Alcotest.test_case "sclient jitter determinism" `Quick test_sclient_jitter_determinism;
     Alcotest.test_case "sclient percentiles" `Quick test_sclient_percentiles;
