@@ -1,6 +1,7 @@
 (* Compare two BENCH_*.json documents produced by [main.exe --json].
 
    Usage: compare.exe BASELINE.json CURRENT.json [--threshold F]
+            [--alloc-threshold F]
 
    CURRENT may be "-" to read from stdin (used by the @bench-check alias,
    which pipes a fresh --json run against the committed baseline).
@@ -14,10 +15,16 @@
    jittery) is deliberately loose: these are wall-clock measurements on
    whatever machine runs the check, so the gate is meant to catch
    order-of-magnitude fast-path regressions — a reintroduced O(n) walk
-   shows up as 10-20x, not 2x.  Exit status is non-zero if any
-   shared metric regresses.  Metrics present on only one side are
-   reported but never fail the check, so the baseline does not have to
-   be regenerated in lockstep with benchmark additions. *)
+   shows up as 10-20x, not 2x.
+
+   Allocation metrics (unit "mw/op", minor words per operation) are
+   deterministic counts, not wall-clock samples, so they get their own
+   much tighter gate: --alloc-threshold, default 0.10 — a 10% allocation
+   growth on a hot path is a real regression even when the clock cannot
+   see it.  Exit status is non-zero if any shared metric regresses.
+   Metrics present on only one side are reported but never fail the
+   check, so the baseline does not have to be regenerated in lockstep
+   with benchmark additions. *)
 
 (* {1 A minimal JSON reader}
 
@@ -194,6 +201,7 @@ let load path =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let threshold = ref 0.75 in
+  let alloc_threshold = ref 0.10 in
   let files = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -201,6 +209,11 @@ let () =
         (match float_of_string_opt v with
         | Some f when f >= 0. -> threshold := f
         | _ -> prerr_endline "compare: --threshold expects a non-negative float"; exit 2);
+        parse_args rest
+    | "--alloc-threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f >= 0. -> alloc_threshold := f
+        | _ -> prerr_endline "compare: --alloc-threshold expects a non-negative float"; exit 2);
         parse_args rest
     | arg :: rest ->
         files := arg :: !files;
@@ -211,21 +224,23 @@ let () =
   | [ base_path; cur_path ] ->
       let base_label, base = load base_path in
       let cur_label, cur = load cur_path in
-      Printf.printf "benchmark compare: baseline %S vs current %S (threshold +%.0f%%)\n"
-        base_label cur_label (100. *. !threshold);
+      Printf.printf
+        "benchmark compare: baseline %S vs current %S (threshold +%.0f%%, alloc +%.0f%%)\n"
+        base_label cur_label (100. *. !threshold) (100. *. !alloc_threshold);
       let regressions = ref 0 in
       List.iter
         (fun (name, (bv, unit_)) ->
           match List.assoc_opt name cur with
           | None -> Printf.printf "  [only-baseline] %s\n" name
           | Some (cv, _) ->
+              let t = if unit_ = "mw/op" then !alloc_threshold else !threshold in
               let ratio = if bv > 0. then cv /. bv else Float.infinity in
               let verdict =
-                if cv > bv *. (1. +. !threshold) then begin
+                if cv > bv *. (1. +. t) then begin
                   incr regressions;
                   "REGRESSED"
                 end
-                else if bv > cv *. (1. +. !threshold) then "improved"
+                else if bv > cv *. (1. +. t) then "improved"
                 else "ok"
               in
               Printf.printf "  [%-9s] %-60s %12.6g -> %12.6g %s (%.2fx)\n" verdict name bv cv
@@ -236,10 +251,11 @@ let () =
           if List.assoc_opt name base = None then Printf.printf "  [only-current] %s\n" name)
         cur;
       if !regressions > 0 then begin
-        Printf.printf "%d metric(s) regressed beyond +%.0f%%\n" !regressions (100. *. !threshold);
+        Printf.printf "%d metric(s) regressed beyond the threshold\n" !regressions;
         exit 1
       end
       else print_endline "no regressions"
   | _ ->
-      prerr_endline "usage: compare.exe BASELINE.json CURRENT.json [--threshold F]";
+      prerr_endline
+        "usage: compare.exe BASELINE.json CURRENT.json [--threshold F] [--alloc-threshold F]";
       exit 2

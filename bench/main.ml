@@ -95,23 +95,48 @@ let table1_tests =
     bench_charge;
   ]
 
-(* Run a group of Bechamel tests and return [(name, ns/op)] sorted by name. *)
-let ols_estimates ~group ~cfg tests =
-  let instances = Instance.[ monotonic_clock ] in
+(* Bechamel's stock [Instance.minor_allocated] reads
+   [(Gc.quick_stat ()).minor_words], which on OCaml 5 only reflects
+   counters merged at collection boundaries — every sample reads the same
+   value and the OLS slope comes out exactly 0.  [Gc.minor_words ()] reads
+   the live allocation pointer of the current domain, so register our own
+   measure around it. *)
+module Minor_words = struct
+  type witness = unit
+
+  let load () = ()
+  let unload () = ()
+  let make () = ()
+  let get () = Gc.minor_words ()
+  let label () = "minor-words"
+  let unit () = "mw"
+end
+
+let minor_words_instance =
+  Measure.instance (module Minor_words) (Measure.register (module Minor_words))
+
+(* Run a group of Bechamel tests and return [(name, ns/op, minor words/op)]
+   sorted by name — one OLS fit per instance over the same raw samples. *)
+let ols_estimates2 ~group ~cfg tests =
+  let instances = [ Instance.monotonic_clock; minor_words_instance ] in
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:group tests) in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  let estimate_of results name =
+    match Hashtbl.find_opt results name with
+    | Some result -> (
+        match Analyze.OLS.estimates result with
+        | Some (v :: _) -> Some v
+        | Some [] | None -> None)
+    | None -> None
+  in
+  let times = Analyze.all ols Instance.monotonic_clock raw in
+  let words = Analyze.all ols minor_words_instance raw in
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) times [] in
   List.sort compare
-    (List.map
-       (fun (name, result) ->
-         let estimate =
-           match Analyze.OLS.estimates result with
-           | Some (ns :: _) -> Some ns
-           | Some [] | None -> None
-         in
-         (name, estimate))
-       rows)
+    (List.map (fun name -> (name, estimate_of times name, estimate_of words name)) names)
+
+let ols_estimates ~group ~cfg tests =
+  List.map (fun (name, ns, _) -> (name, ns)) (ols_estimates2 ~group ~cfg tests)
 
 let table1_cfg () = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ()
 
@@ -198,6 +223,80 @@ let run_sched_microbench () =
     estimates;
   Format.printf "%a@." Engine.Series.pp_table table
 
+(* {1 Part 1c: event-queue micro-benchmarks}
+
+   The same workloads against both Sim backends — the binary heap
+   (executable spec) and the hierarchical timer wheel (production) — so
+   the wheel's O(1) schedule/cancel claim stays measured, not asserted.
+
+   - churn: the TCP-timer pattern that motivated Varghese & Lauck — a
+     standing population of 1024 pending long timers (retransmit/keepalive
+     timers that almost always get cancelled), and per op: schedule 8
+     events at pseudo-random near offsets, cancel half, fire the rest.
+     The heap pays O(log 1024) per operation here; the wheel does not.
+   - periodic: a long-lived [Sim.every] series (a scheduler quantum) on an
+     otherwise empty queue; per op, advance the clock across 10 ticks.
+     This is the wheel's worst case (sparse wheel, every pop re-scans
+     levels) and the heap's best (one-element heap), kept measured so the
+     trade-off stays visible.  After the Sim.every closure reuse, a tick
+     costs one queue insertion and no closure allocation. *)
+
+let bench_sim_churn backend =
+  let sim = Engine.Sim.create ~backend () in
+  (* Standing far timers: pending throughout, never fired by the horizon
+     below (the bench never simulates anywhere near an hour). *)
+  for _ = 1 to 1024 do
+    ignore (Engine.Sim.after sim (Simtime.sec 3600) ignore)
+  done;
+  let rng = ref 0x2545F49 in
+  let next () =
+    rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+    !rng
+  in
+  Test.make
+    ~name:(Printf.sprintf "schedule/cancel churn over 1k pending, %s backend"
+             (Engine.Sim.backend_name backend))
+    (Staged.stage (fun () ->
+         let handles =
+           Array.init 8 (fun _ -> Engine.Sim.after sim (Simtime.ns (1 + (next () land 0xFFFF))) ignore)
+         in
+         for i = 0 to 3 do
+           ignore (Engine.Sim.cancel sim handles.(i * 2))
+         done;
+         Engine.Sim.run_until sim (Simtime.add (Engine.Sim.now sim) (Simtime.ns 0x10000))))
+
+let bench_sim_periodic backend =
+  let sim = Engine.Sim.create ~backend () in
+  let ticks = ref 0 in
+  ignore (Engine.Sim.every sim (Simtime.us 10) (fun () -> incr ticks));
+  Test.make
+    ~name:(Printf.sprintf "periodic timer x10 ticks, %s backend" (Engine.Sim.backend_name backend))
+    (Staged.stage (fun () ->
+         Engine.Sim.run_until sim (Simtime.add (Engine.Sim.now sim) (Simtime.us 100))))
+
+let sim_tests () =
+  [
+    bench_sim_churn Engine.Sim.Heap;
+    bench_sim_churn Engine.Sim.Wheel;
+    bench_sim_periodic Engine.Sim.Heap;
+    bench_sim_periodic Engine.Sim.Wheel;
+  ]
+
+let sim_cfg () = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ()
+
+let run_sim_microbench () =
+  let estimates = ols_estimates2 ~group:"sim" ~cfg:(sim_cfg ()) (sim_tests ()) in
+  let table =
+    Engine.Series.table ~title:"Event-queue cost: binary heap vs hierarchical timer wheel"
+      ~columns:[ "workload"; "ns per op"; "minor words per op" ]
+  in
+  List.iter
+    (fun (name, ns, mw) ->
+      let fmt = function Some v -> Printf.sprintf "%.0f" v | None -> "-" in
+      Engine.Series.add_row table [ name; fmt ns; fmt mw ])
+    estimates;
+  Format.printf "%a@." Engine.Series.pp_table table
+
 (* {1 Machine-readable output (--json)}
 
    Emits the fast-path metrics — Table-1 primitive costs, the scheduler
@@ -250,33 +349,110 @@ let run_json ~fast ~label =
       ~cfg:(Benchmark.cfg ~limit:1000 ~quota:(Time.second (scale 0.25)) ())
       (sched_tests ())
   in
+  let sim =
+    ols_estimates2 ~group:"sim"
+      ~cfg:(Benchmark.cfg ~limit:1000 ~quota:(Time.second (scale 0.25)) ())
+      (sim_tests ())
+  in
   (* End-to-end cost: host seconds needed to simulate one second of the
      Figure-11 rig (event API, 1 high + 20 low clients).  Normalising by
-     simulated time keeps fast and full runs comparable. *)
-  let wall_per_simsec =
-    let warmup = if fast then Simtime.ms 500 else Simtime.sec 1 in
-    let measure = if fast then Simtime.sec 1 else Simtime.sec 2 in
-    let sim_seconds =
-      Simtime.span_to_sec_f warmup +. Simtime.span_to_sec_f measure
-    in
+     simulated time keeps fast and full runs comparable.  Measured for
+     both event-queue backends; the unsuffixed metric (the wheel, the
+     production default) is the one compared against older baselines. *)
+  let warmup = if fast then Simtime.ms 500 else Simtime.sec 1 in
+  let measure = if fast then Simtime.sec 1 else Simtime.sec 2 in
+  let sim_seconds = Simtime.span_to_sec_f warmup +. Simtime.span_to_sec_f measure in
+  let fig11_wall backend =
     let t0 = Unix.gettimeofday () in
     ignore
-      (Experiments.Exp_fig11.t_high ~warmup ~measure
+      (Experiments.Exp_fig11.t_high ~backend ~warmup ~measure
          Experiments.Exp_fig11.Containers_event_api ~low_clients:20);
     (Unix.gettimeofday () -. t0) /. sim_seconds
+  in
+  let fig11_wheel = fig11_wall Engine.Sim.Wheel in
+  let fig11_heap = fig11_wall Engine.Sim.Heap in
+  (* End-to-end cost and GC pressure of each stack mode: one 16-client
+     closed-loop run per mode; allocation is normalised per completed
+     request so fast and full windows stay comparable. *)
+  let mode_metrics =
+    List.concat_map
+      (fun system ->
+        let mode = Experiments.Harness.system_name system in
+        let words0 = Gc.minor_words () in
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Experiments.Exp_sweep.run ~warmup ~measure
+            { Experiments.Exp_sweep.system; clients = 16; seed = 1 }
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        let words = Gc.minor_words () -. words0 in
+        let per_req = if r.Experiments.Exp_sweep.completed > 0 then
+            words /. float_of_int r.Experiments.Exp_sweep.completed
+          else words
+        in
+        [
+          {
+            m_name = Printf.sprintf "endtoend/wall-clock per simulated second, %s mode, 16 clients" mode;
+            m_unit = "s/simsec";
+            m_value = wall /. sim_seconds;
+          };
+          {
+            m_name = Printf.sprintf "gc.minor_words_per_op/endtoend %s mode, per completed request" mode;
+            m_unit = "mw/op";
+            m_value = per_req;
+          };
+        ])
+      [ Experiments.Harness.Unmodified; Experiments.Harness.Lrp_sys; Experiments.Harness.Rc_sys ]
+  in
+  (* Sweep throughput: the same 9-point grid serially and fanned across 4
+     domains.  On a multicore host jobs=4 divides the wall time; on a
+     single core it only adds domain overhead — both are worth knowing. *)
+  let sweep_metrics =
+    let points =
+      Experiments.Exp_sweep.grid ~client_counts:[ 4 ] ~seeds:[ 1; 2; 3 ] ()
+    in
+    let s_warmup = Simtime.ms 500 in
+    let s_measure = if fast then Simtime.ms 500 else Simtime.sec 1 in
+    let time_with jobs =
+      let t0 = Unix.gettimeofday () in
+      ignore
+        (Experiments.Exp_sweep.run_grid ~warmup:s_warmup ~measure:s_measure ~jobs points);
+      Unix.gettimeofday () -. t0
+    in
+    [
+      { m_name = "sweep/wall-clock, 9-point grid, jobs=1"; m_unit = "s"; m_value = time_with 1 };
+      { m_name = "sweep/wall-clock, 9-point grid, jobs=4"; m_unit = "s"; m_value = time_with 4 };
+    ]
   in
   let metrics =
     List.filter_map
       (fun (name, estimate) ->
         Option.map (fun v -> { m_name = name; m_unit = "ns/op"; m_value = v }) estimate)
       (t1 @ sched)
+    @ List.filter_map
+        (fun (name, ns, _) ->
+          Option.map (fun v -> { m_name = name; m_unit = "ns/op"; m_value = v }) ns)
+        sim
+    @ List.filter_map
+        (fun (name, _, mw) ->
+          Option.map
+            (fun v -> { m_name = "gc.minor_words_per_op/" ^ name; m_unit = "mw/op"; m_value = v })
+            mw)
+        sim
     @ [
         {
           m_name = "fig11/wall-clock per simulated second, event api, 20 low clients";
           m_unit = "s/simsec";
-          m_value = wall_per_simsec;
+          m_value = fig11_wheel;
+        };
+        {
+          m_name =
+            "fig11/wall-clock per simulated second, event api, 20 low clients, heap backend";
+          m_unit = "s/simsec";
+          m_value = fig11_heap;
         };
       ]
+    @ mode_metrics @ sweep_metrics
   in
   emit_json ~label metrics
 
@@ -366,6 +542,7 @@ let () =
      Format.printf "=== Part 1: primitive costs (real wall clock, Bechamel OLS) ===@.";
      run_table1_microbench ();
      run_sched_microbench ();
+     run_sim_microbench ();
      Format.printf "@.=== Part 2: reproduction of the paper's evaluation (simulated) ===@.";
      run_experiments ~fast
    end);

@@ -30,6 +30,16 @@ let chart_flag =
   let doc = "Render figures as ASCII bar charts." in
   Arg.(value & flag & info [ "chart" ] ~doc)
 
+let jobs_flag =
+  let doc =
+    "Fan independent experiment points across $(docv) domains (0 = one per \
+     recommended core).  Results are identical for any value."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc ~docv:"N")
+
+let resolve_jobs jobs =
+  if jobs = 0 then Experiments.Harness.Sweep.recommended_jobs () else max 1 jobs
+
 let trace_out_flag =
   let doc = "Write the run's kernel trace as JSON lines to $(docv)." in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~doc ~docv:"FILE")
@@ -38,7 +48,7 @@ let metrics_out_flag =
   let doc = "Write an end-of-run metrics snapshot as JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~doc ~docv:"FILE")
 
-let run_baseline fast csv =
+let run_baseline _jobs fast csv =
   let measure = if fast then Simtime.sec 2 else Simtime.sec 5 in
   let t =
     Engine.Series.table ~title:"Baseline throughput (paper §5.3, unmodified kernel, 1KB cached)"
@@ -60,33 +70,33 @@ let run_baseline fast csv =
     [ false; true ];
   print_table ~csv t
 
-let run_table1 _fast csv = print_table ~csv (Experiments.Exp_table1.table ())
+let run_table1 _jobs _fast csv = print_table ~csv (Experiments.Exp_table1.table ())
 
-let run_fig11 fast csv =
+let run_fig11 jobs fast csv =
   let low_counts = if fast then [ 0; 10; 20; 35 ] else [ 0; 5; 10; 15; 20; 25; 30; 35 ] in
   let measure = if fast then Simtime.sec 3 else Simtime.sec 5 in
-  print_figure ~csv (Experiments.Exp_fig11.figure ~low_counts ~measure ())
+  print_figure ~csv (Experiments.Exp_fig11.figure ~low_counts ~measure ~jobs ())
 
-let fig12_13 fast =
+let fig12_13 jobs fast =
   let cgi_counts = if fast then [ 0; 2; 4 ] else [ 0; 1; 2; 3; 4; 5 ] in
   let measure = if fast then Simtime.sec 10 else Simtime.sec 15 in
-  Experiments.Exp_fig12_13.figures ~cgi_counts ~measure ()
+  Experiments.Exp_fig12_13.figures ~cgi_counts ~measure ~jobs ()
 
-let run_fig12 fast csv = print_figure ~csv (fst (fig12_13 fast))
-let run_fig13 fast csv = print_figure ~csv (snd (fig12_13 fast))
+let run_fig12 jobs fast csv = print_figure ~csv (fst (fig12_13 jobs fast))
+let run_fig13 jobs fast csv = print_figure ~csv (snd (fig12_13 jobs fast))
 
-let run_fig14 fast csv =
+let run_fig14 jobs fast csv =
   let rates =
     if fast then [ 0.; 10_000.; 40_000.; 70_000. ]
     else [ 0.; 5_000.; 10_000.; 20_000.; 30_000.; 40_000.; 50_000.; 60_000.; 70_000. ]
   in
   let measure = if fast then Simtime.sec 3 else Simtime.sec 5 in
-  print_figure ~csv (Experiments.Exp_fig14.figure ~rates ~measure ())
+  print_figure ~csv (Experiments.Exp_fig14.figure ~rates ~measure ~jobs ())
 
-let run_virtual _fast csv = print_table ~csv (Experiments.Exp_virtual.table ())
-let run_overhead _fast csv = print_table ~csv (Experiments.Exp_overhead.table ())
+let run_virtual _jobs _fast csv = print_table ~csv (Experiments.Exp_virtual.table ())
+let run_overhead _jobs _fast csv = print_table ~csv (Experiments.Exp_overhead.table ())
 
-let run_disk fast csv =
+let run_disk _jobs fast csv =
   print_table ~csv (Experiments.Exp_disk.architecture_table ());
   print_table ~csv
     (Experiments.Exp_disk.pool_table
@@ -94,14 +104,15 @@ let run_disk fast csv =
        ());
   print_table ~csv (Experiments.Exp_disk.isolation_table ())
 
-let run_latency fast csv =
+let run_latency jobs fast csv =
   let client_counts = if fast then [ 1; 4; 16; 64 ] else [ 1; 2; 4; 8; 16; 32; 64 ] in
   let measure = if fast then Simtime.sec 2 else Simtime.sec 4 in
-  print_figure ~csv (Experiments.Exp_latency.figure ~client_counts ~measure Experiments.Harness.Unmodified)
+  print_figure ~csv
+    (Experiments.Exp_latency.figure ~client_counts ~measure ~jobs Experiments.Harness.Unmodified)
 
 (* A small traced scenario: two client classes on the RC kernel, tracing
    enabled; prints the tail of the kernel trace. *)
-let run_trace _fast _csv =
+let run_trace _jobs _fast _csv =
   let module Container = Rescont.Container in
   let module Machine = Procsim.Machine in
   let module Harness = Experiments.Harness in
@@ -141,7 +152,7 @@ let run_trace _fast _csv =
     (fun e -> Format.printf "  %a@." Engine.Tracelog.pp_entry e)
     (Engine.Tracelog.entries (Machine.trace machine))
 
-let run_ablation fast csv =
+let run_ablation _jobs fast csv =
   let measure = if fast then Simtime.sec 3 else Simtime.sec 10 in
   print_table ~csv (Experiments.Exp_ablation.scheduler_family_table ~measure ());
   print_table ~csv (Experiments.Exp_ablation.binding_prune_table ());
@@ -149,24 +160,53 @@ let run_ablation fast csv =
   print_table ~csv (Experiments.Exp_ablation.smp_scaling_table ());
   print_table ~csv (Experiments.Exp_ablation.softirq_charging_table ())
 
-let run_all fast csv =
-  run_baseline fast csv;
-  run_table1 fast csv;
-  run_fig11 fast csv;
-  let f12, f13 = fig12_13 fast in
+let run_all jobs fast csv =
+  run_baseline jobs fast csv;
+  run_table1 jobs fast csv;
+  run_fig11 jobs fast csv;
+  let f12, f13 = fig12_13 jobs fast in
   print_figure ~csv f12;
   print_figure ~csv f13;
-  run_fig14 fast csv;
-  run_virtual fast csv;
-  run_overhead fast csv;
-  run_disk fast csv;
-  run_latency fast csv;
-  run_ablation fast csv
+  run_fig14 jobs fast csv;
+  run_virtual jobs fast csv;
+  run_overhead jobs fast csv;
+  run_disk jobs fast csv;
+  run_latency jobs fast csv;
+  run_ablation jobs fast csv
+
+(* The sweep experiment: the CLI face of the parallel executor.  The JSON
+   report is byte-identical for every --jobs value. *)
+let run_sweep jobs fast json_out =
+  let jobs = resolve_jobs jobs in
+  let points =
+    if fast then Experiments.Exp_sweep.grid ~client_counts:[ 4 ] ~seeds:[ 1 ] ()
+    else Experiments.Exp_sweep.grid ()
+  in
+  let warmup = if fast then Simtime.ms 500 else Simtime.sec 1 in
+  let measure = if fast then Simtime.sec 1 else Simtime.sec 2 in
+  let results = Experiments.Exp_sweep.run_grid ~warmup ~measure ~jobs points in
+  let doc = Experiments.Exp_sweep.report_string results in
+  match json_out with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc);
+      Format.printf "sweep: %d point(s), %d job(s), report written to %s@."
+        (Array.length points) jobs path
+  | None -> print_string doc
+
+let sweep_cmd =
+  let json_out_arg =
+    let doc = "Write the JSON report to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "json-out" ] ~doc ~docv:"FILE")
+  in
+  let doc = "Run the multi-point throughput sweep (parallel with --jobs)." in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run_sweep $ jobs_flag $ fast_flag $ json_out_arg)
 
 (* Conservation-law fuzzing: run seeded random scenarios with every
    invariant armed.  Exit status 0 means every law held on every run (or,
    under --inject, that the planted bug was caught on every run). *)
-let run_fuzz seeds seed mode inject trace_out =
+let run_fuzz jobs seeds seed mode inject trace_out =
+  let jobs = resolve_jobs jobs in
   let modes =
     if mode = "all" then Fuzz.all_modes
     else
@@ -194,6 +234,21 @@ let run_fuzz seeds seed mode inject trace_out =
         let o = Fuzz.run_seed ~inject ?trace_path:trace_out ~mode:m ~seed:s () in
         Format.printf "%a@." Fuzz.pp_outcome o;
         [ o ]
+    | _ when jobs > 1 ->
+        (* Each (mode, seed) scenario is a pure function of its pair, so
+           the batch fans across domains; outcomes print in batch order
+           once all runs finish. *)
+        let pairs =
+          Array.of_list
+            (List.concat_map (fun m -> List.map (fun s -> (m, s)) seed_list) modes)
+        in
+        let outcomes =
+          Experiments.Harness.Sweep.map ~jobs
+            (fun (m, s) -> Fuzz.run_seed ~inject ~mode:m ~seed:s ())
+            pairs
+        in
+        Array.iter (fun o -> Format.printf "%a@." Fuzz.pp_outcome o) outcomes;
+        Array.to_list outcomes
     | _ ->
         Fuzz.run_batch ~inject
           ~log:(fun o -> Format.printf "%a@." Fuzz.pp_outcome o)
@@ -235,19 +290,23 @@ let fuzz_cmd =
   in
   let doc = "Fuzz random scenarios under the conservation-law invariants." in
   Cmd.v (Cmd.info "fuzz" ~doc)
-    Term.(const run_fuzz $ seeds_arg $ seed_arg $ mode_arg $ inject_arg $ trace_out_flag)
+    Term.(
+      const run_fuzz $ jobs_flag $ seeds_arg $ seed_arg $ mode_arg $ inject_arg
+      $ trace_out_flag)
 
 let term_of f =
-  let apply fast csv chart trace_out metrics_out =
+  let apply jobs fast csv chart trace_out metrics_out =
     chart_mode := chart;
     if trace_out <> None || metrics_out <> None then Experiments.Harness.observe ();
-    f fast csv;
+    f (resolve_jobs jobs) fast csv;
     (* Export the observability of the last rig the run built. *)
     match Experiments.Harness.last_rig () with
     | Some rig -> Experiments.Harness.export ?trace_out ?metrics_out rig
     | None -> ()
   in
-  Term.(const apply $ fast_flag $ csv_flag $ chart_flag $ trace_out_flag $ metrics_out_flag)
+  Term.(
+    const apply $ jobs_flag $ fast_flag $ csv_flag $ chart_flag $ trace_out_flag
+    $ metrics_out_flag)
 
 let subcommand name doc f = Cmd.v (Cmd.info name ~doc) (term_of f)
 
@@ -265,6 +324,7 @@ let cmds =
     subcommand "latency" "Run the latency-vs-load extension sweep." run_latency;
     subcommand "trace" "Dump a kernel trace of a small RC scenario." run_trace;
     subcommand "ablation" "Run the design-choice ablations." run_ablation;
+    sweep_cmd;
     fuzz_cmd;
     subcommand "all" "Run every experiment." run_all;
   ]

@@ -14,8 +14,16 @@ dune runtest
 echo "== dune build @bench-check"
 dune build @bench-check
 
-echo "== fuzz smoke (fixed seeds, invariants armed)"
-dune exec bin/rc_sim.exe -- fuzz --seeds 5
+echo "== event-core A/B + PR1-to-now trend (informational, never fails)"
+dune exec bench/compare.exe -- BENCH_PR1.json BENCH_PR4.json --threshold 1000 || true
+
+echo "== sweep smoke (2 jobs must match the serial report byte-for-byte)"
+dune exec bin/rc_sim.exe -- sweep --fast --jobs 1 --json-out "${TMPDIR:-/tmp}/rc-sweep-j1.json"
+dune exec bin/rc_sim.exe -- sweep --fast --jobs 2 --json-out "${TMPDIR:-/tmp}/rc-sweep-j2.json"
+cmp "${TMPDIR:-/tmp}/rc-sweep-j1.json" "${TMPDIR:-/tmp}/rc-sweep-j2.json"
+
+echo "== fuzz smoke (fixed seeds, invariants armed, 2 jobs)"
+dune exec bin/rc_sim.exe -- fuzz --seeds 5 --jobs 2
 
 echo "== fuzz self-test (planted mis-charge must be caught)"
 dune exec bin/rc_sim.exe -- fuzz --seed 1 --mode rc --inject mischarge \

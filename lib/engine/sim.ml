@@ -1,18 +1,45 @@
-type t = { mutable clock : Simtime.t; queue : (unit -> unit) Heapq.t }
+(* The event queue is pluggable: the hierarchical timer wheel is the
+   production backing store (O(1) schedule/cancel for the dominant
+   [after]/[every] pattern), the binary heap is kept as the property-
+   tested executable specification and for A/B benchmarking.  Both
+   extract in (timestamp, insertion-order) order, so a run's event
+   sequence is identical under either backend — test_timer_wheel checks
+   exactly that. *)
 
-type event_body = { mutable cancelled : bool; mutable handle : Heapq.handle option }
+type backend = Heap | Wheel
+
+let backend_name = function Heap -> "heap" | Wheel -> "wheel"
+
+type queue = Q_heap of (unit -> unit) Heapq.t | Q_wheel of (unit -> unit) Timer_wheel.t
+type handle = H_heap of Heapq.handle | H_wheel of Timer_wheel.handle
+
+type t = { mutable clock : Simtime.t; queue : queue }
+
+type event_body = { mutable cancelled : bool; mutable handle : handle option }
 type event = event_body
 
-let create () = { clock = Simtime.zero; queue = Heapq.create () }
+let default_backend = Wheel
+
+let create ?(backend = default_backend) () =
+  let queue =
+    match backend with Heap -> Q_heap (Heapq.create ()) | Wheel -> Q_wheel (Timer_wheel.create ())
+  in
+  { clock = Simtime.zero; queue }
+
+let backend t = match t.queue with Q_heap _ -> Heap | Q_wheel _ -> Wheel
 let now t = t.clock
+
+let insert t ~prio f =
+  match t.queue with
+  | Q_heap q -> H_heap (Heapq.insert q ~prio f)
+  | Q_wheel w -> H_wheel (Timer_wheel.insert w ~prio f)
 
 let at t time f =
   if Simtime.(time < t.clock) then
     invalid_arg
       (Format.asprintf "Sim.at: %a is before current time %a" Simtime.pp time Simtime.pp t.clock);
   let body = { cancelled = false; handle = None } in
-  let handle = Heapq.insert t.queue ~prio:(Simtime.to_ns time) f in
-  body.handle <- Some handle;
+  body.handle <- Some (insert t ~prio:(Simtime.to_ns time) f);
   body
 
 let after t span f =
@@ -23,54 +50,70 @@ let cancel t event =
   if event.cancelled then false
   else begin
     event.cancelled <- true;
-    match event.handle with None -> false | Some h -> Heapq.cancel t.queue h
+    match (event.handle, t.queue) with
+    | None, _ -> false
+    | Some (H_heap h), Q_heap q -> Heapq.cancel q h
+    | Some (H_wheel h), Q_wheel w -> Timer_wheel.cancel w h
+    | Some _, _ -> invalid_arg "Sim.cancel: event belongs to a different backend"
   end
 
-let pending t = Heapq.length t.queue
+let pending t =
+  match t.queue with Q_heap q -> Heapq.length q | Q_wheel w -> Timer_wheel.length w
 
 let fire t prio f =
   t.clock <- Simtime.of_ns prio;
   f ()
 
+let pop_min t =
+  match t.queue with Q_heap q -> Heapq.pop_min q | Q_wheel w -> Timer_wheel.pop_min w
+
+(* Next event at or before [horizon] (in ns), or [None].  The wheel
+   commits its lower bound to the horizon on [None]; that is sound
+   because [run_until] then advances the clock to the horizon, and no
+   event is ever scheduled before the clock. *)
+let pop_min_until t ~horizon =
+  match t.queue with
+  | Q_wheel w -> Timer_wheel.pop_min_until w ~horizon
+  | Q_heap q -> (
+      match Heapq.peek_min_prio q with
+      | Some prio when prio <= horizon -> Heapq.pop_min q
+      | Some _ | None -> None)
+
 let step t =
-  match Heapq.pop_min t.queue with
+  match pop_min t with
   | None -> false
   | Some (prio, f) ->
       fire t prio f;
       true
 
 let run_until t horizon =
+  let horizon_ns = Simtime.to_ns horizon in
   let rec loop () =
-    match Heapq.peek_min_prio t.queue with
-    | Some prio when Simtime.(of_ns prio <= horizon) -> (
-        match Heapq.pop_min t.queue with
-        | Some (p, f) ->
-            fire t p f;
-            loop ()
-        | None -> ())
-    | Some _ | None -> ()
+    match pop_min_until t ~horizon:horizon_ns with
+    | Some (prio, f) ->
+        fire t prio f;
+        loop ()
+    | None -> ()
   in
   loop ();
   if Simtime.(horizon > t.clock) then t.clock <- horizon
 
 let run t = while step t do () done
 
+(* One closure and one event body serve the whole periodic series: each
+   tick re-inserts the same [tick] closure, so a long-lived periodic
+   timer (a scheduler quantum, an invariant sweep) allocates only its
+   backend queue node per period instead of rebuilding a closure chain. *)
 let every t period f =
   if not (Simtime.span_is_positive period) then invalid_arg "Sim.every: period must be positive";
   let body = { cancelled = false; handle = None } in
-  let rec arm () =
+  let rec tick () =
     if not body.cancelled then begin
-      let h =
-        Heapq.insert t.queue
-          ~prio:(Simtime.to_ns (Simtime.add t.clock period))
-          (fun () ->
-            if not body.cancelled then begin
-              f ();
-              arm ()
-            end)
-      in
-      body.handle <- Some h
+      f ();
+      if not body.cancelled then arm ()
     end
+  and arm () =
+    body.handle <- Some (insert t ~prio:(Simtime.to_ns (Simtime.add t.clock period)) tick)
   in
   arm ();
   body

@@ -10,7 +10,20 @@ type t
 type event
 (** A handle on a scheduled event, usable for cancellation. *)
 
-val create : unit -> t
+type backend = Heap | Wheel
+(** The event-queue backing store.  [Wheel] — a hierarchical timer wheel
+    ({!Timer_wheel}) with O(1) schedule and cancel — is the default.
+    [Heap] keeps the binary heap ({!Heapq}) as the property-tested
+    executable specification; both fire identical event sequences, and
+    [bench] measures them against each other. *)
+
+val backend_name : backend -> string
+val default_backend : backend
+
+val create : ?backend:backend -> unit -> t
+
+val backend : t -> backend
+(** Which backing store this simulator was created with. *)
 
 val now : t -> Simtime.t
 (** Current simulated time.  Advances only inside [run_until] / [run]. *)
@@ -44,5 +57,7 @@ val step : t -> bool
 
 val every : t -> Simtime.span -> (unit -> unit) -> event
 (** [every sim period f] schedules [f] periodically, starting one period
-    from now.  The returned handle cancels the whole series.
+    from now.  The returned handle cancels the whole series.  The series
+    reuses a single closure and event body across ticks; each period
+    costs only one queue insertion.
     @raise Invalid_argument if [period] is not positive. *)

@@ -1,0 +1,215 @@
+(* Hierarchical timer wheel: [levels] wheels of 64 slots each, slot
+   granularity 64^l ns at level [l], so 11 levels cover the full 63-bit
+   priority range.  Every queued node lives in the bucket given by its
+   priority's level-l digit, where [l] is the highest 6-bit digit in
+   which the priority differs from the wheel's lower bound [cur]; as
+   [cur] advances into a bucket, the bucket cascades one level down.
+
+   The resulting invariants carry all the correctness weight:
+
+   - every queued priority is [>= cur];
+   - at level 0 all nodes sit in the current 64 ns window, one exact
+     priority per slot, at slots [>= cur land 63];
+   - at level [l >= 1] all nodes share [cur]'s digits above [l] and sit
+     in slots strictly beyond [cur]'s level-l digit (the slot [cur] is
+     inside was emptied by the cascade that moved [cur] into it);
+   - equal priorities always share one bucket: a bucket is a function of
+     (prio, cur) only, so a later equal-priority insert lands where the
+     earlier node already is, behind it.  Buckets append at the tail and
+     cascades walk head-to-tail, so insertion-order FIFO is structural.
+
+   Buckets are circular doubly-linked lists through a per-slot sentinel,
+   which makes cancellation a true O(1) unlink — no dead nodes, no
+   compaction, and a cancel-heavy workload (TCP timers under SYN flood)
+   releases its payloads immediately. *)
+
+type 'a node = {
+  prio : int;
+  value : 'a;
+  mutable lvl : int; (* current level, for the per-level count *)
+  mutable queued : bool;
+  mutable prev : 'a node;
+  mutable next : 'a node;
+}
+
+type handle = H : 'a node -> handle
+
+let bits = 6
+let slot_count = 64
+let levels = 11 (* 11 * 6 = 66 bits >= the 62 of max_int *)
+
+type 'a t = {
+  slots : 'a node array array; (* [levels][slot_count] sentinels *)
+  counts : int array; (* queued nodes per level *)
+  mutable live : int;
+  mutable cur : int; (* lower bound on every queued priority *)
+}
+
+(* The sentinel's [value] is never read; the immediate 0 keeps the slot
+   array from pinning popped payloads. *)
+let make_sentinel () : 'a node =
+  let rec s = { prio = min_int; value = Obj.magic 0; lvl = -1; queued = false; prev = s; next = s } in
+  s
+
+let create () =
+  {
+    slots = Array.init levels (fun _ -> Array.init slot_count (fun _ -> make_sentinel ()));
+    counts = Array.make levels 0;
+    live = 0;
+    cur = 0;
+  }
+
+let length t = t.live
+let is_empty t = t.live = 0
+let lower_bound t = t.cur
+
+let append sentinel node =
+  let tail = sentinel.prev in
+  node.prev <- tail;
+  node.next <- sentinel;
+  tail.next <- node;
+  sentinel.prev <- node
+
+let unlink node =
+  node.prev.next <- node.next;
+  node.next.prev <- node.prev;
+  node.prev <- node;
+  node.next <- node
+
+let rec level_of_diff l d = if d < slot_count then l else level_of_diff (l + 1) (d lsr bits)
+
+let place t node =
+  let lvl = level_of_diff 0 (node.prio lxor t.cur) in
+  let slot = (node.prio lsr (bits * lvl)) land (slot_count - 1) in
+  node.lvl <- lvl;
+  append t.slots.(lvl).(slot) node;
+  t.counts.(lvl) <- t.counts.(lvl) + 1
+
+let insert t ~prio value =
+  if prio < t.cur then
+    invalid_arg
+      (Printf.sprintf "Timer_wheel.insert: priority %d below lower bound %d" prio t.cur);
+  let rec node = { prio; value; lvl = 0; queued = true; prev = node; next = node } in
+  place t node;
+  t.live <- t.live + 1;
+  H node
+
+let cancel t (H node) =
+  if node.queued then begin
+    node.queued <- false;
+    unlink node;
+    t.counts.(node.lvl) <- t.counts.(node.lvl) - 1;
+    t.live <- t.live - 1;
+    true
+  end
+  else false
+
+(* Move every node of a cascading bucket down; [t.cur] has just advanced
+   to the bucket's window start, so [place] lands each node at a strictly
+   lower level, head-to-tail order preserved by tail-append. *)
+let cascade t sentinel lvl =
+  let rec drain () =
+    let node = sentinel.next in
+    if node != sentinel then begin
+      unlink node;
+      t.counts.(lvl) <- t.counts.(lvl) - 1;
+      place t node;
+      drain ()
+    end
+  in
+  drain ()
+
+let mask = slot_count - 1
+
+(* Extract the minimum-priority node with priority <= horizon, advancing
+   [cur] no further than [min next-priority horizon]; [commit] decides
+   whether an empty wheel pins [cur] to the horizon. *)
+let rec extract t ~horizon ~commit =
+  if t.live = 0 then begin
+    if commit && horizon > t.cur then t.cur <- horizon;
+    None
+  end
+  else if t.counts.(0) > 0 then begin
+    (* Level 0: scan the current window from cur's slot; the first busy
+       slot holds exactly the next priority, in FIFO order. *)
+    let s = ref (t.cur land mask) in
+    while !s < slot_count && t.slots.(0).(!s).next == t.slots.(0).(!s) do incr s done;
+    if !s = slot_count then invalid_arg "Timer_wheel: inconsistent level-0 count"
+    else begin
+      let node = t.slots.(0).(!s).next in
+      if node.prio > horizon then begin
+        if horizon > t.cur then t.cur <- horizon;
+        None
+      end
+      else begin
+        unlink node;
+        node.queued <- false;
+        t.counts.(0) <- t.counts.(0) - 1;
+        t.live <- t.live - 1;
+        t.cur <- node.prio;
+        Some (node.prio, node.value)
+      end
+    end
+  end
+  else scan_levels t ~horizon ~commit 1
+
+(* Levels >= 1: find the next busy bucket beyond cur's digit, cascade it,
+   and retry from level 0.  [t.live > 0] guarantees some level is busy. *)
+and scan_levels t ~horizon ~commit lvl =
+  if lvl >= levels then begin
+    (* Unreachable while the level counts agree with [live]; fail loudly
+       rather than spin if they ever do not. *)
+    invalid_arg "Timer_wheel: inconsistent level counts"
+  end
+  else if t.counts.(lvl) = 0 then scan_levels t ~horizon ~commit (lvl + 1)
+  else begin
+    let shift = bits * lvl in
+    let j = ref (((t.cur lsr shift) land mask) + 1) in
+    while !j < slot_count && t.slots.(lvl).(!j).next == t.slots.(lvl).(!j) do incr j done;
+    if !j = slot_count then scan_levels t ~horizon ~commit (lvl + 1)
+    else begin
+      (* Window start of the found bucket: cur's digits above [lvl],
+         digit [lvl] = j, zeros below.  At the top level there are no
+         digits above — and shifting by [shift + bits > 63] would be
+         unspecified, so that case must short-circuit. *)
+      let above =
+        (* [lsl]/[lsr] are right-associative, so the rounding-down needs
+           explicit parens; and a shift amount > 62 is unspecified, so the
+           top level (which has no digits above it) must short-circuit. *)
+        let top = shift + bits in
+        if top > 62 then 0 else (t.cur lsr top) lsl top
+      in
+      let bucket_start = above lor (!j lsl shift) in
+      if bucket_start > horizon then begin
+        if horizon > t.cur then t.cur <- horizon;
+        None
+      end
+      else begin
+        t.cur <- bucket_start;
+        cascade t t.slots.(lvl).(!j) lvl;
+        extract t ~horizon ~commit
+      end
+    end
+  end
+
+let pop_min t = extract t ~horizon:max_int ~commit:false
+let pop_min_until t ~horizon = extract t ~horizon ~commit:true
+
+let clear t =
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun sentinel ->
+          let rec drain () =
+            let node = sentinel.next in
+            if node != sentinel then begin
+              node.queued <- false;
+              unlink node;
+              drain ()
+            end
+          in
+          drain ())
+        row)
+    t.slots;
+  Array.fill t.counts 0 levels 0;
+  t.live <- 0

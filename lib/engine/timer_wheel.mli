@@ -1,0 +1,61 @@
+(** A hierarchical timer wheel (Varghese & Lauck) keyed by integer
+    nanosecond priorities, with O(1) insert and O(1) eager cancellation.
+
+    The wheel is an alternative backing store for {!Sim}'s event queue,
+    tuned for the simulator's dominant insert pattern — [Sim.after] /
+    [Sim.every] timers landing a bounded distance past the clock.  It is
+    behaviourally equivalent to {!Heapq} under the event-queue discipline
+    (priorities never below the last extraction) and that equivalence is
+    QCheck-tested: both structures yield the same extraction order,
+    including insertion-order FIFO among equal priorities, under random
+    insert/cancel/pop schedules.
+
+    Unlike {!Heapq}, the wheel maintains a monotone {e lower bound}
+    [lower_bound t]: inserting below it is an error.  {!Sim} guarantees
+    this by construction (events are never scheduled in the past), which
+    is exactly what lets every operation skip the heap's O(log n)
+    sifting.  Equal priorities extract in insertion order: equal-priority
+    nodes always share a bucket, buckets are appended to, and cascades
+    preserve list order. *)
+
+type 'a t
+
+type handle
+(** A handle onto an inserted element, usable to cancel it later. *)
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+(** Number of queued (inserted and neither cancelled nor popped)
+    elements. *)
+
+val is_empty : 'a t -> bool
+
+val lower_bound : 'a t -> int
+(** All queued elements have priority [>= lower_bound t], and future
+    inserts must respect it.  Advances on extraction and when
+    {!pop_min_until} commits a horizon. *)
+
+val insert : 'a t -> prio:int -> 'a -> handle
+(** [insert t ~prio v] queues [v].  [prio] must be [>= lower_bound t].
+    Ties extract in insertion order.
+    @raise Invalid_argument if [prio < lower_bound t]. *)
+
+val cancel : 'a t -> handle -> bool
+(** Remove the element behind the handle; [false] if it was already
+    popped or cancelled.  Eager O(1) unlink — cancelled elements hold no
+    memory and no residual slot. *)
+
+val pop_min : 'a t -> (int * 'a) option
+(** Extract the minimum-priority element.  Advances [lower_bound] to the
+    extracted priority; leaves it unchanged when empty. *)
+
+val pop_min_until : 'a t -> horizon:int -> (int * 'a) option
+(** [pop_min_until t ~horizon] extracts the minimum element if its
+    priority is [<= horizon]; otherwise returns [None] {e and commits}
+    [lower_bound t] to [horizon] (the caller promises, as {!Sim.run_until}
+    does with its clock, that nothing will ever be inserted below the
+    horizon it asked about). *)
+
+val clear : 'a t -> unit
+(** Drop every queued element.  [lower_bound] is preserved. *)

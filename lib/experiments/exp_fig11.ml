@@ -17,13 +17,13 @@ let variant_name = function
 let high_src = Ipaddr.v 10 9 9 9
 let low_base = Ipaddr.v 10 1 0 1
 
-let t_high ?(warmup = Simtime.sec 2) ?(measure = Simtime.sec 4) variant ~low_clients =
+let t_high ?backend ?(warmup = Simtime.sec 2) ?(measure = Simtime.sec 4) variant ~low_clients =
   let system =
     match variant with
     | Without_containers -> Harness.Unmodified
     | Containers_select | Containers_event_api -> Harness.Rc_sys
   in
-  let rig = Harness.make_rig system in
+  let rig = Harness.make_rig ?backend system in
   let listens, policy, user_preference =
     match variant with
     | Without_containers ->
@@ -81,16 +81,29 @@ let t_high ?(warmup = Simtime.sec 2) ?(measure = Simtime.sec 4) variant ~low_cli
   Harness.run_for rig measure;
   Engine.Stats.Summary.mean (Sclient.response_times high)
 
-let figure ?(low_counts = [ 0; 5; 10; 15; 20; 25; 30; 35 ]) ?warmup ?measure () =
-  let curve_of variant =
+let variants = [ Without_containers; Containers_select; Containers_event_api ]
+
+let figure ?(low_counts = [ 0; 5; 10; 15; 20; 25; 30; 35 ]) ?warmup ?measure ?(jobs = 1) () =
+  (* Every (variant, count) point is an independent simulation; flatten
+     them into one array so [Sweep.map] can fan the whole grid out. *)
+  let points =
+    Array.of_list
+      (List.concat_map (fun v -> List.map (fun n -> (v, n)) low_counts) variants)
+  in
+  let ys =
+    Harness.Sweep.map ~jobs
+      (fun (v, n) -> t_high ?warmup ?measure v ~low_clients:n)
+      points
+  in
+  let per_variant = List.length low_counts in
+  let curve_of i variant =
     let curve = Engine.Series.curve (variant_name variant) in
-    List.iter
-      (fun n ->
-        let y = t_high ?warmup ?measure variant ~low_clients:n in
-        Engine.Series.add_point curve ~x:(float_of_int n) ~y)
+    List.iteri
+      (fun k n ->
+        Engine.Series.add_point curve ~x:(float_of_int n) ~y:ys.((i * per_variant) + k))
       low_counts;
     curve
   in
   Engine.Series.figure ~title:"Figure 11: T_high vs concurrent low-priority clients"
     ~x_label:"low-priority clients" ~y_label:"high-priority response time (ms)"
-    [ curve_of Without_containers; curve_of Containers_select; curve_of Containers_event_api ]
+    (List.mapi curve_of variants)

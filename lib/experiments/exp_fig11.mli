@@ -22,17 +22,22 @@ type variant = Without_containers | Containers_select | Containers_event_api
 val variant_name : variant -> string
 
 val t_high :
+  ?backend:Engine.Sim.backend ->
   ?warmup:Engine.Simtime.span ->
   ?measure:Engine.Simtime.span ->
   variant ->
   low_clients:int ->
   float
-(** Mean high-priority response time in milliseconds. *)
+(** Mean high-priority response time in milliseconds.  [backend] selects
+    the event-queue backing store (for A/B benchmarking). *)
 
 val figure :
   ?low_counts:int list ->
   ?warmup:Engine.Simtime.span ->
   ?measure:Engine.Simtime.span ->
+  ?jobs:int ->
   unit ->
   Engine.Series.figure
-(** Default sweep: 0, 5, 10, 15, 20, 25, 30, 35 low-priority clients. *)
+(** Default sweep: 0, 5, 10, 15, 20, 25, 30, 35 low-priority clients.
+    [jobs] fans the (variant × count) grid across that many domains; the
+    result is identical for any [jobs] (see {!Harness.Sweep}). *)

@@ -69,20 +69,22 @@ let run ?(static_clients = 24) ?(warmup = Simtime.sec 5) ?(measure = Simtime.sec
 
 let variants = [ Unmod; Lrp; Rc_capped 0.30; Rc_capped 0.10 ]
 
-let figures ?(cgi_counts = [ 0; 1; 2; 3; 4; 5 ]) ?warmup ?measure () =
+let figures ?(cgi_counts = [ 0; 1; 2; 3; 4; 5 ]) ?warmup ?measure ?(jobs = 1) () =
   let tput_curves = List.map (fun v -> (v, Engine.Series.curve (variant_name v))) variants in
   let share_curves = List.map (fun v -> (v, Engine.Series.curve (variant_name v))) variants in
-  List.iter
-    (fun v ->
-      List.iter
-        (fun n ->
-          let p = run ?warmup ?measure v ~concurrent_cgi:n in
-          let x = float_of_int n in
-          Engine.Series.add_point (List.assoc v tput_curves) ~x ~y:p.static_throughput;
-          Engine.Series.add_point (List.assoc v share_curves) ~x
-            ~y:(100. *. p.cgi_cpu_share))
-        cgi_counts)
-    variants;
+  let points =
+    Array.of_list (List.concat_map (fun v -> List.map (fun n -> (v, n)) cgi_counts) variants)
+  in
+  let results =
+    Harness.Sweep.map ~jobs (fun (v, n) -> run ?warmup ?measure v ~concurrent_cgi:n) points
+  in
+  Array.iteri
+    (fun i (v, n) ->
+      let p = results.(i) in
+      let x = float_of_int n in
+      Engine.Series.add_point (List.assoc v tput_curves) ~x ~y:p.static_throughput;
+      Engine.Series.add_point (List.assoc v share_curves) ~x ~y:(100. *. p.cgi_cpu_share))
+    points;
   ( Engine.Series.figure ~title:"Figure 12: static throughput with competing CGI requests"
       ~x_label:"concurrent CGI requests" ~y_label:"HTTP throughput (requests/sec)"
       (List.map snd tput_curves),

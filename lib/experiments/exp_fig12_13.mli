@@ -35,7 +35,9 @@ val figures :
   ?cgi_counts:int list ->
   ?warmup:Engine.Simtime.span ->
   ?measure:Engine.Simtime.span ->
+  ?jobs:int ->
   unit ->
   Engine.Series.figure * Engine.Series.figure
 (** (Figure 12, Figure 13) over the default sweep 0..5 concurrent CGI
-    requests, with the four systems as curves. *)
+    requests, with the four systems as curves.  [jobs] fans the grid
+    across domains (see {!Harness.Sweep}). *)

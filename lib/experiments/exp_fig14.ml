@@ -78,17 +78,27 @@ let throughput ?(good_clients = 24) ?(warmup = Simtime.sec 2) ?(measure = Simtim
   Harness.run_for rig measure;
   float_of_int (Sclient.completed good) /. Simtime.span_to_sec_f measure
 
+let variants = [ Rc_filtered; Lrp_flood; Unmod_flood ]
+
 let figure ?(rates = [ 0.; 10_000.; 20_000.; 30_000.; 40_000.; 50_000.; 60_000.; 70_000. ])
-    ?warmup ?measure () =
-  let curve_of variant =
+    ?warmup ?measure ?(jobs = 1) () =
+  let points =
+    Array.of_list (List.concat_map (fun v -> List.map (fun r -> (v, r)) rates) variants)
+  in
+  let ys =
+    Harness.Sweep.map ~jobs
+      (fun (v, rate) -> throughput ?warmup ?measure v ~syn_rate:rate)
+      points
+  in
+  let per_variant = List.length rates in
+  let curve_of i variant =
     let curve = Engine.Series.curve (variant_name variant) in
-    List.iter
-      (fun rate ->
-        let y = throughput ?warmup ?measure variant ~syn_rate:rate in
-        Engine.Series.add_point curve ~x:(rate /. 1000.) ~y)
+    List.iteri
+      (fun k rate ->
+        Engine.Series.add_point curve ~x:(rate /. 1000.) ~y:ys.((i * per_variant) + k))
       rates;
     curve
   in
   Engine.Series.figure ~title:"Figure 14: server behavior under SYN-flood attack"
     ~x_label:"SYN-flood rate (1000s of SYNs/sec)" ~y_label:"HTTP throughput (requests/sec)"
-    [ curve_of Rc_filtered; curve_of Lrp_flood; curve_of Unmod_flood ]
+    (List.mapi curve_of variants)

@@ -35,6 +35,8 @@ val figure :
   ?rates:float list ->
   ?warmup:Engine.Simtime.span ->
   ?measure:Engine.Simtime.span ->
+  ?jobs:int ->
   unit ->
   Engine.Series.figure
-(** Default sweep: 0 to 70 000 SYNs/s in 10 000 steps. *)
+(** Default sweep: 0 to 70 000 SYNs/s in 10 000 steps.  [jobs] fans the
+    grid across domains (see {!Harness.Sweep}). *)

@@ -36,20 +36,25 @@ let run ?(warmup = Simtime.sec 2) ?(measure = Simtime.sec 4) ?(persistent = fals
     p99_ms = Sclient.response_percentile load 0.99;
   }
 
-let figure ?(client_counts = [ 1; 2; 4; 8; 16; 32; 64 ]) ?warmup ?measure ?persistent system =
+let figure ?(client_counts = [ 1; 2; 4; 8; 16; 32; 64 ]) ?warmup ?measure ?persistent
+    ?(jobs = 1) system =
   let tput = Engine.Series.curve "throughput (req/s)" in
   let mean = Engine.Series.curve "mean (ms)" in
   let p50 = Engine.Series.curve "p50 (ms)" in
   let p99 = Engine.Series.curve "p99 (ms)" in
-  List.iter
-    (fun clients ->
-      let p = run ?warmup ?measure ?persistent system ~clients in
-      let x = float_of_int clients in
+  let results =
+    Harness.Sweep.map ~jobs
+      (fun clients -> run ?warmup ?measure ?persistent system ~clients)
+      (Array.of_list client_counts)
+  in
+  Array.iter
+    (fun p ->
+      let x = float_of_int p.clients in
       Engine.Series.add_point tput ~x ~y:p.throughput;
       Engine.Series.add_point mean ~x ~y:p.mean_ms;
       Engine.Series.add_point p50 ~x ~y:p.p50_ms;
       Engine.Series.add_point p99 ~x ~y:p.p99_ms)
-    client_counts;
+    results;
   Engine.Series.figure
     ~title:
       (Printf.sprintf "Extension: latency vs offered load (%s kernel, 1KB cached)"

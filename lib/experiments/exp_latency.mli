@@ -27,7 +27,9 @@ val figure :
   ?warmup:Engine.Simtime.span ->
   ?measure:Engine.Simtime.span ->
   ?persistent:bool ->
+  ?jobs:int ->
   Harness.system ->
   Engine.Series.figure
 (** Curves: throughput, mean, p50, p99 over the client sweep (default
-    1, 2, 4, 8, 16, 32, 64). *)
+    1, 2, 4, 8, 16, 32, 64).  [jobs] fans the sweep across domains (see
+    {!Harness.Sweep}). *)

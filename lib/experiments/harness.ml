@@ -27,17 +27,19 @@ let cgi_path = "/cgi/run"
 
 (* Observability plumbing: when [observe] has been called, every rig built
    afterwards gets an enabled trace log, and the most recent rig is
-   remembered so CLI drivers can export after the experiment ran. *)
-let observe_capacity = ref None
-let last = ref None
+   remembered so CLI drivers can export after the experiment ran.  Atomic
+   so rigs built inside sweep domains see the armed capacity; [last] is
+   last-writer-wins, which is only meaningful under [~jobs:1] anyway. *)
+let observe_capacity = Atomic.make None
+let last = Atomic.make None
 
-let observe ?(capacity = 65536) () = observe_capacity := Some capacity
-let observing () = !observe_capacity <> None
-let last_rig () = !last
+let observe ?(capacity = 65536) () = Atomic.set observe_capacity (Some capacity)
+let observing () = Atomic.get observe_capacity <> None
+let last_rig () = Atomic.get last
 
-let make_rig ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(limit_window = Simtime.ms 100)
+let make_rig ?backend ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(limit_window = Simtime.ms 100)
     ?server_attrs system =
-  let sim = Sim.create () in
+  let sim = Sim.create ?backend () in
   let root = Container.create_root () in
   let invariants = Engine.Invariant.create () in
   let policy =
@@ -46,7 +48,7 @@ let make_rig ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(limit_window = Simtime.ms 1
     | Rc_sys -> Sched.Multilevel.make ~window:limit_window ~invariants ~root ()
   in
   let trace =
-    match !observe_capacity with
+    match Atomic.get observe_capacity with
     | Some capacity -> Some (Engine.Tracelog.create ~enabled:true ~capacity ())
     | None -> None
   in
@@ -67,7 +69,7 @@ let make_rig ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(limit_window = Simtime.ms 1
   Httpsim.File_cache.add_document cache ~path:cgi_path ~bytes:0;
   Httpsim.File_cache.warm cache;
   let rig = { sim; root; machine; server_proc; stack; cache } in
-  last := Some rig;
+  Atomic.set last (Some rig);
   rig
 
 let write_file path contents =
@@ -97,3 +99,50 @@ let cpu_share_between rig container ~t0 ~busy0 ~subtree0 =
   let wall = Simtime.diff (Sim.now rig.sim) t0 in
   let used = Simtime.span_sub (Container.subtree_cpu container) subtree0 in
   Simtime.ratio used wall
+
+(* Parallel sweep executor.  Points are independent simulations, so the
+   only sharing between domains is the atomic id counters above; each
+   point must derive all randomness from its own seed, never from domain
+   identity or global order, so that [map ~jobs:n] is a pure function of
+   the input array — the determinism test diffs jobs=1 against jobs=4
+   byte-for-byte. *)
+module Sweep = struct
+  let recommended_jobs () = Domain.recommended_domain_count ()
+
+  let map ?(jobs = 1) f points =
+    let n = Array.length points in
+    if jobs <= 1 || n <= 1 then Array.map f points
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let worker () =
+        let rec pull () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n && Atomic.get failure = None then begin
+            (match f points.(i) with
+            | r -> results.(i) <- Some r
+            | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                (* First failure wins; later points are abandoned. *)
+                ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+            pull ()
+          end
+        in
+        pull ()
+      in
+      let domains =
+        Array.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+      in
+      worker ();
+      Array.iter Domain.join domains;
+      (match Atomic.get failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.map
+        (function
+          | Some r -> r
+          | None -> invalid_arg "Sweep.map: missing result (worker died?)")
+        results
+    end
+end

@@ -27,6 +27,7 @@ type rig = {
 }
 
 val make_rig :
+  ?backend:Engine.Sim.backend ->
   ?cpus:int ->
   ?quantum:Engine.Simtime.span ->
   ?limit_window:Engine.Simtime.span ->
@@ -37,7 +38,8 @@ val make_rig :
     warm) and a few other documents.  [server_attrs] sets the server
     process's default container attributes (default: fixed-share class
     with share 0 — i.e. a node that may own child containers but competes
-    via the timeshare residual; see {!Sched.Multilevel}). *)
+    via the timeshare residual; see {!Sched.Multilevel}).  [backend]
+    selects the event-queue backing store (default: the timer wheel). *)
 
 val run_for : rig -> Engine.Simtime.span -> unit
 (** Advance the simulation by a span. *)
@@ -79,3 +81,23 @@ val last_rig : unit -> rig option
 val export : ?trace_out:string -> ?metrics_out:string -> rig -> unit
 (** Write the rig's trace as JSON lines to [trace_out] and a metrics
     snapshot as JSON to [metrics_out] (each omitted: not written). *)
+
+(** {1 Parallel sweeps}
+
+    Independent experiment points (client counts × seeds × stack modes)
+    fanned across domains.  Results come back in input order regardless of
+    [jobs], and every point derives its randomness from its own seed —
+    never from domain identity — so the output is a pure function of the
+    input array.  [map ~jobs:4] and [map ~jobs:1] produce identical
+    results (checked byte-for-byte by the determinism test). *)
+module Sweep : sig
+  val recommended_jobs : unit -> int
+  (** [Domain.recommended_domain_count ()]. *)
+
+  val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+  (** [map ~jobs f points] applies [f] to every point, running up to
+      [jobs] domains in parallel (default 1 = fully sequential, no domain
+      spawned).  The result array is in input order.  If any point raises,
+      the first failure is re-raised after in-flight points finish and the
+      remaining points are abandoned. *)
+end

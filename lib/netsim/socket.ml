@@ -44,15 +44,16 @@ let null_handlers =
     on_closed = (fun _ -> ());
   }
 
-let next_listen_id = ref 0
-let next_conn_id = ref 0
+(* Atomic for parallel sweep domains; ids are identity-only, never ordered
+   across rigs. *)
+let next_listen_id = Atomic.make 0
+let next_conn_id = Atomic.make 0
 
 let make_listen ?(filter = Filter.any) ?(backlog = 128) ?(syn_backlog = 1024) ?container ~port
     () =
   if backlog <= 0 || syn_backlog <= 0 then invalid_arg "Socket.make_listen: empty backlog";
-  incr next_listen_id;
   {
-    listen_id = !next_listen_id;
+    listen_id = Atomic.fetch_and_add next_listen_id 1 + 1;
     port;
     filter;
     listen_container = container;
@@ -65,9 +66,8 @@ let make_listen ?(filter = Filter.any) ?(backlog = 128) ?(syn_backlog = 1024) ?c
   }
 
 let make_conn ~src ~src_port ~client ~now =
-  incr next_conn_id;
   {
-    conn_id = !next_conn_id;
+    conn_id = Atomic.fetch_and_add next_conn_id 1 + 1;
     src;
     src_port;
     state = Syn_rcvd;

@@ -11,11 +11,12 @@ type t = {
   container_parent : Container.t;
 }
 
-let next_pid = ref 0
+(* Atomic for parallel sweep domains; behaviour must not depend on the
+   absolute pid, only on per-machine creation order. *)
+let next_pid = Atomic.make 0
 
 let make machine ~container_parent ~container_attrs ~descriptors ~name =
-  incr next_pid;
-  let pid = !next_pid in
+  let pid = Atomic.fetch_and_add next_pid 1 + 1 in
   let default_container =
     Container.create
       ~name:(Printf.sprintf "proc-%s-%d" name pid)

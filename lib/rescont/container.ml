@@ -22,17 +22,19 @@ type t = {
   root : bool;
 }
 
-let next_id = ref 0
-
-let fresh_id () =
-  incr next_id;
-  !next_id
+(* Id allocation is atomic so parallel sweep domains can build rigs
+   concurrently.  No behaviour may depend on absolute id values — only on
+   creation order within one rig — which the determinism tests check. *)
+let next_id = Atomic.make 0
+let fresh_id () = Atomic.fetch_and_add next_id 1 + 1
 
 (* Bumped whenever a parent link of an existing container changes (detach,
    re-parent, destroy).  Schedulers cache per-subtree aggregates keyed on
-   this counter and rebuild them only when the tree actually moved. *)
-let topology_gen = ref 0
-let topology_generation () = !topology_gen
+   this counter and rebuild them only when the tree actually moved.  A
+   cross-domain bump only forces a spurious rebuild, never a stale read
+   within the bumping domain. *)
+let topology_gen = Atomic.make 0
+let topology_generation () = Atomic.get topology_gen
 
 let id t = t.id
 let name t = t.name
@@ -154,7 +156,7 @@ let detach t =
       p.children_rev <- List.filter (fun c -> c.id <> t.id) p.children_rev;
       p.children_dirty <- true;
       t.parent <- None;
-      incr topology_gen;
+      Atomic.incr topology_gen;
       invalidate_subtree t
 
 let is_ancestor ~candidate t =
@@ -180,7 +182,7 @@ let set_parent t new_parent =
       check_can_adopt p (share_of t);
       add_child p t;
       t.parent <- Some p;
-      incr topology_gen;
+      Atomic.incr topology_gen;
       invalidate_subtree t
 
 let set_attrs t attrs =
@@ -275,7 +277,7 @@ let destroy t =
     t.children_rev <- [];
     t.children_fwd <- [];
     t.children_dirty <- false;
-    incr topology_gen;
+    Atomic.incr topology_gen;
     detach t;
     t.destroyed <- true;
     (* Teardown notifications (kernel modules drop per-container state —

@@ -10,11 +10,13 @@ let () =
 
 (* Under armed invariants a refund that exceeds the balance is a hard
    accounting error; otherwise it saturates at zero, matching what a
-   defensive kernel counter would do. *)
-let strict_memory = ref false
+   defensive kernel counter would do.  The flag is domain-local so a fuzz
+   run arming invariants inside one sweep domain cannot change the
+   semantics of rigs running concurrently in other domains. *)
+let strict_memory = Domain.DLS.new_key (fun () -> false)
 
-let set_strict_memory on = strict_memory := on
-let strict_memory_enabled () = !strict_memory
+let set_strict_memory on = Domain.DLS.set strict_memory on
+let strict_memory_enabled () = Domain.DLS.get strict_memory
 
 type t = {
   mutable cpu_user : Simtime.span;
@@ -60,7 +62,7 @@ let charge_tx t ~packets ~bytes =
 let charge_memory t delta =
   let balance = t.memory_bytes + delta in
   if balance < 0 then
-    if !strict_memory then raise (Negative_memory { have = t.memory_bytes; delta })
+    if strict_memory_enabled () then raise (Negative_memory { have = t.memory_bytes; delta })
     else t.memory_bytes <- 0
   else t.memory_bytes <- balance
 

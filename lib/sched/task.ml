@@ -1,10 +1,11 @@
 type t = { id : int; name : string; binding : Rescont.Binding.t; kernel : bool }
 
-let next_id = ref 0
+(* Atomic so parallel sweep domains can create tasks concurrently; nothing
+   may depend on absolute id values, only on per-rig creation order. *)
+let next_id = Atomic.make 0
 
 let create ?(kernel = false) ~name binding =
-  incr next_id;
-  { id = !next_id; name; binding; kernel }
+  { id = Atomic.fetch_and_add next_id 1 + 1; name; binding; kernel }
 
 let container t = Rescont.Binding.resource_binding t.binding
 let scheduler_containers t = Rescont.Binding.scheduler_binding t.binding

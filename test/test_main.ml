@@ -5,6 +5,7 @@ let () =
     [
       ("simtime", Test_simtime.suite);
       ("heapq", Test_heapq.suite);
+      ("timer_wheel", Test_timer_wheel.suite);
       ("rng+dist", Test_rng_dist.suite);
       ("stats", Test_stats.suite);
       ("series", Test_series.suite);
@@ -21,6 +22,7 @@ let () =
       ("workload", Test_workload.suite);
       ("invariant", Test_invariant.suite);
       ("fuzz", Test_fuzz.suite);
+      ("sweep", Test_sweep.suite);
       ("observability", Test_observability.suite);
       ("integration", Test_integration.suite);
     ]

@@ -1,0 +1,57 @@
+(* Tests for the parallel sweep executor: input-order results, exception
+   propagation, and the headline guarantee — a sweep's JSON report is
+   byte-identical whether it ran on one domain or four. *)
+
+module Sweep = Experiments.Harness.Sweep
+module Exp_sweep = Experiments.Exp_sweep
+module Simtime = Engine.Simtime
+
+let test_map_order () =
+  let points = Array.init 20 (fun i -> i) in
+  let expect = Array.map (fun i -> i * i) points in
+  List.iter
+    (fun jobs ->
+      let got = Sweep.map ~jobs (fun i -> i * i) points in
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d preserves order" jobs)
+        expect got)
+    [ 1; 2; 4; 7 ]
+
+let test_map_empty_and_single () =
+  Alcotest.(check (array int)) "empty" [||] (Sweep.map ~jobs:4 (fun i -> i) [||]);
+  Alcotest.(check (array int)) "single" [| 3 |] (Sweep.map ~jobs:4 (fun i -> i + 1) [| 2 |])
+
+exception Boom of int
+
+let test_map_exception () =
+  let raised =
+    try
+      ignore (Sweep.map ~jobs:3 (fun i -> if i = 5 then raise (Boom i) else i) (Array.init 8 Fun.id));
+      None
+    with Boom i -> Some i
+  in
+  Alcotest.(check (option int)) "failure propagates" (Some 5) raised
+
+let test_recommended_jobs () =
+  Alcotest.(check bool) "at least one core" true (Sweep.recommended_jobs () >= 1)
+
+(* The determinism guarantee, end to end: the same miniature sweep run
+   serially and run across four domains must render to the same bytes.
+   This is what makes --jobs safe to default on for result generation. *)
+let test_jobs_determinism () =
+  let points = Exp_sweep.grid ~client_counts:[ 2 ] ~seeds:[ 1 ] () in
+  let warmup = Simtime.ms 100 and measure = Simtime.ms 400 in
+  let run jobs = Exp_sweep.report_string (Exp_sweep.run_grid ~warmup ~measure ~jobs points) in
+  let serial = run 1 in
+  let parallel = run 4 in
+  Alcotest.(check string) "jobs=4 report == jobs=1 report" serial parallel;
+  Alcotest.(check bool) "report is non-trivial" true (String.length serial > 100)
+
+let suite =
+  [
+    Alcotest.test_case "map preserves input order" `Quick test_map_order;
+    Alcotest.test_case "map edge cases" `Quick test_map_empty_and_single;
+    Alcotest.test_case "map propagates exceptions" `Quick test_map_exception;
+    Alcotest.test_case "recommended jobs" `Quick test_recommended_jobs;
+    Alcotest.test_case "jobs=4 equals jobs=1 byte-for-byte" `Quick test_jobs_determinism;
+  ]
