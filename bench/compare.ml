@@ -1,7 +1,7 @@
 (* Compare two BENCH_*.json documents produced by [main.exe --json].
 
    Usage: compare.exe BASELINE.json CURRENT.json [--threshold F]
-            [--alloc-threshold F]
+            [--alloc-threshold F] [--alloc-floor F]
 
    CURRENT may be "-" to read from stdin (used by the @bench-check alias,
    which pipes a fresh --json run against the committed baseline).
@@ -21,7 +21,12 @@
    deterministic counts, not wall-clock samples, so they get their own
    much tighter gate: --alloc-threshold, default 0.10 — a 10% allocation
    growth on a hot path is a real regression even when the clock cannot
-   see it.  Exit status is non-zero if any shared metric regresses.
+   see it.  A relative gate alone misfires on metrics that are already
+   (amortised) zero — e.g. 0.09 -> 0.14 mw/op is a 1.5x "growth" that is
+   really quantisation noise from amortised table doubling spread over a
+   batch — so an allocation regression must also clear --alloc-floor
+   (default 1.0): the absolute growth must be at least one word per
+   operation.  Exit status is non-zero if any shared metric regresses.
    Metrics present on only one side are reported but never fail the
    check, so the baseline does not have to be regenerated in lockstep
    with benchmark additions. *)
@@ -202,6 +207,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let threshold = ref 0.75 in
   let alloc_threshold = ref 0.10 in
+  let alloc_floor = ref 1.0 in
   let files = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -214,6 +220,11 @@ let () =
         (match float_of_string_opt v with
         | Some f when f >= 0. -> alloc_threshold := f
         | _ -> prerr_endline "compare: --alloc-threshold expects a non-negative float"; exit 2);
+        parse_args rest
+    | "--alloc-floor" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f >= 0. -> alloc_floor := f
+        | _ -> prerr_endline "compare: --alloc-floor expects a non-negative float"; exit 2);
         parse_args rest
     | arg :: rest ->
         files := arg :: !files;
@@ -233,10 +244,12 @@ let () =
           match List.assoc_opt name cur with
           | None -> Printf.printf "  [only-baseline] %s\n" name
           | Some (cv, _) ->
-              let t = if unit_ = "mw/op" then !alloc_threshold else !threshold in
+              let is_alloc = unit_ = "mw/op" in
+              let t = if is_alloc then !alloc_threshold else !threshold in
               let ratio = if bv > 0. then cv /. bv else Float.infinity in
+              let above_floor = (not is_alloc) || cv -. bv >= !alloc_floor in
               let verdict =
-                if cv > bv *. (1. +. t) then begin
+                if cv > bv *. (1. +. t) && above_floor then begin
                   incr regressions;
                   "REGRESSED"
                 end
@@ -257,5 +270,5 @@ let () =
       else print_endline "no regressions"
   | _ ->
       prerr_endline
-        "usage: compare.exe BASELINE.json CURRENT.json [--threshold F] [--alloc-threshold F]";
+        "usage: compare.exe BASELINE.json CURRENT.json [--threshold F] [--alloc-threshold F] [--alloc-floor F]";
       exit 2

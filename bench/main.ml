@@ -284,6 +284,107 @@ let sim_tests () =
 
 let sim_cfg () = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ()
 
+(* {1 Part 1d: packet-path micro-benchmarks}
+
+   The per-SYN demultiplex against both implementations — the port-indexed
+   specificity-sorted table on the packet path and the fold over every
+   listen socket that serves as its executable specification — at 10 and
+   100 listen sockets with overlapping filters, plus churn on the
+   slot-indexed connection registry against the list representation it
+   replaced.  These keep the O(1)-packet-path claims measured. *)
+
+let make_demux_stack n =
+  let sim = Engine.Sim.create () in
+  let root = Container.create_root () in
+  let policy = Sched.Timeshare.make () in
+  let machine = Procsim.Machine.create ~sim ~policy ~root () in
+  let proc = Procsim.Process.create machine ~name:"bench" () in
+  let stack =
+    Netsim.Stack.create ~machine ~mode:Netsim.Stack.Softirq
+      ~owner:(Procsim.Process.default_container proc) ()
+  in
+  for i = 0 to n - 1 do
+    (* Overlapping prefixes of several widths plus hosts and a catch-all,
+       spread over two ports, so lookups exercise the specificity order
+       and the tie-breaks rather than a single lucky first hit. *)
+    let filter =
+      match i mod 4 with
+      | 0 -> Netsim.Filter.any
+      | 1 -> Netsim.Filter.prefix ~template:(Netsim.Ipaddr.v 10 (i mod 8) 0 0) ~bits:16
+      | 2 -> Netsim.Filter.prefix ~template:(Netsim.Ipaddr.v 10 (i mod 8) (i mod 32) 0) ~bits:24
+      | _ -> Netsim.Filter.host (Netsim.Ipaddr.v 10 (i mod 8) (i mod 32) 7)
+    in
+    Netsim.Stack.add_listen stack
+      (Netsim.Socket.make_listen ~port:(80 + (i mod 2)) ~filter ())
+  done;
+  stack
+
+let bench_demux ~listens ~table =
+  let stack = make_demux_stack listens in
+  let srcs = Array.init 64 (fun i -> Netsim.Ipaddr.v 10 (i mod 8) (i mod 32) 7) in
+  let lookup =
+    if table then Netsim.Stack.demux_lookup else Netsim.Stack.demux_reference
+  in
+  let k = ref 0 in
+  Test.make
+    ~name:(Printf.sprintf "syn demux, %d listens, %s" listens
+             (if table then "port table" else "reference fold"))
+    (Staged.stage (fun () ->
+         k := (!k + 1) land 63;
+         ignore (lookup stack ~port:80 ~src:srcs.(!k))))
+
+let churn_conns () =
+  Array.init 128 (fun i ->
+      Netsim.Socket.make_conn
+        ~src:(Netsim.Ipaddr.v 10 3 (i / 256) (i mod 256))
+        ~src_port:0 ~client:Netsim.Socket.null_handlers ~now:Simtime.zero)
+
+(* One close+accept at a standing population: untrack one connection and
+   track it again. *)
+let bench_conn_table_churn =
+  let conns = churn_conns () in
+  let t = Netsim.Conn_table.create () in
+  Array.iter (fun c -> Netsim.Conn_table.add t c) conns;
+  let k = ref 0 in
+  Test.make ~name:"conn registry churn, 128 standing, slot table"
+    (Staged.stage (fun () ->
+         k := (!k + 1) land 127;
+         ignore (Netsim.Conn_table.remove t conns.(!k));
+         Netsim.Conn_table.add t conns.(!k)))
+
+let bench_conn_list_churn =
+  let conns = churn_conns () in
+  let live = ref (Array.to_list conns) in
+  let k = ref 0 in
+  Test.make ~name:"conn registry churn, 128 standing, list reference"
+    (Staged.stage (fun () ->
+         k := (!k + 1) land 127;
+         let c = conns.(!k) in
+         live := c :: List.filter (fun c' -> c' != c) !live))
+
+let netsim_tests () =
+  [
+    bench_demux ~listens:10 ~table:true;
+    bench_demux ~listens:10 ~table:false;
+    bench_demux ~listens:100 ~table:true;
+    bench_demux ~listens:100 ~table:false;
+    bench_conn_table_churn;
+    bench_conn_list_churn;
+  ]
+
+let run_netsim_microbench () =
+  let estimates = ols_estimates2 ~group:"netsim" ~cfg:(sim_cfg ()) (netsim_tests ()) in
+  let table =
+    Engine.Series.table ~title:"Packet-path cost: demux table and connection registry"
+      ~columns:[ "workload"; "ns per op"; "minor words per op" ]
+  in
+  List.iter
+    (fun (name, ns, mw) ->
+      let fmt = function Some v -> Printf.sprintf "%.0f" v | None -> "-" in
+      Engine.Series.add_row table [ name; fmt ns; fmt mw ])
+    estimates;
+  Format.printf "%a@." Engine.Series.pp_table table
+
 let run_sim_microbench () =
   let estimates = ols_estimates2 ~group:"sim" ~cfg:(sim_cfg ()) (sim_tests ()) in
   let table =
@@ -353,6 +454,11 @@ let run_json ~fast ~label =
     ols_estimates2 ~group:"sim"
       ~cfg:(Benchmark.cfg ~limit:1000 ~quota:(Time.second (scale 0.25)) ())
       (sim_tests ())
+  in
+  let netsim =
+    ols_estimates2 ~group:"netsim"
+      ~cfg:(Benchmark.cfg ~limit:1000 ~quota:(Time.second (scale 0.25)) ())
+      (netsim_tests ())
   in
   (* End-to-end cost: host seconds needed to simulate one second of the
      Figure-11 rig (event API, 1 high + 20 low clients).  Normalising by
@@ -432,13 +538,13 @@ let run_json ~fast ~label =
     @ List.filter_map
         (fun (name, ns, _) ->
           Option.map (fun v -> { m_name = name; m_unit = "ns/op"; m_value = v }) ns)
-        sim
+        (sim @ netsim)
     @ List.filter_map
         (fun (name, _, mw) ->
           Option.map
             (fun v -> { m_name = "gc.minor_words_per_op/" ^ name; m_unit = "mw/op"; m_value = v })
             mw)
-        sim
+        (sim @ netsim)
     @ [
         {
           m_name = "fig11/wall-clock per simulated second, event api, 20 low clients";
@@ -543,6 +649,7 @@ let () =
      run_table1_microbench ();
      run_sched_microbench ();
      run_sim_microbench ();
+     run_netsim_microbench ();
      Format.printf "@.=== Part 2: reproduction of the paper's evaluation (simulated) ===@.";
      run_experiments ~fast
    end);

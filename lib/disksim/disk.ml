@@ -78,15 +78,14 @@ let rec start_next t =
             t.tick <- t.tick + 1;
             Hashtbl.replace t.served_stamp (Container.id container) t.tick;
             let span = service_time t ~bytes:request.bytes in
-            ignore
-              (Sim.after (Machine.sim t.machine) span (fun () ->
+            Sim.post (Machine.sim t.machine) span (fun () ->
                    t.in_service <- false;
                    t.depth <- t.depth - 1;
                    t.busy_ns <- t.busy_ns + Simtime.span_to_ns span;
                    t.completed <- t.completed + 1;
                    Container.charge_disk container ~bytes:request.bytes span;
                    request.completion ();
-                   start_next t)))
+                   start_next t))
 
 let submit t ~container ~bytes completion =
   if bytes < 0 then invalid_arg "Disk.submit: negative size";

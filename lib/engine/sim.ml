@@ -4,19 +4,32 @@
    tested executable specification and for A/B benchmarking.  Both
    extract in (timestamp, insertion-order) order, so a run's event
    sequence is identical under either backend — test_timer_wheel checks
-   exactly that. *)
+   exactly that.
+
+   An event is represented as thinly as possible: a one-shot event IS its
+   queue handle behind a one-word constructor (both backends tolerate a
+   cancel after extraction and report it as [false]), so [at]/[after] add
+   two words over the queue node itself.  Only [every] — one record per
+   periodic SERIES, not per tick — needs the extra indirection of a
+   mutable cell, because the heap backend re-inserts under a fresh handle
+   each period. *)
 
 type backend = Heap | Wheel
 
 let backend_name = function Heap -> "heap" | Wheel -> "wheel"
 
 type queue = Q_heap of (unit -> unit) Heapq.t | Q_wheel of (unit -> unit) Timer_wheel.t
-type handle = H_heap of Heapq.handle | H_wheel of Timer_wheel.handle
 
 type t = { mutable clock : Simtime.t; queue : queue }
 
-type event_body = { mutable cancelled : bool; mutable handle : handle option }
-type event = event_body
+type shandle = S_heap of Heapq.handle | S_wheel of (unit -> unit) Timer_wheel.handle
+
+type series = { mutable cancelled : bool; mutable shandle : shandle option }
+
+type event =
+  | Ev_heap of Heapq.handle
+  | Ev_wheel of (unit -> unit) Timer_wheel.handle
+  | Ev_series of series
 
 let default_backend = Wheel
 
@@ -29,33 +42,58 @@ let create ?(backend = default_backend) () =
 let backend t = match t.queue with Q_heap _ -> Heap | Q_wheel _ -> Wheel
 let now t = t.clock
 
-let insert t ~prio f =
-  match t.queue with
-  | Q_heap q -> H_heap (Heapq.insert q ~prio f)
-  | Q_wheel w -> H_wheel (Timer_wheel.insert w ~prio f)
-
-let at t time f =
+let check_time t time =
   if Simtime.(time < t.clock) then
     invalid_arg
-      (Format.asprintf "Sim.at: %a is before current time %a" Simtime.pp time Simtime.pp t.clock);
-  let body = { cancelled = false; handle = None } in
-  body.handle <- Some (insert t ~prio:(Simtime.to_ns time) f);
-  body
+      (Format.asprintf "Sim.at: %a is before current time %a" Simtime.pp time Simtime.pp t.clock)
+
+let at t time f =
+  check_time t time;
+  match t.queue with
+  | Q_heap q -> Ev_heap (Heapq.insert q ~prio:(Simtime.to_ns time) f)
+  | Q_wheel w -> Ev_wheel (Timer_wheel.insert w ~prio:(Simtime.to_ns time) f)
 
 let after t span f =
   let span = Simtime.span_max span Simtime.span_zero in
   at t (Simtime.add t.clock span) f
 
+(* Fire-and-forget scheduling: most events in a run — scheduler kicks,
+   packet deliveries, think-time wakeups — are never cancelled, so
+   returning a cancellable handle for them is pure overhead.  [post] lets
+   the wheel backend recycle the queue node through its free list, making
+   these events allocation-free in steady state. *)
+let post_at t time f =
+  check_time t time;
+  match t.queue with
+  | Q_heap q -> ignore (Heapq.insert q ~prio:(Simtime.to_ns time) f)
+  | Q_wheel w -> Timer_wheel.insert_pooled w ~prio:(Simtime.to_ns time) f
+
+let post t span f =
+  let span = Simtime.span_max span Simtime.span_zero in
+  post_at t (Simtime.add t.clock span) f
+
+let cancel_shandle t h =
+  match (h, t.queue) with
+  | S_heap h, Q_heap q -> Heapq.cancel q h
+  | S_wheel h, Q_wheel w -> Timer_wheel.cancel w h
+  | _, _ -> invalid_arg "Sim.cancel: event belongs to a different backend"
+
 let cancel t event =
-  if event.cancelled then false
-  else begin
-    event.cancelled <- true;
-    match (event.handle, t.queue) with
-    | None, _ -> false
-    | Some (H_heap h), Q_heap q -> Heapq.cancel q h
-    | Some (H_wheel h), Q_wheel w -> Timer_wheel.cancel w h
-    | Some _, _ -> invalid_arg "Sim.cancel: event belongs to a different backend"
-  end
+  match event with
+  | Ev_heap h -> (
+      match t.queue with
+      | Q_heap q -> Heapq.cancel q h
+      | Q_wheel _ -> invalid_arg "Sim.cancel: event belongs to a different backend")
+  | Ev_wheel h -> (
+      match t.queue with
+      | Q_wheel w -> Timer_wheel.cancel w h
+      | Q_heap _ -> invalid_arg "Sim.cancel: event belongs to a different backend")
+  | Ev_series s ->
+      if s.cancelled then false
+      else begin
+        s.cancelled <- true;
+        match s.shandle with None -> false | Some h -> cancel_shandle t h
+      end
 
 let pending t =
   match t.queue with Q_heap q -> Heapq.length q | Q_wheel w -> Timer_wheel.length w
@@ -100,20 +138,40 @@ let run_until t horizon =
 
 let run t = while step t do () done
 
-(* One closure and one event body serve the whole periodic series: each
-   tick re-inserts the same [tick] closure, so a long-lived periodic
-   timer (a scheduler quantum, an invariant sweep) allocates only its
-   backend queue node per period instead of rebuilding a closure chain. *)
+(* One closure and one series record serve the whole periodic series.  On
+   the wheel backend the series also owns a single queue node: each tick
+   [Timer_wheel.rearm]s the node it just fired from, so steady-state
+   periodic timers (a scheduler quantum, an invariant sweep) allocate
+   nothing at all per period.  The handle never changes across re-arms,
+   so [cancel] keeps working on whichever incarnation is queued.  A
+   re-arm lands at the same bucket position a fresh insert would, so the
+   heap backend (which re-inserts) fires an identical event sequence. *)
 let every t period f =
   if not (Simtime.span_is_positive period) then invalid_arg "Sim.every: period must be positive";
-  let body = { cancelled = false; handle = None } in
-  let rec tick () =
-    if not body.cancelled then begin
-      f ();
-      if not body.cancelled then arm ()
-    end
-  and arm () =
-    body.handle <- Some (insert t ~prio:(Simtime.to_ns (Simtime.add t.clock period)) tick)
-  in
-  arm ();
-  body
+  let body = { cancelled = false; shandle = None } in
+  (match t.queue with
+  | Q_wheel w ->
+      let tick () =
+        if not body.cancelled then begin
+          f ();
+          if not body.cancelled then
+            match body.shandle with
+            | Some (S_wheel h) ->
+                Timer_wheel.rearm w h ~prio:(Simtime.to_ns (Simtime.add t.clock period))
+            | Some (S_heap _) | None -> assert false
+        end
+      in
+      body.shandle <-
+        Some (S_wheel (Timer_wheel.insert w ~prio:(Simtime.to_ns (Simtime.add t.clock period)) tick))
+  | Q_heap q ->
+      let rec tick () =
+        if not body.cancelled then begin
+          f ();
+          if not body.cancelled then arm ()
+        end
+      and arm () =
+        body.shandle <-
+          Some (S_heap (Heapq.insert q ~prio:(Simtime.to_ns (Simtime.add t.clock period)) tick))
+      in
+      arm ());
+  Ev_series body

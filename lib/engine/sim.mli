@@ -37,6 +37,18 @@ val after : t -> Simtime.span -> (unit -> unit) -> event
     span schedules for the current instant (fires after the running event
     completes). *)
 
+val post_at : t -> Simtime.t -> (unit -> unit) -> unit
+(** [at] without the handle: the event cannot be cancelled, and in
+    exchange the wheel backend recycles its queue node when the event
+    fires, so fire-and-forget scheduling allocates nothing in steady
+    state.  Fires in exactly the position an [at] at the same instant
+    would.
+    @raise Invalid_argument if [time] is in the past. *)
+
+val post : t -> Simtime.span -> (unit -> unit) -> unit
+(** [post sim span f] is [post_at sim (add (now sim) span) f], clamping
+    non-positive spans to the current instant like {!after}. *)
+
 val cancel : t -> event -> bool
 (** Cancel a pending event; [false] if it already fired or was cancelled. *)
 

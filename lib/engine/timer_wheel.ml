@@ -21,18 +21,26 @@
    Buckets are circular doubly-linked lists through a per-slot sentinel,
    which makes cancellation a true O(1) unlink — no dead nodes, no
    compaction, and a cancel-heavy workload (TCP timers under SYN flood)
-   releases its payloads immediately. *)
+   releases its payloads immediately.
+
+   Each level also keeps a 64-bit occupancy bitmap (two 32-bit halves,
+   since the OCaml int has 63 value bits) with one bit per non-empty
+   bucket.  Extraction finds the next busy slot with a find-first-set
+   instead of walking up to 64 empty sentinels — this is what closes the
+   wheel-vs-heap gap on sparse periodic workloads, where a lone timer
+   used to pay a full-window scan per tick. *)
 
 type 'a node = {
-  prio : int;
-  value : 'a;
+  mutable prio : int; (* mutable so [rearm] can reuse the node *)
+  mutable value : 'a; (* mutable so pooled nodes can be recycled *)
+  pooled : bool; (* no handle outside the wheel: free-list it after the pop *)
   mutable lvl : int; (* current level, for the per-level count *)
   mutable queued : bool;
   mutable prev : 'a node;
   mutable next : 'a node;
 }
 
-type handle = H : 'a node -> handle
+type 'a handle = 'a node
 
 let bits = 6
 let slot_count = 64
@@ -41,22 +49,43 @@ let levels = 11 (* 11 * 6 = 66 bits >= the 62 of max_int *)
 type 'a t = {
   slots : 'a node array array; (* [levels][slot_count] sentinels *)
   counts : int array; (* queued nodes per level *)
+  occ : int array; (* [levels*2] occupancy: slots 0-31 at [2l], 32-63 at [2l+1] *)
   mutable live : int;
   mutable cur : int; (* lower bound on every queued priority *)
+  nil : 'a node; (* dummy marking [solo] as absent *)
+  mutable solo : 'a node; (* when [live = 1]: the queued node, held OUT of the buckets *)
+  mutable free : 'a node; (* free list of recyclable pooled nodes, chained by [next] *)
 }
+
+(* Solo fast lane: while exactly one node is queued it lives in [solo]
+   and in no bucket (lvl = -2, counts and occupancy untouched), so the
+   pop/re-arm cycle of a lone periodic timer — the steady state of a
+   scheduler quantum or sweep timer — is a handful of stores, no digit
+   arithmetic, no sentinel traffic.  A second insert first demotes the
+   solo node into its proper bucket (its priority is >= cur, so [place]
+   is valid), preserving FIFO order for equal priorities because the
+   earlier node is placed first. *)
 
 (* The sentinel's [value] is never read; the immediate 0 keeps the slot
    array from pinning popped payloads. *)
 let make_sentinel () : 'a node =
-  let rec s = { prio = min_int; value = Obj.magic 0; lvl = -1; queued = false; prev = s; next = s } in
+  let rec s =
+    { prio = min_int; value = Obj.magic 0; pooled = false; lvl = -1; queued = false;
+      prev = s; next = s }
+  in
   s
 
 let create () =
+  let nil = make_sentinel () in
   {
     slots = Array.init levels (fun _ -> Array.init slot_count (fun _ -> make_sentinel ()));
     counts = Array.make levels 0;
+    occ = Array.make (levels * 2) 0;
     live = 0;
     cur = 0;
+    nil;
+    solo = nil;
+    free = nil;
   }
 
 let length t = t.live
@@ -76,6 +105,39 @@ let unlink node =
   node.prev <- node;
   node.next <- node
 
+(* {2 Occupancy bitmaps} *)
+
+let occ_set t lvl slot =
+  let i = (lvl lsl 1) + (slot lsr 5) in
+  t.occ.(i) <- t.occ.(i) lor (1 lsl (slot land 31))
+
+let occ_clear t lvl slot =
+  let i = (lvl lsl 1) + (slot lsr 5) in
+  t.occ.(i) <- t.occ.(i) land lnot (1 lsl (slot land 31))
+
+(* Index of the lowest set bit of a non-zero 32-bit word, by de Bruijn
+   multiplication (Leiserson/Prokop/Randall). *)
+let debruijn_table =
+  [| 0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8;
+     31; 27; 13; 23; 21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9 |]
+
+let ntz32 x = debruijn_table.(((x land -x) * 0x077CB531 land 0xFFFFFFFF) lsr 27)
+
+(* Smallest occupied slot [>= from] at [lvl], or [slot_count] if none. *)
+let first_occupied t lvl ~from =
+  if from >= slot_count then slot_count
+  else begin
+    let hi = t.occ.((lvl lsl 1) + 1) in
+    if from < 32 then begin
+      let lo = t.occ.(lvl lsl 1) land lnot ((1 lsl from) - 1) in
+      if lo <> 0 then ntz32 lo else if hi <> 0 then 32 + ntz32 hi else slot_count
+    end
+    else begin
+      let hi = hi land lnot ((1 lsl (from - 32)) - 1) in
+      if hi <> 0 then 32 + ntz32 hi else slot_count
+    end
+  end
+
 let rec level_of_diff l d = if d < slot_count then l else level_of_diff (l + 1) (d lsr bits)
 
 let place t node =
@@ -83,22 +145,93 @@ let place t node =
   let slot = (node.prio lsr (bits * lvl)) land (slot_count - 1) in
   node.lvl <- lvl;
   append t.slots.(lvl).(slot) node;
+  occ_set t lvl slot;
   t.counts.(lvl) <- t.counts.(lvl) + 1
+
+(* Unlink a queued node and keep counts and occupancy honest; the slot is
+   recomputed from the node's own (prio, lvl), which [unlink] preserves. *)
+let remove t node =
+  let lvl = node.lvl in
+  let slot = (node.prio lsr (bits * lvl)) land (slot_count - 1) in
+  unlink node;
+  t.counts.(lvl) <- t.counts.(lvl) - 1;
+  let sentinel = t.slots.(lvl).(slot) in
+  if sentinel.next == sentinel then occ_clear t lvl slot
+
+let enqueue_node t node =
+  if t.live = 0 then begin
+    node.lvl <- -2;
+    t.solo <- node
+  end
+  else begin
+    if t.solo != t.nil then begin
+      place t t.solo;
+      t.solo <- t.nil
+    end;
+    place t node
+  end;
+  t.live <- t.live + 1
 
 let insert t ~prio value =
   if prio < t.cur then
     invalid_arg
       (Printf.sprintf "Timer_wheel.insert: priority %d below lower bound %d" prio t.cur);
-  let rec node = { prio; value; lvl = 0; queued = true; prev = node; next = node } in
-  place t node;
-  t.live <- t.live + 1;
-  H node
+  let rec node =
+    { prio; value; pooled = false; lvl = 0; queued = true; prev = node; next = node }
+  in
+  enqueue_node t node;
+  node
 
-let cancel t (H node) =
+let rearm t node ~prio =
+  if node.queued then invalid_arg "Timer_wheel.rearm: node is still queued";
+  if prio < t.cur then
+    invalid_arg
+      (Printf.sprintf "Timer_wheel.rearm: priority %d below lower bound %d" prio t.cur);
+  node.prio <- prio;
+  node.queued <- true;
+  enqueue_node t node
+
+(* Fire-and-forget insertion: the node never escapes the wheel, so there
+   is nothing to cancel and the node can be recycled through the free list
+   the moment it is popped.  This is what makes the simulator's internal
+   one-shot events (scheduler kicks, packet delivery, think-time wakeups —
+   the bulk of all events) allocation-free in steady state. *)
+let insert_pooled t ~prio value =
+  if prio < t.cur then
+    invalid_arg
+      (Printf.sprintf "Timer_wheel.insert_pooled: priority %d below lower bound %d" prio t.cur);
+  let node =
+    if t.free != t.nil then begin
+      let node = t.free in
+      t.free <- node.next;
+      node.prev <- node;
+      node.next <- node;
+      node.prio <- prio;
+      node.value <- value;
+      node.queued <- true;
+      node
+    end
+    else
+      let rec node =
+        { prio; value; pooled = true; lvl = 0; queued = true; prev = node; next = node }
+      in
+      node
+  in
+  enqueue_node t node
+
+(* Popped pooled nodes go back on the free list; the value is dropped so
+   the list pins no payloads. *)
+let recycle t node =
+  if node.pooled then begin
+    node.value <- Obj.magic 0;
+    node.next <- t.free;
+    t.free <- node
+  end
+
+let cancel t node =
   if node.queued then begin
     node.queued <- false;
-    unlink node;
-    t.counts.(node.lvl) <- t.counts.(node.lvl) - 1;
+    if node == t.solo then t.solo <- t.nil else remove t node;
     t.live <- t.live - 1;
     true
   end
@@ -106,18 +239,21 @@ let cancel t (H node) =
 
 (* Move every node of a cascading bucket down; [t.cur] has just advanced
    to the bucket's window start, so [place] lands each node at a strictly
-   lower level, head-to-tail order preserved by tail-append. *)
-let cascade t sentinel lvl =
-  let rec drain () =
-    let node = sentinel.next in
-    if node != sentinel then begin
-      unlink node;
-      t.counts.(lvl) <- t.counts.(lvl) - 1;
-      place t node;
-      drain ()
-    end
-  in
-  drain ()
+   lower level, head-to-tail order preserved by tail-append.  A top-level
+   loop rather than a local [let rec]: a closure here would be the only
+   allocation on the steady-state periodic path. *)
+let rec cascade_drain t sentinel lvl =
+  let node = sentinel.next in
+  if node != sentinel then begin
+    unlink node;
+    t.counts.(lvl) <- t.counts.(lvl) - 1;
+    place t node;
+    cascade_drain t sentinel lvl
+  end
+
+let cascade t sentinel lvl slot =
+  cascade_drain t sentinel lvl;
+  occ_clear t lvl slot
 
 let mask = slot_count - 1
 
@@ -129,25 +265,45 @@ let rec extract t ~horizon ~commit =
     if commit && horizon > t.cur then t.cur <- horizon;
     None
   end
-  else if t.counts.(0) > 0 then begin
-    (* Level 0: scan the current window from cur's slot; the first busy
-       slot holds exactly the next priority, in FIFO order. *)
-    let s = ref (t.cur land mask) in
-    while !s < slot_count && t.slots.(0).(!s).next == t.slots.(0).(!s) do incr s done;
-    if !s = slot_count then invalid_arg "Timer_wheel: inconsistent level-0 count"
+  else if t.solo != t.nil then begin
+    (* The lone queued node lives outside the buckets, so this branch is
+       the whole story: pop it, or commit [cur] toward the horizon —
+       which is safe without any digit reasoning precisely because no
+       bucket placement depends on [cur] right now. *)
+    let node = t.solo in
+    if node.prio > horizon then begin
+      if horizon > t.cur then t.cur <- horizon;
+      None
+    end
     else begin
-      let node = t.slots.(0).(!s).next in
+      node.queued <- false;
+      t.live <- 0;
+      t.solo <- t.nil;
+      t.cur <- node.prio;
+      let r = Some (node.prio, node.value) in
+      recycle t node;
+      r
+    end
+  end
+  else if t.counts.(0) > 0 then begin
+    (* Level 0: the first busy slot at or after cur's slot holds exactly
+       the next priority, in FIFO order. *)
+    let s = first_occupied t 0 ~from:(t.cur land mask) in
+    if s = slot_count then invalid_arg "Timer_wheel: inconsistent level-0 count"
+    else begin
+      let node = t.slots.(0).(s).next in
       if node.prio > horizon then begin
         if horizon > t.cur then t.cur <- horizon;
         None
       end
       else begin
-        unlink node;
         node.queued <- false;
-        t.counts.(0) <- t.counts.(0) - 1;
+        remove t node;
         t.live <- t.live - 1;
         t.cur <- node.prio;
-        Some (node.prio, node.value)
+        let r = Some (node.prio, node.value) in
+        recycle t node;
+        r
       end
     end
   end
@@ -164,9 +320,8 @@ and scan_levels t ~horizon ~commit lvl =
   else if t.counts.(lvl) = 0 then scan_levels t ~horizon ~commit (lvl + 1)
   else begin
     let shift = bits * lvl in
-    let j = ref (((t.cur lsr shift) land mask) + 1) in
-    while !j < slot_count && t.slots.(lvl).(!j).next == t.slots.(lvl).(!j) do incr j done;
-    if !j = slot_count then scan_levels t ~horizon ~commit (lvl + 1)
+    let j = first_occupied t lvl ~from:(((t.cur lsr shift) land mask) + 1) in
+    if j = slot_count then scan_levels t ~horizon ~commit (lvl + 1)
     else begin
       (* Window start of the found bucket: cur's digits above [lvl],
          digit [lvl] = j, zeros below.  At the top level there are no
@@ -179,15 +334,40 @@ and scan_levels t ~horizon ~commit lvl =
         let top = shift + bits in
         if top > 62 then 0 else (t.cur lsr top) lsl top
       in
-      let bucket_start = above lor (!j lsl shift) in
+      let bucket_start = above lor (j lsl shift) in
       if bucket_start > horizon then begin
         if horizon > t.cur then t.cur <- horizon;
         None
       end
       else begin
-        t.cur <- bucket_start;
-        cascade t t.slots.(lvl).(!j) lvl;
-        extract t ~horizon ~commit
+        let sentinel = t.slots.(lvl).(j) in
+        let node = sentinel.next in
+        if node.next == sentinel && node.prio <= horizon then begin
+          (* Single-occupant bucket.  The first busy bucket at the lowest
+             busy level holds the wheel's minimum (lower levels share
+             [cur]'s digits above them, so they sort first; equal
+             priorities always share a bucket), so a lone occupant IS the
+             global minimum: pop it here and skip the cascade staircase
+             entirely.  [cur] jumps straight to [node.prio], which keeps
+             every other node's bucket valid — the digits above [lvl] are
+             unchanged and the level-[lvl] digit advances exactly to [j],
+             which this pop empties.  This is what makes a lone periodic
+             timer O(1)-cheap per tick instead of one cascade per level. *)
+          node.queued <- false;
+          unlink node;
+          t.counts.(lvl) <- t.counts.(lvl) - 1;
+          occ_clear t lvl j;
+          t.live <- t.live - 1;
+          t.cur <- node.prio;
+          let r = Some (node.prio, node.value) in
+          recycle t node;
+          r
+        end
+        else begin
+          t.cur <- bucket_start;
+          cascade t sentinel lvl j;
+          extract t ~horizon ~commit
+        end
       end
     end
   end
@@ -212,4 +392,9 @@ let clear t =
         row)
     t.slots;
   Array.fill t.counts 0 levels 0;
+  Array.fill t.occ 0 (levels * 2) 0;
+  if t.solo != t.nil then begin
+    t.solo.queued <- false;
+    t.solo <- t.nil
+  end;
   t.live <- 0

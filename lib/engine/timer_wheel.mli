@@ -20,8 +20,9 @@
 
 type 'a t
 
-type handle
-(** A handle onto an inserted element, usable to cancel it later. *)
+type 'a handle
+(** A handle onto an inserted element, usable to cancel or re-arm it
+    later. *)
 
 val create : unit -> 'a t
 
@@ -36,12 +37,28 @@ val lower_bound : 'a t -> int
     inserts must respect it.  Advances on extraction and when
     {!pop_min_until} commits a horizon. *)
 
-val insert : 'a t -> prio:int -> 'a -> handle
+val insert : 'a t -> prio:int -> 'a -> 'a handle
 (** [insert t ~prio v] queues [v].  [prio] must be [>= lower_bound t].
     Ties extract in insertion order.
     @raise Invalid_argument if [prio < lower_bound t]. *)
 
-val cancel : 'a t -> handle -> bool
+val insert_pooled : 'a t -> prio:int -> 'a -> unit
+(** Fire-and-forget {!insert}: no handle is returned, so the element can
+    never be cancelled or re-armed — in exchange the wheel recycles its
+    node through an internal free list when it is popped, making
+    steady-state one-shot traffic (scheduler kicks, packet-delivery
+    events) allocation-free.  Same ordering semantics as {!insert}.
+    @raise Invalid_argument if [prio < lower_bound t]. *)
+
+val rearm : 'a t -> 'a handle -> prio:int -> unit
+(** [rearm t h ~prio] re-queues the {e popped} (or cancelled) node behind
+    [h] at a new priority, reusing its storage — the allocation-free
+    re-arm used by {!Sim.every}'s periodic fast lane.  The node carries
+    its original value.
+    @raise Invalid_argument if the node is still queued or
+    [prio < lower_bound t]. *)
+
+val cancel : 'a t -> 'a handle -> bool
 (** Remove the element behind the handle; [false] if it was already
     popped or cancelled.  Eager O(1) unlink — cancelled elements hold no
     memory and no residual slot. *)

@@ -22,6 +22,18 @@ type tracked = {
   mutable desc : Rescont.Desc_table.desc option; (* per-connection container handle *)
 }
 
+(* One slot of the reusable ready-set buffer.  A poll round used to build
+   two lists, append them and [stable_sort] the result — a pile of cons
+   cells and closures per round, i.e. per request.  The slots below are
+   allocated once and refilled; [ev_listen]/[ev_tracked] hold server-owned
+   dummies while a slot is parked so it pins nothing. *)
+type ev = {
+  mutable ev_prio : int;
+  mutable ev_kind : int; (* 0 = accept (listen ready), 1 = conn ready *)
+  mutable ev_listen : Socket.listen;
+  mutable ev_tracked : tracked;
+}
+
 type t = {
   stack : Stack.t;
   process : Process.t;
@@ -32,7 +44,13 @@ type t = {
   user_preference : Socket.conn -> int;
   dynamic_handler : (Socket.conn -> Http.meta -> unit) option;
   listens : Socket.listen list;
-  mutable conns : tracked list; (* accept order = fd order *)
+  nlistens : int;
+  mutable conns : tracked array; (* first [nconns] live, accept = fd order *)
+  mutable nconns : int;
+  dummy_tracked : tracked;
+  dummy_listen : Socket.listen;
+  mutable events : ev array; (* first [nevents] filled, priority order *)
+  mutable nevents : int;
   wq : Machine.Waitq.t;
   static_served : Engine.Metrics.counter;
   accepts : Engine.Metrics.counter;
@@ -45,6 +63,16 @@ let create ~stack ~process ~cache ?disk ?(api = Select) ?(policy = No_containers
   let machine = Stack.machine stack in
   let registry = Machine.metrics machine in
   let labels = [ ("server", Process.name process) ] in
+  let dummy_tracked =
+    {
+      conn =
+        Socket.make_conn
+          ~src:(Netsim.Ipaddr.v 0 0 0 0)
+          ~src_port:0 ~client:Socket.null_handlers ~now:Simtime.zero;
+      desc = None;
+    }
+  in
+  let dummy_listen = Socket.make_listen ~port:0 () in
   let t =
     {
       stack;
@@ -56,7 +84,13 @@ let create ~stack ~process ~cache ?disk ?(api = Select) ?(policy = No_containers
       user_preference;
       dynamic_handler;
       listens;
-      conns = [];
+      nlistens = List.length listens;
+      conns = Array.make 8 dummy_tracked;
+      nconns = 0;
+      dummy_tracked;
+      dummy_listen;
+      events = [||];
+      nevents = 0;
       wq = Machine.Waitq.create ~name:"http-server" machine;
       static_served = Engine.Metrics.counter registry ~labels "http.static_served";
       accepts = Engine.Metrics.counter registry ~labels "http.accepts";
@@ -65,13 +99,13 @@ let create ~stack ~process ~cache ?disk ?(api = Select) ?(policy = No_containers
     }
   in
   Engine.Metrics.gauge registry ~labels "http.open_conns" (fun () ->
-      float_of_int (List.length t.conns));
+      float_of_int t.nconns);
   List.iter (Stack.add_listen stack) listens;
   Stack.set_on_event stack (fun () -> Machine.Waitq.signal t.wq);
   t
 
 let static_served t = Engine.Metrics.counter_value t.static_served
-let open_conns t = List.length t.conns
+let open_conns t = t.nconns
 let accepts t = Engine.Metrics.counter_value t.accepts
 let poll_rounds t = Engine.Metrics.counter_value t.poll_rounds
 let process t = t.process
@@ -102,7 +136,7 @@ let listen_priority t l =
 let charge_poll t ~ready_count =
   match t.api with
   | Select ->
-      let nfds = List.length t.listens + List.length t.conns in
+      let nfds = t.nlistens + t.nconns in
       Machine.cpu ~kernel:true
         (Simtime.span_add Costs.select_base
            (Simtime.span_scale (float_of_int nfds) Costs.select_per_fd))
@@ -121,8 +155,28 @@ let rebind_to t container =
 let rebind_default t =
   if uses_containers t then rebind_to t (Process.default_container t.process)
 
+let track t tracked =
+  if t.nconns = Array.length t.conns then begin
+    let fresh = Array.make (2 * t.nconns) t.dummy_tracked in
+    Array.blit t.conns 0 fresh 0 t.nconns;
+    t.conns <- fresh
+  end;
+  t.conns.(t.nconns) <- tracked;
+  t.nconns <- t.nconns + 1
+
 let drop_tracking t tracked =
-  t.conns <- List.filter (fun x -> x.conn.Socket.conn_id <> tracked.conn.Socket.conn_id) t.conns;
+  let rec find i =
+    if i >= t.nconns then -1
+    else if t.conns.(i).conn.Socket.conn_id = tracked.conn.Socket.conn_id then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  if i >= 0 then begin
+    (* Shift rather than swap: fd (accept) order is the select() tie-break. *)
+    Array.blit t.conns (i + 1) t.conns i (t.nconns - i - 1);
+    t.nconns <- t.nconns - 1;
+    t.conns.(t.nconns) <- t.dummy_tracked
+  end;
   match tracked.desc with
   | Some desc ->
       Machine.cpu ~kernel:true Ops.Cost.destroy;
@@ -155,7 +209,7 @@ let accept_one t listen conn =
       in
       tracked.desc <- Some desc;
       Socket.bind_container conn (Rescont.Desc_table.lookup (Process.descriptors t.process) desc));
-  t.conns <- t.conns @ [ tracked ]
+  track t tracked
 
 let respond t tracked meta =
   let close_now = Serve.static ~stack:t.stack ~cache:t.cache ?disk:t.disk tracked.conn meta in
@@ -179,32 +233,62 @@ let handle_conn t tracked =
       | Socket.Close_wait | Socket.Closed -> close_conn t tracked
       | Socket.Established | Socket.Syn_rcvd -> ())
 
-type event = Ev_accept of Socket.listen | Ev_conn of tracked
+let ensure_events t n =
+  if Array.length t.events < n then begin
+    let cap = max n (2 * max 4 (Array.length t.events)) in
+    let fresh =
+      Array.init cap (fun _ ->
+          { ev_prio = 0; ev_kind = 0; ev_listen = t.dummy_listen; ev_tracked = t.dummy_tracked })
+    in
+    Array.blit t.events 0 fresh 0 (Array.length t.events);
+    t.events <- fresh
+  end
 
-let ready_events t =
-  let listen_events =
-    List.filter_map
-      (fun l ->
-        if Socket.accept_ready l then Some (listen_priority t l, 0, Ev_accept l) else None)
-      t.listens
+(* In-place stable insertion sort of the filled prefix: higher priority
+   first, accepts before data at equal priority (the listen descriptor has
+   the lowest fd).  Slots were filled listens-first then conns in fd
+   order, so stability reproduces the old
+   [listen_events @ conn_events |> stable_sort] ordering exactly.  Ready
+   sets are small (bounded by open descriptors), so quadratic worst case
+   is irrelevant next to the allocation it avoids. *)
+let sort_events t =
+  let a = t.events in
+  for i = 1 to t.nevents - 1 do
+    let key = a.(i) in
+    let j = ref (i - 1) in
+    while
+      !j >= 0
+      && (a.(!j).ev_prio < key.ev_prio
+         || (a.(!j).ev_prio = key.ev_prio && a.(!j).ev_kind > key.ev_kind))
+    do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- key
+  done
+
+let collect_ready t =
+  let n = ref 0 in
+  let fill prio kind listen tracked =
+    ensure_events t (!n + 1);
+    let ev = t.events.(!n) in
+    ev.ev_prio <- prio;
+    ev.ev_kind <- kind;
+    ev.ev_listen <- listen;
+    ev.ev_tracked <- tracked;
+    incr n
   in
-  let conn_events =
-    List.filter_map
-      (fun tracked ->
-        let ready =
-          Socket.readable tracked.conn
-          || tracked.conn.Socket.state = Socket.Closed
-        in
-        if ready then Some (conn_priority t tracked, 1, Ev_conn tracked) else None)
-      t.conns
-  in
-  (* Higher priority first; accepts before data at equal priority (the
-     listen descriptor has the lowest fd); then fd order. *)
-  let events = listen_events @ conn_events in
-  List.stable_sort
-    (fun (pa, ka, _) (pb, kb, _) ->
-      match compare pb pa with 0 -> compare ka kb | n -> n)
-    events
+  List.iter
+    (fun l ->
+      if Socket.accept_ready l then fill (listen_priority t l) 0 l t.dummy_tracked)
+    t.listens;
+  for i = 0 to t.nconns - 1 do
+    let tracked = t.conns.(i) in
+    if Socket.readable tracked.conn || tracked.conn.Socket.state = Socket.Closed then
+      fill (conn_priority t tracked) 1 t.dummy_listen tracked
+  done;
+  t.nevents <- !n;
+  sort_events t
 
 (* How much of the ready set one poll round works through.
 
@@ -215,33 +299,42 @@ let ready_events t =
    - The scalable event API dequeues one (priority-ordered) event at a
      time, so freshly arrived high-priority work overtakes everything that
      arrived before it. *)
-let serve_round t events =
-  let events = match (t.api, events) with Event_api, e :: _ -> [ e ] | _, es -> es in
-  List.iter
-    (fun (_, _, ev) ->
-      match ev with
-      | Ev_accept l -> (
-          (* One accept per listen socket per round (thttpd behaviour). *)
-          match Stack.accept t.stack l with
-          | Some conn -> accept_one t l conn
-          | None -> ())
-      | Ev_conn tracked ->
-          if tracked.conn.Socket.state = Socket.Closed then drop_tracking t tracked
-          else handle_conn t tracked)
-    events
+let serve_round t =
+  let n = match t.api with Event_api -> min 1 t.nevents | Select -> t.nevents in
+  for i = 0 to n - 1 do
+    let ev = t.events.(i) in
+    if ev.ev_kind = 0 then begin
+      (* One accept per listen socket per round (thttpd behaviour). *)
+      match Stack.accept t.stack ev.ev_listen with
+      | Some conn -> accept_one t ev.ev_listen conn
+      | None -> ()
+    end
+    else begin
+      let tracked = ev.ev_tracked in
+      if tracked.conn.Socket.state = Socket.Closed then drop_tracking t tracked
+      else handle_conn t tracked
+    end
+  done;
+  (* Park every filled slot with dummies so the buffer retains nothing. *)
+  for i = 0 to t.nevents - 1 do
+    let ev = t.events.(i) in
+    ev.ev_listen <- t.dummy_listen;
+    ev.ev_tracked <- t.dummy_tracked
+  done;
+  t.nevents <- 0
 
 let body t () =
   let rec loop () =
-    let events = ready_events t in
-    if events = [] then begin
+    collect_ready t;
+    if t.nevents = 0 then begin
       Machine.Waitq.wait t.wq;
       loop ()
     end
     else begin
       rebind_default t;
       Engine.Metrics.incr t.poll_rounds;
-      charge_poll t ~ready_count:(List.length events);
-      serve_round t events;
+      charge_poll t ~ready_count:t.nevents;
+      serve_round t;
       loop ()
     end
   in

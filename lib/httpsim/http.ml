@@ -5,18 +5,69 @@ type meta = { path : string; keep_alive : bool }
 let request_bytes = 250
 let header_bytes = 200
 
+(* Workloads replay a small URL population millions of times, and the
+   string work per message — [Printf.sprintf] for a request line,
+   [String.split_on_char] to parse it back, ["200 " ^ path] for the
+   response — dominated the simulator's own minor allocation.  All three
+   are memoized per domain (plain globals would race under the parallel
+   sweep): a path seen before costs one hashtable probe, and because the
+   request memo hands back the same physical tag string every time, the
+   parse memo's probe hashes an interned key.  The tables are keyed by
+   path/tag and never cleared; they are bounded by the URL population. *)
+
+let http10_tags : (string, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let http11_tags : (string, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let parse_memo : (string, meta) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let response_tags : (string, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
 let request ~now ?(keep_alive = false) ~path () =
-  let tag = Printf.sprintf "GET %s HTTP/%s" path (if keep_alive then "1.1" else "1.0") in
+  let table = Domain.DLS.get (if keep_alive then http11_tags else http10_tags) in
+  let tag =
+    match Hashtbl.find table path with
+    | tag -> tag
+    | exception Not_found ->
+        let tag =
+          Printf.sprintf "GET %s HTTP/%s" path (if keep_alive then "1.1" else "1.0")
+        in
+        Hashtbl.replace table path tag;
+        tag
+  in
   Payload.make ~tag ~bytes:request_bytes now
 
+let parse_tag tag =
+  match String.split_on_char ' ' tag with
+  | [ "GET"; path; version ] -> { path; keep_alive = String.equal version "HTTP/1.1" }
+  | _ -> invalid_arg (Printf.sprintf "Http.parse: not a request: %S" tag)
+
 let parse payload =
-  match String.split_on_char ' ' payload.Payload.tag with
-  | [ "GET"; path; version ] ->
-      { path; keep_alive = String.equal version "HTTP/1.1" }
-  | _ -> invalid_arg (Printf.sprintf "Http.parse: not a request: %S" payload.Payload.tag)
+  let tag = payload.Payload.tag in
+  let table = Domain.DLS.get parse_memo in
+  match Hashtbl.find table tag with
+  | meta -> meta
+  | exception Not_found ->
+      let meta = parse_tag tag in
+      Hashtbl.replace table tag meta;
+      meta
 
 let response ~now meta ~body_bytes =
-  Payload.make ~tag:("200 " ^ meta.path) ~bytes:(body_bytes + header_bytes) now
+  let table = Domain.DLS.get response_tags in
+  let tag =
+    match Hashtbl.find table meta.path with
+    | tag -> tag
+    | exception Not_found ->
+        let tag = "200 " ^ meta.path in
+        Hashtbl.replace table meta.path tag;
+        tag
+  in
+  Payload.make ~tag ~bytes:(body_bytes + header_bytes) now
 
 let is_dynamic meta =
-  String.length meta.path >= 4 && String.equal (String.sub meta.path 0 4) "/cgi"
+  let p = meta.path in
+  String.length p >= 4 && p.[0] = '/' && p.[1] = 'c' && p.[2] = 'g' && p.[3] = 'i'

@@ -1,0 +1,100 @@
+(* Slot-indexed connection registry.  The previous representation — a
+   [Socket.conn list] rebuilt with [List.filter] on every prune — made
+   close/reap O(live connections) and allocated a fresh spine each sweep.
+   Here every tracked connection owns a slot in a flat array, found again
+   in O(1) through the [track_slot] index stamped on the connection
+   itself, and a free-list of slot indexes makes add/remove allocation-
+   free in the steady state (the arrays only grow, by doubling, when the
+   peak population grows). *)
+
+type t = {
+  mutable slots : Socket.conn array; (* [dummy] marks a vacant slot *)
+  dummy : Socket.conn;
+  mutable free : int array; (* stack of vacant slot indexes *)
+  mutable free_top : int;
+  mutable live : int;
+}
+
+let create ?(capacity = 64) () =
+  let capacity = max capacity 1 in
+  (* The dummy connection is never exposed; it only keeps vacant slots
+     from pinning real payloads. *)
+  let dummy =
+    Socket.make_conn ~src:(Ipaddr.v 0 0 0 0) ~src_port:0 ~client:Socket.null_handlers
+      ~now:Engine.Simtime.zero
+  in
+  {
+    slots = Array.make capacity dummy;
+    dummy;
+    free = Array.init capacity (fun i -> capacity - 1 - i);
+    free_top = capacity;
+    live = 0;
+  }
+
+let length t = t.live
+
+let grow t =
+  let n = Array.length t.slots in
+  let slots = Array.make (2 * n) t.dummy in
+  Array.blit t.slots 0 slots 0 n;
+  t.slots <- slots;
+  let free = Array.make (2 * n) 0 in
+  Array.blit t.free 0 free 0 t.free_top;
+  for i = 0 to n - 1 do
+    free.(t.free_top + i) <- (2 * n) - 1 - i
+  done;
+  t.free <- free;
+  t.free_top <- t.free_top + n
+
+let add t conn =
+  if conn.Socket.track_slot >= 0 then invalid_arg "Conn_table.add: connection already tracked";
+  if t.free_top = 0 then grow t;
+  t.free_top <- t.free_top - 1;
+  let slot = t.free.(t.free_top) in
+  t.slots.(slot) <- conn;
+  conn.Socket.track_slot <- slot;
+  t.live <- t.live + 1
+
+let remove t conn =
+  let slot = conn.Socket.track_slot in
+  if slot >= 0 && slot < Array.length t.slots && t.slots.(slot) == conn then begin
+    t.slots.(slot) <- t.dummy;
+    conn.Socket.track_slot <- -1;
+    t.free.(t.free_top) <- slot;
+    t.free_top <- t.free_top + 1;
+    t.live <- t.live - 1;
+    true
+  end
+  else false
+
+let iter t f =
+  let slots = t.slots in
+  for i = 0 to Array.length slots - 1 do
+    let c = slots.(i) in
+    if c != t.dummy then f c
+  done
+
+let fold t ~init f =
+  let acc = ref init in
+  iter t (fun c -> acc := f !acc c);
+  !acc
+
+let reap_closed t =
+  let removed = ref 0 in
+  let slots = t.slots in
+  for i = 0 to Array.length slots - 1 do
+    let c = slots.(i) in
+    if c != t.dummy && c.Socket.state = Socket.Closed then begin
+      slots.(i) <- t.dummy;
+      c.Socket.track_slot <- -1;
+      t.free.(t.free_top) <- i;
+      t.free_top <- t.free_top + 1;
+      t.live <- t.live - 1;
+      incr removed
+    end
+  done;
+  !removed
+
+let mem t conn =
+  let slot = conn.Socket.track_slot in
+  slot >= 0 && slot < Array.length t.slots && t.slots.(slot) == conn

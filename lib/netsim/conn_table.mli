@@ -1,0 +1,40 @@
+(** Slot-indexed registry of the connections a {!Stack} has created.
+
+    Replaces the [Socket.conn list] + amortised [List.filter] prune: each
+    tracked connection is stamped with its slot index ([Socket.track_slot]),
+    so add, remove, and membership are O(1) and allocation-free once the
+    backing arrays have grown to the peak population.  The stack removes a
+    connection the moment it transitions to [Closed], so the table holds
+    exactly the non-closed connections — which is what makes reap-style
+    sweeps ({!reap_closed}) no-ops rather than whole-list rebuilds.
+
+    The list representation survives as the QCheck executable reference
+    (test_netsim's conn-table equivalence property). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Initial capacity defaults to 64 slots; the table doubles as needed. *)
+
+val length : t -> int
+(** Number of tracked connections. *)
+
+val add : t -> Socket.conn -> unit
+(** Track a connection, stamping [track_slot].
+    @raise Invalid_argument if it is already tracked (by any table). *)
+
+val remove : t -> Socket.conn -> bool
+(** Untrack in O(1) via the stamped slot; [false] if it was not tracked
+    here. *)
+
+val mem : t -> Socket.conn -> bool
+
+val iter : t -> (Socket.conn -> unit) -> unit
+(** Visit every tracked connection (slot order, not insertion order). *)
+
+val fold : t -> init:'a -> ('a -> Socket.conn -> 'a) -> 'a
+
+val reap_closed : t -> int
+(** Remove every tracked connection in state [Closed], returning how many
+    were removed.  With the stack untracking on close this is normally a
+    scan that removes nothing and allocates nothing. *)

@@ -26,5 +26,4 @@ let connect t ~src ~dst ?src_port ~port ~handlers () =
   | Some stack -> Stack.connect stack ~src ?src_port ~port ~handlers ()
   | None ->
       (* No route to host: fail like a refused connection, one RTT later. *)
-      ignore
-        (Sim.after t.sim (Simtime.us 300) (fun () -> handlers.Socket.on_refused ()))
+      Sim.post t.sim (Simtime.us 300) (fun () -> handlers.Socket.on_refused ())

@@ -14,6 +14,9 @@ type conn = {
   mutable last_delivery : Engine.Simtime.t;
       (** Client-bound events are FIFO per connection: nothing may overtake
           earlier data on the wire. *)
+  mutable track_slot : int;
+      (** Slot index in the owning stack's {!Conn_table}; -1 when
+          untracked.  Kernel-private. *)
 }
 
 and listen = {
@@ -78,6 +81,7 @@ let make_conn ~src ~src_port ~client ~now =
     client;
     syn_arrival = now;
     last_delivery = now;
+    track_slot = -1;
   }
 
 let conn_container_or conn ~default =

@@ -27,6 +27,10 @@ type conn = {
   mutable last_delivery : Engine.Simtime.t;
       (** Client-bound events are FIFO per connection: nothing may overtake
           earlier data on the wire ({!Stack} maintains this). *)
+  mutable track_slot : int;
+      (** Slot index in the owning stack's {!Conn_table}, stamped by the
+          table itself; -1 when untracked.  Kernel-private plumbing that
+          makes untracking on close O(1). *)
 }
 
 and listen = {

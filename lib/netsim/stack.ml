@@ -41,24 +41,12 @@ type stats = {
   mutable refused : int;
 }
 
-(* A packet as it comes off the wire; the listen socket for a SYN is
-   resolved by the early demultiplexer at arrival time. *)
-type packet =
-  | P_syn of { src : Ipaddr.t; src_port : int; port : int; client : Socket.client_handlers;
-               completes : bool }
-  | P_ack of Socket.conn
-  | P_data of Socket.conn * Payload.t
-  | P_fin of Socket.conn
-
-(* A demultiplexed unit of deferred protocol work. *)
-type work =
-  | W_syn of { src : Ipaddr.t; src_port : int; listen : Socket.listen option;
-               client : Socket.client_handlers; completes : bool }
-  | W_ack of Socket.conn
-  | W_data of Socket.conn * Payload.t
-  | W_fin of Socket.conn
-
 type softirq_charge = Charge_current | Charge_system
+
+(* A unit of (possibly deferred) protocol work is a pooled mutable record
+   ({!Workpool.item}) rather than a fresh variant per packet: the listen
+   socket for a SYN is resolved by the early demultiplexer at arrival
+   time and stamped on the item. *)
 
 type t = {
   machine : Machine.t;
@@ -71,16 +59,20 @@ type t = {
   syn_timeout : Simtime.span;
   softirq_charge : softirq_charge;
   owner : Container.t;
-  mutable listen_sockets : Socket.listen list;
+  mutable listen_sockets : Socket.listen list; (* reference demux walks this *)
+  demux : Demux.t; (* port-indexed fast path, mirrors [listen_sockets] *)
   mutable on_event : unit -> unit;
   mutable on_syn_drop : Socket.listen -> Ipaddr.t -> unit;
-  queues : (int, work Queue.t * Container.t) Hashtbl.t;
+  pool : Workpool.t;
+  queues : (int, Workpool.queue * Container.t) Hashtbl.t;
   served_stamp : (int, int) Hashtbl.t; (* container id -> last service tick *)
   mutable service_tick : int;
   mutable pending : int;
   mutable services : service list; (* specific first, catch-all last *)
-  mutable conns : Socket.conn list; (* every connection this stack created *)
-  mutable conns_since_prune : int;
+  conns : Conn_table.t; (* every non-closed connection this stack created *)
+  irq_cost : Simtime.span; (* irq_per_packet + demux, precomputed *)
+  system_charge : [ `Container of Container.t | `Current_or_system ];
+  softirq_charge_v : [ `Container of Container.t | `Current_or_system ];
   stats : stats;
 }
 
@@ -115,6 +107,8 @@ let set_on_syn_drop t f = t.on_syn_drop <- f
 let pending_work t = t.pending
 let queue_table_size t = Hashtbl.length t.queues
 let stamp_table_size t = Hashtbl.length t.served_stamp
+let tracked_conns t = Conn_table.length t.conns
+let pool_stats t = Workpool.stats t.pool
 
 (* Wire time of a payload on the access link: propagation plus
    serialisation at the link rate (a 4 MB response takes ~1/3 s on the
@@ -131,27 +125,31 @@ let schedule_to_client t conn delay f =
   let current = Machine.now t.machine in
   let target = Simtime.max (Simtime.add current delay) conn.Socket.last_delivery in
   conn.Socket.last_delivery <- target;
-  ignore (Sim.at (Machine.sim t.machine) target f)
+  Sim.post_at (Machine.sim t.machine) target f
 let listens t = t.listen_sockets
 let now t = Machine.now t.machine
 
 let tracing t = Engine.Tracelog.enabled (Machine.trace t.machine)
 let tell t ev = Engine.Tracelog.event (Machine.trace t.machine) (now t) ev
 
-let add_listen t l = t.listen_sockets <- l :: t.listen_sockets
+let add_listen t l =
+  t.listen_sockets <- l :: t.listen_sockets;
+  Demux.add t.demux l
 
 let remove_listen t l =
   t.listen_sockets <-
-    List.filter (fun l' -> l'.Socket.listen_id <> l.Socket.listen_id) t.listen_sockets
+    List.filter (fun l' -> l'.Socket.listen_id <> l.Socket.listen_id) t.listen_sockets;
+  Demux.remove t.demux l
 
-(* Most-specific-filter demultiplex (paper §4.8).  A single fold replaces
-   the sort-and-take-head: [compare_specificity] ranks the more specific
-   filter first (negative result), and ties break to the earliest-bound
-   socket (lowest listen id), so overlapping filters of equal specificity
-   demultiplex identically whatever order the listens were added in —
-   [listen_sockets] is newest-first, which the old head-of-sort leaked
-   through OCaml's unstable [List.sort]. *)
-let demux_listen t ~port ~src =
+(* Most-specific-filter demultiplex (paper §4.8), reference semantics: a
+   single fold over every listen socket.  [compare_specificity] ranks the
+   more specific filter first (negative result), and ties break to the
+   earliest-bound socket (lowest listen id), so overlapping filters of
+   equal specificity demultiplex identically whatever order the listens
+   were added in.  The production path is {!Demux.lookup} over the
+   port-indexed table; this fold is kept as the executable specification
+   the QCheck equivalence property runs against. *)
+let demux_reference t ~port ~src =
   List.fold_left
     (fun best l ->
       if l.Socket.port <> port || not (Filter.matches l.Socket.filter src) then best
@@ -164,28 +162,33 @@ let demux_listen t ~port ~src =
             else best)
     None t.listen_sockets
 
-let cost_of_work t = function
-  | W_syn _ -> t.costs.syn_process
-  | W_ack _ -> t.costs.ack_process
-  | W_data (_, payload) ->
-      Simtime.span_scale (float_of_int (Payload.packet_count ~mtu:t.mtu payload))
-        t.costs.data_rx_process
-  | W_fin _ -> t.costs.fin_process
+let demux_lookup t ~port ~src = Demux.lookup t.demux ~port ~src
 
-let container_of_work t work =
+let cost_of_work t (w : Workpool.item) =
+  match w.kind with
+  | Workpool.Syn -> t.costs.syn_process
+  | Workpool.Ack -> t.costs.ack_process
+  | Workpool.Data ->
+      Simtime.span_scale
+        (float_of_int (Payload.packet_count ~mtu:t.mtu w.payload))
+        t.costs.data_rx_process
+  | Workpool.Fin -> t.costs.fin_process
+
+let container_of_work t (w : Workpool.item) =
   match t.mode with
-  | Lrp | Softirq -> (
+  | Lrp | Softirq ->
       (* LRP charges the receiving process; connection-level containers are
          an RC-only concept. *)
-      match work with
-      | W_syn _ | W_ack _ | W_data _ | W_fin _ -> t.owner)
+      t.owner
   | Rc -> (
-      match work with
-      | W_syn { listen = Some l; _ } -> (
-          match l.Socket.listen_container with Some c -> c | None -> t.owner)
-      | W_syn { listen = None; _ } -> t.owner
-      | W_ack conn | W_data (conn, _) | W_fin conn ->
-          Socket.conn_container_or conn ~default:t.owner)
+      match w.kind with
+      | Workpool.Syn -> (
+          match w.listen with
+          | Some l -> (
+              match l.Socket.listen_container with Some c -> c | None -> t.owner)
+          | None -> t.owner)
+      | Workpool.Ack | Workpool.Data | Workpool.Fin ->
+          Socket.conn_container_or w.conn ~default:t.owner)
 
 let is_idle_class container = Attrs.is_idle_class (Container.attrs container)
 
@@ -218,7 +221,15 @@ let memory_limit_exceeded container ~extra =
   in
   check container
 
-let schedule t delay f = ignore (Sim.after (Machine.sim t.machine) delay f)
+let schedule t delay f = Sim.post (Machine.sim t.machine) delay f
+
+(* A connection leaves the registry the instant it closes, from whichever
+   path closed it — that is what keeps {!Conn_table} scans (the memory
+   conservation law, [reap]) proportional to live traffic with no pruning
+   pass at all. *)
+let mark_closed t conn =
+  conn.Socket.state <- Socket.Closed;
+  ignore (Conn_table.remove t.conns conn)
 
 (* Lazily purge SYN-queue entries that completed, died, or timed out.  A
    timed-out half-open connection is a drop like any other: it counts
@@ -234,7 +245,7 @@ let purge_syn_queue t l =
       when Simtime.span_compare (Simtime.diff (now t) conn.Socket.syn_arrival) t.syn_timeout > 0
       ->
         ignore (Queue.pop l.Socket.syn_queue);
-        conn.Socket.state <- Socket.Closed;
+        mark_closed t conn;
         l.Socket.syn_drops <- l.Socket.syn_drops + 1;
         t.stats.syn_queue_drops <- t.stats.syn_queue_drops + 1;
         if tracing t then
@@ -259,7 +270,7 @@ let evict_syn t l =
       | None -> ()
       | Some victim ->
           if victim.Socket.state = Socket.Syn_rcvd then begin
-            victim.Socket.state <- Socket.Closed;
+            mark_closed t victim;
             l.Socket.syn_drops <- l.Socket.syn_drops + 1;
             t.stats.syn_queue_drops <- t.stats.syn_queue_drops + 1;
             if tracing t then
@@ -277,26 +288,17 @@ let evict_syn t l =
   in
   evict ()
 
-(* Connection registry: the source of truth the memory-conservation
-   invariant sums buffered rx bytes over.  Closed connections are pruned
-   amortised (every 256 creations) so the list tracks live traffic, not
-   history. *)
-let prune_conns t =
-  t.conns <- List.filter (fun c -> c.Socket.state <> Socket.Closed) t.conns
+let track_conn t conn = Conn_table.add t.conns conn
 
-let track_conn t conn =
-  t.conns <- conn :: t.conns;
-  t.conns_since_prune <- t.conns_since_prune + 1;
-  if t.conns_since_prune >= 256 then begin
-    t.conns_since_prune <- 0;
-    prune_conns t
-  end
+(* The registry holds exactly the non-closed connections, so a reap pass
+   normally removes nothing — and, unlike the old [List.filter] rebuild,
+   costs no allocation when it does not. *)
+let reap t = Conn_table.reap_closed t.conns
 
-let buffered_rx_bytes t =
-  List.fold_left
-    (fun acc conn ->
-      Queue.fold (fun a p -> a + p.Payload.bytes) acc conn.Socket.rx_queue)
-    0 t.conns
+let sum_conn_rx acc conn =
+  Queue.fold (fun a p -> a + p.Payload.bytes) acc conn.Socket.rx_queue
+
+let buffered_rx_bytes t = Conn_table.fold t.conns ~init:0 sum_conn_rx
 
 (* Container teardown (§4.6): drop the per-container deferred-processing
    queue and service stamp, or both tables grow forever under per-connection
@@ -306,49 +308,64 @@ let forget_container t container =
   let cid = Container.id container in
   (match Hashtbl.find_opt t.queues cid with
   | Some (q, _) ->
-      let dropped = Queue.length q in
+      let dropped = Workpool.queue_length q in
       if dropped > 0 then begin
         t.pending <- t.pending - dropped;
         t.stats.rx_queue_drops <- t.stats.rx_queue_drops + dropped
       end;
+      let rec drain () =
+        match Workpool.pop q with
+        | Some item ->
+            Workpool.release t.pool item;
+            drain ()
+        | None -> ()
+      in
+      drain ();
       Hashtbl.remove t.queues cid
   | None -> ());
   Hashtbl.remove t.served_stamp cid
 
+let charge_rx container packets bytes = Container.charge_rx container ~packets ~bytes
+
 (* The protocol action itself; its CPU cost has already been consumed by
-   the caller (softirq steal or network kernel thread). *)
-let rec perform t work =
+   the caller (softirq steal or network kernel thread).  Callers release
+   the item back to the pool afterwards; closures scheduled from here
+   capture extracted fields, never the pooled item itself. *)
+let rec perform t (w : Workpool.item) =
   t.stats.packets_processed <- t.stats.packets_processed + 1;
-  let charge_rx container packets bytes = Container.charge_rx container ~packets ~bytes in
-  match work with
-  | W_syn { listen = None; client; _ } ->
-      t.stats.refused <- t.stats.refused + 1;
-      schedule t t.latency (fun () -> client.Socket.on_refused ())
-  | W_syn { src; src_port; listen = Some l; client; completes } ->
-      if tracing t then
-        tell t
-          (Engine.Trace_event.Net_syn
-             { src = Ipaddr.to_string src; listen = l.Socket.listen_id });
-      purge_syn_queue t l;
-      evict_syn t l;
-      let conn = Socket.make_conn ~src ~src_port ~client ~now:(now t) in
-      track_conn t conn;
-      conn.Socket.listen <- Some l;
-      Queue.push conn l.Socket.syn_queue;
-      charge_rx (container_of_work t work) 1 40;
-      (* SYN|ACK goes out; a real client ACKs one round trip later. *)
-      if completes then
-        schedule t (Simtime.span_add t.latency t.latency) (fun () -> arrival t (P_ack conn))
-  | W_ack conn ->
-      charge_rx (container_of_work t work) 1 40;
+  match w.kind with
+  | Workpool.Syn -> (
+      match w.listen with
+      | None ->
+          t.stats.refused <- t.stats.refused + 1;
+          let client = w.client in
+          schedule t t.latency (fun () -> client.Socket.on_refused ())
+      | Some l ->
+          if tracing t then
+            tell t
+              (Engine.Trace_event.Net_syn
+                 { src = Ipaddr.to_string w.src; listen = l.Socket.listen_id });
+          purge_syn_queue t l;
+          evict_syn t l;
+          let conn = Socket.make_conn ~src:w.src ~src_port:w.src_port ~client:w.client ~now:(now t) in
+          track_conn t conn;
+          conn.Socket.listen <- Some l;
+          Queue.push conn l.Socket.syn_queue;
+          charge_rx (container_of_work t w) 1 40;
+          (* SYN|ACK goes out; a real client ACKs one round trip later. *)
+          if w.completes then
+            schedule t (Simtime.span_add t.latency t.latency) (fun () -> ack_arrival t conn))
+  | Workpool.Ack ->
+      let conn = w.conn in
+      charge_rx (container_of_work t w) 1 40;
       if conn.Socket.state = Socket.Syn_rcvd then begin
         match conn.Socket.listen with
-        | None -> conn.Socket.state <- Socket.Closed
+        | None -> mark_closed t conn
         | Some l ->
             if Queue.length l.Socket.accept_queue >= l.Socket.backlog then begin
               (* Dropped silently, as 1990s BSD-derived stacks did: the
                  client finds out via its retransmission timer. *)
-              conn.Socket.state <- Socket.Closed;
+              mark_closed t conn;
               l.Socket.accept_drops <- l.Socket.accept_drops + 1;
               t.stats.accept_queue_drops <- t.stats.accept_queue_drops + 1;
               if tracing t then
@@ -369,8 +386,9 @@ let rec perform t work =
                   conn.Socket.client.Socket.on_established conn)
             end
       end
-  | W_data (conn, payload) ->
-      let container = container_of_work t work in
+  | Workpool.Data ->
+      let conn = w.conn and payload = w.payload in
+      let container = container_of_work t w in
       charge_rx container (Payload.packet_count ~mtu:t.mtu payload) payload.Payload.bytes;
       if conn.Socket.state = Socket.Established then begin
         let owner = rx_memory_container t conn in
@@ -395,9 +413,10 @@ let rec perform t work =
           t.on_event ()
         end
       end
-  | W_fin conn ->
-      charge_rx (container_of_work t work) 1 40;
-      (match conn.Socket.state with
+  | Workpool.Fin -> (
+      let conn = w.conn in
+      charge_rx (container_of_work t w) 1 40;
+      match conn.Socket.state with
       | Socket.Established ->
           conn.Socket.state <- Socket.Close_wait;
           t.on_event ()
@@ -410,7 +429,7 @@ and queue_for t container =
   match Hashtbl.find_opt t.queues cid with
   | Some (q, _) -> q
   | None ->
-      let q = Queue.create () in
+      let q = Workpool.queue_create t.pool in
       (* Only live containers get a tracked queue: a service thread that
          kept a reference across the teardown would otherwise resurrect the
          table entry with no hook left to prune it — a leak per churned
@@ -429,7 +448,7 @@ and best_pending t ~covers ~allow_idle =
   in
   Hashtbl.fold
     (fun _ (q, c) acc ->
-      if Queue.is_empty q then acc
+      if Workpool.queue_is_empty q then acc
       else if not (covers c) then acc
       else if (not allow_idle) && is_idle_class c then acc
       else
@@ -450,7 +469,7 @@ and service_for t container =
 
 and service_has_work t svc =
   Hashtbl.fold
-    (fun _ (q, c) acc -> acc || ((not (Queue.is_empty q)) && svc.svc_covers c))
+    (fun _ (q, c) acc -> acc || ((not (Workpool.queue_is_empty q)) && svc.svc_covers c))
     t.queues false
 
 and pick_work t svc =
@@ -468,7 +487,7 @@ and pick_work t svc =
   | None -> None
   | Some container -> (
       let q = queue_for t container in
-      match Queue.take_opt q with
+      match Workpool.pop q with
       | None -> None
       | Some work ->
           t.pending <- t.pending - 1;
@@ -480,86 +499,106 @@ and pick_work t svc =
                  {
                    cid = Container.id container;
                    container = Container.name container;
-                   depth = Queue.length q;
+                   depth = Workpool.queue_length q;
                  });
           Some (container, work))
 
-and enqueue_work t work =
+and enqueue_work t (work : Workpool.item) =
   let container = container_of_work t work in
-  if Container.is_destroyed container then
+  if Container.is_destroyed container then begin
     (* The principal died between demux and enqueue: discard like any
        early drop — an untracked queue would strand the pending count. *)
-    t.stats.rx_queue_drops <- t.stats.rx_queue_drops + 1
+    t.stats.rx_queue_drops <- t.stats.rx_queue_drops + 1;
+    Workpool.release t.pool work
+  end
   else
-  let q = queue_for t container in
-  if Queue.length q >= t.queue_cap then begin
-    (* Early discard at interrupt level: the whole point of LRP/RC under
-       overload — no further CPU is spent on this packet. *)
-    if tracing t then
-      tell t
-        (Engine.Trace_event.Early_discard
-           {
-             cid = Container.id container;
-             container = Container.name container;
-             depth = Queue.length q;
-           });
-    t.stats.rx_queue_drops <- t.stats.rx_queue_drops + 1
-  end
-  else begin
-    Queue.push work q;
-    t.pending <- t.pending + 1;
-    if tracing t then
-      tell t
-        (Engine.Trace_event.Net_enqueue
-           {
-             cid = Container.id container;
-             container = Container.name container;
-             depth = Queue.length q;
-           });
-    (* Make the covering network kernel thread runnable at the priority of
-       its best pending container (paper §4.7). *)
-    match service_for t container with
-    | Some svc ->
-        if not svc.svc_busy then begin
-          (match (svc.svc_thread, best_pending t ~covers:svc.svc_covers ~allow_idle:true) with
-          | Some kthread, Some (best, _) when t.mode = Rc ->
-              Machine.rebind t.machine kthread best
-          | (Some _ | None), (Some _ | None) -> ());
-          Machine.Waitq.signal svc.svc_wq
-        end
-    | None -> ()
-  end
+    let q = queue_for t container in
+    if Workpool.queue_length q >= t.queue_cap then begin
+      (* Early discard at interrupt level: the whole point of LRP/RC under
+         overload — no further CPU is spent on this packet. *)
+      if tracing t then
+        tell t
+          (Engine.Trace_event.Early_discard
+             {
+               cid = Container.id container;
+               container = Container.name container;
+               depth = Workpool.queue_length q;
+             });
+      t.stats.rx_queue_drops <- t.stats.rx_queue_drops + 1;
+      Workpool.release t.pool work
+    end
+    else begin
+      Workpool.push q work;
+      t.pending <- t.pending + 1;
+      if tracing t then
+        tell t
+          (Engine.Trace_event.Net_enqueue
+             {
+               cid = Container.id container;
+               container = Container.name container;
+               depth = Workpool.queue_length q;
+             });
+      (* Make the covering network kernel thread runnable at the priority of
+         its best pending container (paper §4.7). *)
+      match service_for t container with
+      | Some svc ->
+          if not svc.svc_busy then begin
+            (match (svc.svc_thread, best_pending t ~covers:svc.svc_covers ~allow_idle:true) with
+            | Some kthread, Some (best, _) when t.mode = Rc ->
+                Machine.rebind t.machine kthread best
+            | (Some _ | None), (Some _ | None) -> ());
+            Machine.Waitq.signal svc.svc_wq
+          end
+      | None -> ()
+    end
 
-and arrival t packet =
-  let work =
-    match packet with
-    | P_syn { src; src_port; port; client; completes } ->
-        t.stats.syns_received <- t.stats.syns_received + 1;
-        W_syn { src; src_port; listen = demux_listen t ~port ~src; client; completes }
-    | P_ack conn -> W_ack conn
-    | P_data (conn, payload) -> W_data (conn, payload)
-    | P_fin conn -> W_fin conn
-  in
-  let irq = Simtime.span_add t.costs.irq_per_packet t.costs.demux in
+(* Interrupt-level arrival of an already-built work item: charge the IRQ +
+   demux cost and either process immediately (softirq) or enqueue. *)
+and dispatch t (work : Workpool.item) =
   match t.mode with
   | Softirq ->
       (* Interrupt + softirq protocol processing, immediately, above all
          threads.  Charged per §3.2 either to the unlucky principal running
          at the time, or (default, matching Digital UNIX's behaviour as
          measured in Fig. 13) to no process at all. *)
-      let charge =
-        match t.softirq_charge with
-        | Charge_current -> `Current_or_system
-        | Charge_system -> `Container (Machine.system_container t.machine)
-      in
       Machine.steal_time t.machine
-        ~cost:(Simtime.span_add irq (cost_of_work t work))
-        ~charge;
-      perform t work
+        ~cost:(Simtime.span_add t.irq_cost (cost_of_work t work))
+        ~charge:t.softirq_charge_v;
+      perform t work;
+      Workpool.release t.pool work
   | Lrp | Rc ->
-      Machine.steal_time t.machine ~cost:irq
-        ~charge:(`Container (Machine.system_container t.machine));
+      Machine.steal_time t.machine ~cost:t.irq_cost ~charge:t.system_charge;
       enqueue_work t work
+
+and ack_arrival t conn =
+  let work = Workpool.acquire t.pool in
+  work.kind <- Workpool.Ack;
+  work.conn <- conn;
+  dispatch t work
+
+let syn_arrival t ~src ~src_port ~port ~client ~completes =
+  t.stats.syns_received <- t.stats.syns_received + 1;
+  let work = Workpool.acquire t.pool in
+  work.Workpool.kind <- Workpool.Syn;
+  work.Workpool.src <- src;
+  work.Workpool.src_port <- src_port;
+  work.Workpool.listen <- Demux.lookup t.demux ~port ~src;
+  work.Workpool.client <- client;
+  work.Workpool.completes <- completes;
+  dispatch t work
+
+let data_arrival t conn payload =
+  let work = Workpool.acquire t.pool in
+  work.Workpool.kind <- Workpool.Data;
+  work.Workpool.conn <- conn;
+  work.Workpool.payload <- payload;
+  dispatch t work
+
+let fin_arrival t conn =
+  let work = Workpool.acquire t.pool in
+  work.Workpool.kind <- Workpool.Fin;
+  work.Workpool.conn <- conn;
+  dispatch t work
 
 let kthread_body t svc () =
   let self = Machine.self () in
@@ -570,7 +609,7 @@ let kthread_body t svc () =
      the thread between packets. *)
   let rec drain container =
     if not (is_idle_class container && Machine.runnable_tasks t.machine > 0) then begin
-      match Queue.take_opt (queue_for t container) with
+      match Workpool.pop (queue_for t container) with
       | None -> ()
       | Some work ->
           t.pending <- t.pending - 1;
@@ -582,10 +621,11 @@ let kthread_body t svc () =
                  {
                    cid = Container.id container;
                    container = Container.name container;
-                   depth = Queue.length (queue_for t container);
+                   depth = Workpool.queue_length (queue_for t container);
                  });
           Machine.cpu ~kernel:true (cost_of_work t work);
           perform t work;
+          Workpool.release t.pool work;
           if not (is_idle_class container) then drain container
     end
   in
@@ -597,6 +637,7 @@ let kthread_body t svc () =
         else Machine.rebind t.machine self svc.svc_home;
         Machine.cpu ~kernel:true (cost_of_work t work);
         perform t work;
+        Workpool.release t.pool work;
         drain container;
         svc.svc_busy <- false;
         loop ()
@@ -634,6 +675,7 @@ let create ?(mtu = 1460) ?(latency = Simtime.us 150) ?(costs = default_costs)
     ?(link_mbps = 100.) ?(queue_cap = 64) ?(syn_timeout = Simtime.sec 75)
     ?(softirq_charge = Charge_system) ~machine ~mode ~owner () =
   if link_mbps <= 0. then invalid_arg "Stack.create: link rate must be positive";
+  let system = Machine.system_container machine in
   let t =
     {
       machine;
@@ -647,15 +689,22 @@ let create ?(mtu = 1460) ?(latency = Simtime.us 150) ?(costs = default_costs)
       softirq_charge;
       owner;
       listen_sockets = [];
+      demux = Demux.create ();
       on_event = (fun () -> ());
       on_syn_drop = (fun _ _ -> ());
+      pool = Workpool.create ();
       queues = Hashtbl.create 64;
       served_stamp = Hashtbl.create 64;
       service_tick = 0;
       pending = 0;
       services = [];
-      conns = [];
-      conns_since_prune = 0;
+      conns = Conn_table.create ();
+      irq_cost = Simtime.span_add costs.irq_per_packet costs.demux;
+      system_charge = `Container system;
+      softirq_charge_v =
+        (match softirq_charge with
+        | Charge_current -> `Current_or_system
+        | Charge_system -> `Container system);
       stats =
         {
           syns_received = 0;
@@ -691,7 +740,9 @@ let create ?(mtu = 1460) ?(latency = Simtime.us 150) ?(costs = default_costs)
   let inv = Machine.invariants machine in
   if not (List.mem "net.pending-consistency" (I.names inv)) then begin
     I.register inv ~law:"net.pending-consistency" (fun () ->
-        let queued = Hashtbl.fold (fun _ (q, _) acc -> acc + Queue.length q) t.queues 0 in
+        let queued =
+          Hashtbl.fold (fun _ (q, _) acc -> acc + Workpool.queue_length q) t.queues 0
+        in
         I.equal_int ~what:"queued deferred packets vs stack pending counter" queued t.pending);
     I.register inv ~law:"net.queue-bounds" (fun () ->
         let rec scan = function
@@ -716,11 +767,33 @@ let create ?(mtu = 1460) ?(latency = Simtime.us 150) ?(costs = default_costs)
         in
         scan t.listen_sockets);
     I.register inv ~law:"net.memory-conservation" (fun () ->
-        prune_conns t;
         I.equal_int ~what:"buffered rx bytes vs root-subtree memory_bytes"
           (buffered_rx_bytes t)
           (Rescont.Usage.memory_bytes
-             (Container.subtree_usage (Machine.root machine))))
+             (Container.subtree_usage (Machine.root machine))));
+    (* Pooled work items can never leak or double-free silently: every item
+       is on the free list, held by a service thread, or queued for one —
+       and each per-container queue's linked length matches its counter. *)
+    I.register inv ~law:"net.pool-consistency" (fun () ->
+        let allocated, free, in_service, queued = Workpool.stats t.pool in
+        match
+          I.equal_int ~what:"pooled work items: free + in-service + queued vs allocated"
+            (free + in_service + queued) allocated
+        with
+        | Error _ as e -> e
+        | Ok () ->
+            let structural =
+              Hashtbl.fold (fun _ (q, _) acc -> acc + Workpool.queue_length q) t.queues 0
+            in
+            (match
+               I.equal_int ~what:"pool queued counter vs per-container queue lengths"
+                 queued structural
+             with
+            | Error _ as e -> e
+            | Ok () ->
+                if Hashtbl.fold (fun _ (q, _) acc -> acc && Workpool.queue_validate q) t.queues true
+                then Ok ()
+                else Error "a per-container work queue fails structural validation"))
   end;
   (match mode with
   | Softirq -> ()
@@ -767,7 +840,7 @@ let close t conn =
   if conn.Socket.state <> Socket.Closed then begin
     Machine.cpu ~kernel:true
       (Simtime.span_add t.costs.fin_process t.costs.conn_teardown);
-    conn.Socket.state <- Socket.Closed;
+    mark_closed t conn;
     (* Unread buffered data still occupies socket-buffer memory charged to
        the owning container; tearing the connection down frees the buffers,
        so the charge must be credited back or the principal leaks memory
@@ -786,13 +859,13 @@ let close t conn =
 
 let connect t ~src ?(src_port = 0) ~port ~handlers () =
   schedule t t.latency (fun () ->
-      arrival t (P_syn { src; src_port; port; client = handlers; completes = true }))
+      syn_arrival t ~src ~src_port ~port ~client:handlers ~completes:true)
 
 let client_send t conn payload =
-  schedule t (delivery_delay t payload) (fun () -> arrival t (P_data (conn, payload)))
+  schedule t (delivery_delay t payload) (fun () -> data_arrival t conn payload)
 
-let client_close t conn = schedule t t.latency (fun () -> arrival t (P_fin conn))
+let client_close t conn = schedule t t.latency (fun () -> fin_arrival t conn)
 
 let inject_syn t ~src ~port =
   schedule t Simtime.span_zero (fun () ->
-      arrival t (P_syn { src; src_port = 0; port; client = Socket.null_handlers; completes = false }))
+      syn_arrival t ~src ~src_port:0 ~port ~client:Socket.null_handlers ~completes:false)

@@ -166,3 +166,26 @@ val stamp_table_size : t -> int
     queue table). *)
 
 val listens : t -> Socket.listen list
+
+val demux_lookup : t -> port:int -> src:Ipaddr.t -> Socket.listen option
+(** The production early demultiplexer: first match in the port-indexed,
+    specificity-sorted {!Demux} table. *)
+
+val demux_reference : t -> port:int -> src:Ipaddr.t -> Socket.listen option
+(** Reference demux semantics — a fold over every listen socket picking
+    the most specific match, ties to the earliest bound.  Executable
+    specification for the QCheck equivalence property; not on the packet
+    path. *)
+
+val reap : t -> int
+(** Remove closed connections from the registry, returning how many were
+    removed.  Connections already leave the registry the moment they
+    close, so this normally removes nothing — and, unlike the old
+    list-rebuild prune, performs no allocation when it doesn't. *)
+
+val tracked_conns : t -> int
+(** Non-closed connections currently in the registry. *)
+
+val pool_stats : t -> int * int * int * int
+(** [(allocated, free, in_service, queued)] work items in the packet-work
+    pool; see {!Workpool.stats}. *)

@@ -17,12 +17,33 @@ type thread = {
   mutable ready_since : Simtime.t; (* when it last became runnable *)
 }
 
+(* One dispatch record per processor, allocated at machine creation and
+   reused for every slice (a record, a [Some] box and an end-of-slice
+   closure per dispatch otherwise add up to the single largest allocation
+   stream in a run).  [d_thread] is only meaningful while the slot is
+   occupied ([currents.(cpu)] is [Some]); between slices it retains the
+   previous occupant, which pins nothing beyond the thread table. *)
 type dispatch = {
-  d_thread : thread;
+  mutable d_thread : thread;
   d_cpu : int; (* which processor the slice runs on *)
-  d_work : int; (* ns of work in this slice *)
+  mutable d_work : int; (* ns of work in this slice *)
   mutable d_end_time : Simtime.t; (* wall-clock end, grows when time is stolen *)
   mutable d_end_event : Sim.event;
+  mutable d_fin : unit -> unit; (* preallocated [finish_slice] thunk *)
+}
+
+(* The effect handlers, allocated once per machine.  [effc] used to build
+   a fresh [Some (fun k -> ...)] closure on every perform — a steady
+   per-request allocation stream on the packet path.  Each handler reads
+   the performing thread from [exec] (always set while thread code runs)
+   and any effect payload from scratch cells on [t], which [effc] fills
+   before handing the handler back. *)
+type handlers = {
+  h_cpu : ((unit, unit) Effect.Deep.continuation -> unit) option;
+  h_sleep : ((unit, unit) Effect.Deep.continuation -> unit) option;
+  h_yield : ((unit, unit) Effect.Deep.continuation -> unit) option;
+  h_wait : ((unit, unit) Effect.Deep.continuation -> unit) option;
+  h_self : ((thread, unit) Effect.Deep.continuation -> unit) option;
 }
 
 type t = {
@@ -31,8 +52,13 @@ type t = {
   root : Container.t;
   quantum : int;
   currents : dispatch option array; (* one slot per processor *)
+  mutable dispatch_pool : dispatch array; (* the per-cpu reusable records *)
+  mutable dispatch_some : dispatch option array; (* preallocated [Some pool.(cpu)] *)
   mutable exec : thread option; (* thread whose OCaml code is running *)
   mutable kick_pending : bool;
+  mutable kick_fn : unit -> unit; (* preallocated: clears kick_pending, dispatches *)
+  mutable dispatch_fn : unit -> unit; (* preallocated [dispatch_next] thunk *)
+  mutable dummy_event : Sim.event; (* inert cancelled event; fresh dispatches start here *)
   mutable irq_busy_until : Simtime.t; (* interrupts run on processor 0 *)
   mutable busy : int; (* total ns consumed, all processors *)
   mutable threads : thread list;
@@ -48,17 +74,21 @@ type t = {
   c_kills : Engine.Metrics.counter;
   c_rebinds : Engine.Metrics.counter;
   c_irq_steals : Engine.Metrics.counter;
+  mutable handlers : handlers; (* installed by [create], before any thread runs *)
+  mutable eff_sleep_ns : int; (* E_sleep payload, valid only inside [effc] *)
+  mutable eff_wq : waitq option; (* E_wait payload, likewise *)
 }
+
+(* Wait queues participate in the effect type and in [t], so they live in
+   the recursive group. *)
+and waitq = { wq_name : string; wq_machine : t; mutable wq_waiters : thread list }
 
 type _ Effect.t +=
   | E_cpu : { cost : int; kernel : bool } -> unit Effect.t
   | E_sleep : int -> unit Effect.t
   | E_yield : unit Effect.t
   | E_self : thread Effect.t
-
-(* Wait queues participate in the effect type, so they live here. *)
-type waitq = { wq_name : string; wq_machine : t; mutable wq_waiters : thread list }
-type _ Effect.t += E_wait : waitq -> unit Effect.t
+  | E_wait : waitq -> unit Effect.t
 
 let sim m = m.sim
 let now m = Sim.now m.sim
@@ -128,43 +158,24 @@ and start_body m thread body =
           Binding.drop thread.task.Task.binding);
       exnc = (fun e -> raise e);
       effc =
-        (fun (type a) (eff : a Effect.t) ->
+        (fun (type a) (eff : a Effect.t) : ((a, unit) continuation -> unit) option ->
+          (* The payload is stashed on [m] (or directly on the thread)
+             here, and the matching preallocated handler — which runs
+             immediately, before anything else can touch the scratch
+             cells — picks it up.  [m.exec] is the performing thread. *)
           match eff with
           | E_cpu { cost; kernel } ->
-              Some
-                (fun (k : (a, unit) continuation) ->
-                  thread.cont <- Some k;
-                  thread.pending <- max 0 cost;
-                  thread.kernel_mode <- kernel;
-                  thread.state <- Ready;
-                  thread.ready_since <- now m;
-                  m.pol.Sched.Policy.enqueue thread.task;
-                  kick m)
+              thread.pending <- max 0 cost;
+              thread.kernel_mode <- kernel;
+              m.handlers.h_cpu
           | E_sleep span_ns ->
-              Some
-                (fun k ->
-                  thread.cont <- Some k;
-                  thread.state <- Blocked;
-                  m.pol.Sched.Policy.dequeue thread.task;
-                  ignore
-                    (Sim.after m.sim (Simtime.span_of_ns span_ns) (fun () ->
-                         make_runnable m thread)))
-          | E_yield ->
-              Some
-                (fun k ->
-                  thread.cont <- Some k;
-                  thread.state <- Ready;
-                  thread.ready_since <- now m;
-                  m.pol.Sched.Policy.enqueue thread.task;
-                  kick m)
+              m.eff_sleep_ns <- span_ns;
+              m.handlers.h_sleep
+          | E_yield -> m.handlers.h_yield
           | E_wait wq ->
-              Some
-                (fun k ->
-                  thread.cont <- Some k;
-                  thread.state <- Blocked;
-                  m.pol.Sched.Policy.dequeue thread.task;
-                  wq.wq_waiters <- wq.wq_waiters @ [ thread ])
-          | E_self -> Some (fun k -> continue k thread)
+              m.eff_wq <- Some wq;
+              m.handlers.h_wait
+          | E_self -> m.handlers.h_self
           | _ -> None);
     }
 
@@ -179,14 +190,10 @@ and make_runnable m thread =
 and kick m =
   if not m.kick_pending then begin
     m.kick_pending <- true;
-    ignore
-      (Sim.after m.sim Simtime.span_zero (fun () ->
-           m.kick_pending <- false;
-           dispatch_next m))
+    Sim.post m.sim Simtime.span_zero m.kick_fn
   end
 
-and kick_at m time =
-  ignore (Sim.at m.sim time (fun () -> dispatch_next m))
+and kick_at m time = Sim.post_at m.sim time m.dispatch_fn
 
 and dispatch_next m =
   match free_cpu m with
@@ -255,18 +262,12 @@ and start_slice m thread ~cpu =
   (* A running task leaves the policy's queues so another processor cannot
      pick it concurrently; it re-enters at slice end. *)
   m.pol.Sched.Policy.dequeue thread.task;
-  let d =
-    {
-      d_thread = thread;
-      d_cpu = cpu;
-      d_work = work;
-      d_end_time = Simtime.add (now m) (Simtime.span_of_ns work);
-      d_end_event = Sim.after m.sim Simtime.span_zero (fun () -> ());
-    }
-  in
-  ignore (Sim.cancel m.sim d.d_end_event);
-  d.d_end_event <- Sim.at m.sim d.d_end_time (fun () -> finish_slice m d);
-  m.currents.(cpu) <- Some d
+  let d = m.dispatch_pool.(cpu) in
+  d.d_thread <- thread;
+  d.d_work <- work;
+  d.d_end_time <- Simtime.add (now m) (Simtime.span_of_ns work);
+  d.d_end_event <- Sim.at m.sim d.d_end_time d.d_fin;
+  m.currents.(cpu) <- m.dispatch_some.(cpu)
 
 and finish_slice m d =
   m.currents.(d.d_cpu) <- None;
@@ -309,8 +310,15 @@ let create ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(prune_interval = Simtime.ms 1
       root;
       quantum = Simtime.span_to_ns quantum;
       currents = Array.make cpus None;
+      dispatch_pool = [||]; (* filled below, once [m] exists *)
+      dispatch_some = [||];
       exec = None;
       kick_pending = false;
+      kick_fn = ignore;
+      dispatch_fn = ignore;
+      dummy_event = (let e = Sim.after sim Simtime.span_zero (fun () -> ()) in
+                     ignore (Sim.cancel sim e);
+                     e);
       irq_busy_until = Simtime.zero;
       busy = 0;
       threads = [];
@@ -326,8 +334,76 @@ let create ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(prune_interval = Simtime.ms 1
       c_kills = Engine.Metrics.counter metrics "machine.kills";
       c_rebinds = Engine.Metrics.counter metrics "machine.rebinds";
       c_irq_steals = Engine.Metrics.counter metrics "machine.irq_steals";
+      handlers = { h_cpu = None; h_sleep = None; h_yield = None; h_wait = None; h_self = None };
+      eff_sleep_ns = 0;
+      eff_wq = None;
     }
   in
+  let exec_thread () =
+    match m.exec with
+    | Some thread -> thread
+    | None -> invalid_arg "Machine: effect performed outside a machine thread"
+  in
+  m.handlers <-
+    {
+      h_cpu =
+        Some
+          (fun k ->
+            let thread = exec_thread () in
+            thread.cont <- Some k;
+            thread.state <- Ready;
+            thread.ready_since <- now m;
+            m.pol.Sched.Policy.enqueue thread.task;
+            kick m);
+      h_sleep =
+        Some
+          (fun k ->
+            let thread = exec_thread () in
+            thread.cont <- Some k;
+            thread.state <- Blocked;
+            m.pol.Sched.Policy.dequeue thread.task;
+            Sim.post m.sim (Simtime.span_of_ns m.eff_sleep_ns) (fun () ->
+                make_runnable m thread));
+      h_yield =
+        Some
+          (fun k ->
+            let thread = exec_thread () in
+            thread.cont <- Some k;
+            thread.state <- Ready;
+            thread.ready_since <- now m;
+            m.pol.Sched.Policy.enqueue thread.task;
+            kick m);
+      h_wait =
+        Some
+          (fun k ->
+            let thread = exec_thread () in
+            thread.cont <- Some k;
+            thread.state <- Blocked;
+            m.pol.Sched.Policy.dequeue thread.task;
+            match m.eff_wq with
+            | Some wq ->
+                m.eff_wq <- None;
+                wq.wq_waiters <- wq.wq_waiters @ [ thread ]
+            | None -> assert false);
+      h_self = Some (fun k -> Effect.Deep.continue k (exec_thread ()));
+    };
+  m.kick_fn <-
+    (fun () ->
+      m.kick_pending <- false;
+      dispatch_next m);
+  m.dispatch_fn <- (fun () -> dispatch_next m);
+  m.dispatch_pool <-
+    Array.init cpus (fun cpu ->
+        (* [d_thread] is written by [start_slice] before anyone reads it;
+           the [Obj.magic] placeholder is never dereferenced (same pattern
+           as the wheel's sentinel payload). *)
+        let d =
+          { d_thread = Obj.magic 0; d_cpu = cpu; d_work = 0; d_end_time = Simtime.zero;
+            d_end_event = m.dummy_event; d_fin = ignore }
+        in
+        d.d_fin <- (fun () -> finish_slice m d);
+        d);
+  m.dispatch_some <- Array.map (fun d -> Some d) m.dispatch_pool;
   Engine.Metrics.gauge metrics "machine.busy_ns" (fun () -> float_of_int m.busy);
   Engine.Metrics.gauge metrics "machine.runnable_tasks" (fun () ->
       float_of_int (m.pol.Sched.Policy.runnable_count ()));
@@ -517,7 +593,7 @@ let steal_time m ~cost ~charge =
     | Some d ->
         ignore (Sim.cancel m.sim d.d_end_event);
         d.d_end_time <- Simtime.add d.d_end_time cost;
-        d.d_end_event <- Sim.at m.sim d.d_end_time (fun () -> finish_slice m d)
+        d.d_end_event <- Sim.at m.sim d.d_end_time d.d_fin
     | None ->
         m.irq_busy_until <- Simtime.add (Simtime.max m.irq_busy_until (now m)) cost
   end

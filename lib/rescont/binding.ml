@@ -29,6 +29,17 @@ let scheduler_binding t =
   in
   List.map (fun e -> e.container) sorted
 
+(* Recency-unordered view of the same set, for order-independent consumers
+   (a sum or max over the set): no sort, no list, no allocation. *)
+let iter_scheduler_containers t f =
+  let rec go = function
+    | [] -> ()
+    | e :: rest ->
+        f e.container;
+        go rest
+  in
+  go t.sched_set
+
 let touch t ~now =
   match find_entry t t.resource with
   | Some e -> e.last_used <- now

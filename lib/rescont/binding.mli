@@ -28,6 +28,12 @@ val scheduler_binding : t -> Container.t list
 (** Containers currently in the scheduler binding, most recently used
     first.  Always contains the resource binding. *)
 
+val iter_scheduler_containers : t -> (Container.t -> unit) -> unit
+(** Apply a function to every container in the scheduler binding, in
+    unspecified order and without allocating.  For order-independent
+    aggregations (the timeshare scheduler's usage sum / priority max over
+    a combined binding) on the per-dispatch path. *)
+
 val touch : t -> now:Engine.Simtime.t -> unit
 (** Record use of the current resource binding (called when the thread is
     charged), refreshing its recency in the scheduler-binding set. *)

@@ -24,6 +24,18 @@ module Simtime = Engine.Simtime
 module Container = Rescont.Container
 module Attrs = Rescont.Attrs
 
+(* Per-pick float scratch, one record per node.  All-float records have
+   the flat representation, so accumulating into these fields stores
+   unboxed floats — a [float ref] would box on every [:=].  Safe as
+   per-node (not per-call) state because a pick descends a tree: no node
+   is ever re-entered within one pick. *)
+type fscratch = {
+  mutable a_fixed : float; (* sum of eligible fixed shares *)
+  mutable a_ts : float; (* sum of eligible timeshare priorities *)
+  mutable a_residual : float; (* residual weight for timeshare kids, this round *)
+  mutable a_tssum : float; (* clamped a_ts, this round *)
+}
+
 type cstate = {
   mutable vt : float; (* weight-normalised service received *)
   mutable last_weight : float; (* weight in effect when last picked *)
@@ -36,6 +48,9 @@ type cstate = {
   mutable kids_key : Container.t list; (* children list the index was built from *)
   mutable kids : kid array; (* as a parent: index over children *)
   mutable scratch : kid array; (* eligible children of the current round *)
+  mutable s_elig : int; (* as a parent: eligible-child count, this round *)
+  mutable s_any : bool; (* as a parent: any child subtree has queued work *)
+  fs : fscratch; (* as a parent: float accumulators, this round *)
 }
 
 and kid = { kc : Container.t; ks : cstate; kcount : int ref }
@@ -51,13 +66,14 @@ let make ?(window = Simtime.ms 100) ?invariants ~root () =
   let states : (int, cstate) Hashtbl.t = Hashtbl.create 64 in
   let state_of container =
     let cid = Container.id container in
-    match Hashtbl.find_opt states cid with
-    | Some s -> s
-    | None ->
+    match Hashtbl.find states cid with
+    | s -> s
+    | exception Not_found ->
         let s =
           { vt = 0.; last_weight = 1.; win_id = -1; win_used = 0; last_round = 0;
             tried_round = -1; node_round = 0; node_vnow = 0.; kids_key = []; kids = [||];
-            scratch = [||] }
+            scratch = [||]; s_elig = 0; s_any = false;
+            fs = { a_fixed = 0.; a_ts = 0.; a_residual = 0.; a_tssum = 0. } }
         in
         Hashtbl.replace states cid s;
         s
@@ -103,6 +119,11 @@ let make ?(window = Simtime.ms 100) ?invariants ~root () =
       if n > 0 && Array.length nstate.scratch < n then nstate.scratch <- Array.make n arr.(0)
     end
   in
+  (* The pick path is written allocation-free: the per-round counters and
+     weight sums live in the node's own scratch fields (never clobbered —
+     a pick descends a tree, so no node is re-entered), and the retry
+     scan is the mutually recursive [select_round] rather than a local
+     closure, which would be allocated on every call. *)
   let rec pick_node ~now ~include_idle node nstate =
     if throttled_s ~now node nstate then None
     else begin
@@ -110,31 +131,32 @@ let make ?(window = Simtime.ms 100) ?invariants ~root () =
       let kids = nstate.kids in
       let nkids = Array.length kids in
       let scratch = nstate.scratch in
-      let any_work = ref false in
-      let elig_n = ref 0 in
-      let fixed_sum = ref 0. in
-      let ts_prio_sum = ref 0. in
+      let fs = nstate.fs in
+      nstate.s_any <- false;
+      nstate.s_elig <- 0;
+      fs.a_fixed <- 0.;
+      fs.a_ts <- 0.;
       (* One pass: children with queued subtree work, their eligibility
          (idle demotion, window throttle) and the weight sums of the
          eligible set — all in child order, as the reference does it. *)
       for i = 0 to nkids - 1 do
         let k = Array.unsafe_get kids i in
         if !(k.kcount) > 0 then begin
-          any_work := true;
+          nstate.s_any <- true;
           if
             (include_idle || not (is_idle_ts k.kc)) && not (throttled_s ~now k.kc k.ks)
           then begin
             (match (Container.attrs k.kc).Attrs.sched_class with
-            | Attrs.Fixed_share s -> fixed_sum := !fixed_sum +. s
+            | Attrs.Fixed_share s -> fs.a_fixed <- fs.a_fixed +. s
             | Attrs.Timeshare ->
-                ts_prio_sum :=
-                  !ts_prio_sum +. float_of_int (max 1 (Container.attrs k.kc).Attrs.priority));
-            Array.unsafe_set scratch !elig_n k;
-            incr elig_n
+                fs.a_ts <-
+                  fs.a_ts +. float_of_int (max 1 (Container.attrs k.kc).Attrs.priority));
+            Array.unsafe_set scratch nstate.s_elig k;
+            nstate.s_elig <- nstate.s_elig + 1
           end
         end
       done;
-      if not !any_work then Runq.front runq node
+      if not nstate.s_any then Runq.front runq node
       else begin
         let round = nstate.node_round + 1 in
         nstate.node_round <- round;
@@ -142,49 +164,50 @@ let make ?(window = Simtime.ms 100) ?invariants ~root () =
            eligible in the previous round (fresh container, or waking
            after idleness) starts at the node's virtual clock — it is
            neither penalised for history nor allowed to replay it. *)
-        for i = 0 to !elig_n - 1 do
+        for i = 0 to nstate.s_elig - 1 do
           let s = (Array.unsafe_get scratch i).ks in
           if s.last_round < round - 1 && s.vt < nstate.node_vnow then s.vt <- nstate.node_vnow;
           s.last_round <- round
         done;
-        let residual = Float.max 0.02 (1. -. !fixed_sum) in
-        let ts_sum = Float.max 1e-9 !ts_prio_sum in
-        let weight_of k =
-          match (Container.attrs k.kc).Attrs.sched_class with
-          | Attrs.Fixed_share s -> Float.max 1e-3 s
-          | Attrs.Timeshare ->
-              residual *. float_of_int (max 1 (Container.attrs k.kc).Attrs.priority) /. ts_sum
-        in
-        (* Min-scan over (vt, id) replaces the sort: descend into the
-           lowest-vt eligible child; if its whole subtree yields nothing
-           (deep throttling), mark it tried and rescan. *)
-        let rec select () =
-          let best = ref (-1) in
-          for i = 0 to !elig_n - 1 do
-            let k = Array.unsafe_get scratch i in
-            if k.ks.tried_round <> round then
-              if !best < 0 then best := i
-              else
-                let b = Array.unsafe_get scratch !best in
-                if
-                  k.ks.vt < b.ks.vt
-                  || (k.ks.vt = b.ks.vt && Container.id k.kc < Container.id b.kc)
-                then best := i
-          done;
-          if !best < 0 then None
-          else begin
-            let k = Array.unsafe_get scratch !best in
-            k.ks.tried_round <- round;
-            match pick_node ~now ~include_idle k.kc k.ks with
-            | Some task ->
-                k.ks.last_weight <- weight_of k;
-                nstate.node_vnow <- Float.max nstate.node_vnow k.ks.vt;
-                Some task
-            | None -> select ()
-          end
-        in
-        select ()
+        fs.a_residual <- Float.max 0.02 (1. -. fs.a_fixed);
+        fs.a_tssum <- Float.max 1e-9 fs.a_ts;
+        select_round ~now ~include_idle nstate round
       end
+    end
+  (* Min-scan over (vt, id) replaces the sort: descend into the lowest-vt
+     eligible child; if its whole subtree yields nothing (deep
+     throttling), mark it tried and rescan. *)
+  and select_round ~now ~include_idle nstate round =
+    let scratch = nstate.scratch in
+    let best = ref (-1) in
+    for i = 0 to nstate.s_elig - 1 do
+      let k = Array.unsafe_get scratch i in
+      if k.ks.tried_round <> round then
+        if !best < 0 then best := i
+        else
+          let b = Array.unsafe_get scratch !best in
+          if
+            k.ks.vt < b.ks.vt
+            || (k.ks.vt = b.ks.vt && Container.id k.kc < Container.id b.kc)
+          then best := i
+    done;
+    if !best < 0 then None
+    else begin
+      let k = Array.unsafe_get scratch !best in
+      k.ks.tried_round <- round;
+      match pick_node ~now ~include_idle k.kc k.ks with
+      | Some task ->
+          (let fs = nstate.fs in
+           k.ks.last_weight <-
+             (match (Container.attrs k.kc).Attrs.sched_class with
+             | Attrs.Fixed_share s -> Float.max 1e-3 s
+             | Attrs.Timeshare ->
+                 fs.a_residual
+                 *. float_of_int (max 1 (Container.attrs k.kc).Attrs.priority)
+                 /. fs.a_tssum));
+          nstate.node_vnow <- Float.max nstate.node_vnow k.ks.vt;
+          Some task
+      | None -> select_round ~now ~include_idle nstate round
     end
   in
   let root_state = state_of root in

@@ -34,9 +34,9 @@ let create () =
 
 let subtree_count_ref t container =
   let cid = Container.id container in
-  match Hashtbl.find_opt t.counts cid with
-  | Some r -> r
-  | None ->
+  match Hashtbl.find t.counts cid with
+  | r -> r
+  | exception Not_found ->
       let r = ref 0 in
       Hashtbl.replace t.counts cid r;
       r
@@ -64,9 +64,9 @@ let sync t =
 
 let queue_for t container =
   let cid = Container.id container in
-  match Hashtbl.find_opt t.queues cid with
-  | Some cq -> cq
-  | None ->
+  match Hashtbl.find t.queues cid with
+  | cq -> cq
+  | exception Not_found ->
       let cq = { q = Queue.create (); container; live = 0 } in
       Hashtbl.replace t.queues cid cq;
       cq
@@ -74,17 +74,18 @@ let queue_for t container =
 let mem t task = Hashtbl.mem t.where task.Task.id
 
 let entry_live t cid e =
-  match Hashtbl.find_opt t.where e.task.Task.id with
-  | Some (c, s) -> c = cid && s = e.stamp
-  | None -> false
+  match Hashtbl.find t.where e.task.Task.id with
+  | c, s -> c = cid && s = e.stamp
+  | exception Not_found -> false
 
 (* Drop stale entries sitting at the front. *)
 let rec skim t cid cq =
-  match Queue.peek_opt cq.q with
-  | Some e when not (entry_live t cid e) ->
+  match Queue.peek cq.q with
+  | e when not (entry_live t cid e) ->
       ignore (Queue.pop cq.q);
       skim t cid cq
-  | Some _ | None -> ()
+  | _ -> ()
+  | exception Queue.Empty -> ()
 
 let compact_cq t cid cq =
   let keep = Queue.create () in
@@ -108,16 +109,16 @@ let enqueue t task =
   end
 
 let dequeue t task =
-  match Hashtbl.find_opt t.where task.Task.id with
-  | None -> ()
-  | Some (cid, _stamp) -> (
+  match Hashtbl.find t.where task.Task.id with
+  | exception Not_found -> ()
+  | cid, _stamp -> (
       sync t;
       Hashtbl.remove t.where task.Task.id;
-      match Hashtbl.find_opt t.queues cid with
-      | Some cq ->
+      match Hashtbl.find t.queues cid with
+      | cq ->
           cq.live <- cq.live - 1;
           bump_chain t cq.container (-1)
-      | None -> ())
+      | exception Not_found -> ())
 
 let requeue t task =
   dequeue t task;
@@ -127,33 +128,39 @@ let count t = Hashtbl.length t.where
 
 let front t container =
   let cid = Container.id container in
-  match Hashtbl.find_opt t.queues cid with
-  | Some cq when cq.live > 0 -> (
+  match Hashtbl.find t.queues cid with
+  | exception Not_found -> None
+  | cq when cq.live > 0 -> (
       skim t cid cq;
-      match Queue.peek_opt cq.q with Some e -> Some e.task | None -> None)
-  | Some _ | None -> None
+      match Queue.peek cq.q with e -> Some e.task | exception Queue.Empty -> None)
+  | _ -> None
 
 let rotate t container =
   let cid = Container.id container in
-  match Hashtbl.find_opt t.queues cid with
-  | Some cq when cq.live > 1 -> (
+  match Hashtbl.find t.queues cid with
+  | exception Not_found -> ()
+  | cq when cq.live > 1 -> (
       skim t cid cq;
-      match Queue.take_opt cq.q with Some head -> Queue.push head cq.q | None -> ())
-  | Some _ | None -> ()
+      match Queue.take cq.q with head -> Queue.push head cq.q | exception Queue.Empty -> ())
+  | _ -> ()
 
 let container_has_work t container =
-  match Hashtbl.find_opt t.queues (Container.id container) with
-  | Some cq -> cq.live > 0
-  | None -> false
+  match Hashtbl.find t.queues (Container.id container) with
+  | cq -> cq.live > 0
+  | exception Not_found -> false
 
 let subtree_has_work t container =
   sync t;
-  match Hashtbl.find_opt t.counts (Container.id container) with
-  | Some r -> !r > 0
-  | None -> false
+  match Hashtbl.find t.counts (Container.id container) with
+  | r -> !r > 0
+  | exception Not_found -> false
 
 let containers_with_work t =
   Hashtbl.fold (fun _ cq acc -> if cq.live > 0 then cq.container :: acc else acc) t.queues []
+
+(* Visit every container with live queued work, in the same traversal
+   order [containers_with_work] uses, without building the list. *)
+let iter_busy t f = Hashtbl.iter (fun _ cq -> if cq.live > 0 then f cq.container) t.queues
 
 (* Re-derive every maintained count from the membership table and compare:
    the incremental bookkeeping ([live], [counts], [where]) must agree with

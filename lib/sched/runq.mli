@@ -50,6 +50,12 @@ val sync : t -> unit
 val containers_with_work : t -> Rescont.Container.t list
 (** Distinct containers with non-empty queues, in no specified order. *)
 
+val iter_busy : t -> (Rescont.Container.t -> unit) -> unit
+(** [iter_busy t f] applies [f] to every container with live queued work,
+    visiting in the same traversal order {!containers_with_work} builds
+    its list from — but without allocating it.  The per-dispatch pick
+    path of the timeshare policy runs on this. *)
+
 val validate : t -> (unit, string) result
 (** Conservation check: re-derives per-container live counts and subtree
     occupancy from the membership table and compares them with the

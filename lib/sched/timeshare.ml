@@ -1,17 +1,24 @@
 module Simtime = Engine.Simtime
 module Container = Rescont.Container
 module Attrs = Rescont.Attrs
+module Binding = Rescont.Binding
 
 type cstate = { decay : Decay.t }
+
+(* An all-float record gets the flat float representation, so writing the
+   field stores an unboxed float — the pick path's scratch accumulators
+   live in cells like this instead of [float ref]s, which would box on
+   every store. *)
+type fcell = { mutable fv : float }
 
 let make ?(tau = Simtime.sec 1) () =
   let runq = Runq.create () in
   let states : (int, cstate) Hashtbl.t = Hashtbl.create 64 in
   let state_of container =
     let cid = Container.id container in
-    match Hashtbl.find_opt states cid with
-    | Some s -> s
-    | None ->
+    match Hashtbl.find states cid with
+    | s -> s
+    | exception Not_found ->
         let s = { decay = Decay.create ~tau } in
         Hashtbl.replace states cid s;
         s
@@ -21,36 +28,55 @@ let make ?(tau = Simtime.sec 1) () =
      is the {e combined} decayed usage of the thread's whole scheduler
      binding, and the priority the best among those containers — a thread
      multiplexed over several activities is scheduled by the set, not by
-     whichever container it happens to be bound to right now (§4.3). *)
-  let badness_of_task ~now task =
-    let containers = Task.scheduler_containers task in
-    let usage =
-      List.fold_left (fun acc c -> acc +. Decay.read (state_of c).decay ~now) 0. containers
-    in
-    let priority =
-      List.fold_left (fun acc c -> max acc (Container.attrs c).Attrs.priority) 0 containers
-    in
-    usage /. float_of_int (max 1 priority)
+     whichever container it happens to be bound to right now (§4.3).
+
+     The scan runs once per dispatch, so it is written allocation-free:
+     scratch cells hoisted out of the closures, a single pass over the
+     run-queue's busy containers instead of materialised candidate lists,
+     and the binding set folded in place rather than sorted.  Ties on
+     badness resolve to the container visited last, exactly as the old
+     list-building pick did (it consed the candidates up in visit order,
+     reversing them, then kept the first minimum). *)
+  let cur_now = ref Simtime.zero in
+  let usage_sum = { fv = 0. } in
+  let prio_max = ref 0 in
+  let add_binding_member c =
+    usage_sum.fv <- usage_sum.fv +. Decay.read (state_of c).decay ~now:!cur_now;
+    let p = (Container.attrs c).Attrs.priority in
+    if p > !prio_max then prio_max := p
+  in
+  let badness_of_task task =
+    usage_sum.fv <- 0.;
+    prio_max := 0;
+    Binding.iter_scheduler_containers task.Task.binding add_binding_member;
+    usage_sum.fv /. float_of_int (max 1 !prio_max)
+  in
+  let best_regular = ref None in
+  let best_regular_bad = { fv = 0. } in
+  let best_idle = ref None in
+  let best_idle_bad = { fv = 0. } in
+  let consider container =
+    match Runq.front runq container with
+    | None -> ()
+    | Some task ->
+        let b = badness_of_task task in
+        if Attrs.is_idle_class (Container.attrs container) then begin
+          if !best_idle = None || b <= best_idle_bad.fv then begin
+            best_idle := Some task;
+            best_idle_bad.fv <- b
+          end
+        end
+        else if !best_regular = None || b <= best_regular_bad.fv then begin
+          best_regular := Some task;
+          best_regular_bad.fv <- b
+        end
   in
   let pick ~now =
-    let with_work = Runq.containers_with_work runq in
-    let regular, idle =
-      List.partition (fun c -> not (Attrs.is_idle_class (Container.attrs c))) with_work
-    in
-    let candidates = if regular <> [] then regular else idle in
-    let best =
-      List.fold_left
-        (fun acc c ->
-          match Runq.front runq c with
-          | None -> acc
-          | Some task -> (
-              let b = badness_of_task ~now task in
-              match acc with
-              | Some (_, best_bad) when best_bad <= b -> acc
-              | Some _ | None -> Some (task, b)))
-        None candidates
-    in
-    match best with None -> None | Some (task, _) -> Some task
+    cur_now := now;
+    best_regular := None;
+    best_idle := None;
+    Runq.iter_busy runq consider;
+    match !best_regular with Some _ as r -> r | None -> !best_idle
   in
   let charge ~container ~now span =
     Decay.add (state_of container).decay ~now span;

@@ -14,6 +14,10 @@ type client = {
   mutable established : bool; (* current attempt reached establishment *)
   mutable issued : Simtime.t; (* when the current request was initiated *)
   mutable remaining : int; (* requests left on the current connection *)
+  mutable handlers : Socket.client_handlers;
+      (* one preallocated record per client, not one per attempt: the
+         attempt number rides in the connection's ephemeral source port,
+         so the shared callbacks can tell live events from stale ones *)
 }
 
 type t = {
@@ -59,6 +63,7 @@ let create ~stack ?(name = "clients") ?(src_base = Ipaddr.v 10 1 0 1) ?(port = 8
           established = false;
           issued = Simtime.zero;
           remaining = 0;
+          handlers = Socket.null_handlers;
         })
   in
   let path_mix =
@@ -99,7 +104,7 @@ let create ~stack ?(name = "clients") ?(src_base = Ipaddr.v 10 1 0 1) ?(port = 8
 
 let sim t = Machine.sim (Stack.machine t.stack)
 let now t = Sim.now (sim t)
-let after t span f = ignore (Sim.after (sim t) span f)
+let after t span f = Sim.post (sim t) span f
 
 (* Think time with optional uniform jitter, de-phasing closed loops. *)
 let think t =
@@ -131,16 +136,12 @@ let rec initiate t client =
     client.established <- false;
     client.issued <- now t;
     client.remaining <- (if t.persistent then t.requests_per_conn else 1);
-    let handlers =
-      {
-        Socket.on_established = (fun conn -> on_established t client attempt conn);
-        on_refused = (fun () -> on_refused t client attempt);
-        on_response = (fun conn payload -> on_response t client attempt conn payload);
-        on_closed = (fun _conn -> on_closed t client attempt);
-      }
-    in
-    Stack.connect t.stack ~src:client.src ~src_port:(10_000 + client.index) ~port:t.port
-      ~handlers ();
+    (* The attempt number rides in the ephemeral source port (real clients
+       vary it per connection), so the connection objects handed back to
+       the shared per-client handlers identify the attempt they belong to
+       without a fresh closure set per attempt. *)
+    Stack.connect t.stack ~src:client.src ~src_port:attempt ~port:t.port
+      ~handlers:client.handlers ();
     (* SYNs can vanish silently (queue overflow, idle-class early discard):
        retransmit like TCP after a timeout. *)
     after t t.syn_timeout (fun () ->
@@ -154,45 +155,64 @@ and send_request t client conn =
   client.issued <- now t;
   Stack.client_send t.stack conn (request_payload t ~created:client.issued)
 
-and on_established t client attempt conn =
-  if t.running && client.attempt = attempt then begin
-    client.established <- true;
-    send_request t client conn
-  end
-
-and on_refused t client attempt =
-  if t.running && client.attempt = attempt then begin
-    t.refused <- t.refused + 1;
-    after t t.retry_delay (fun () ->
-        if t.running && client.attempt = attempt then initiate t client)
-  end
-
-and on_response t client attempt conn _payload =
-  if client.attempt = attempt then begin
-    record_response t client;
-    client.remaining <- client.remaining - 1;
-    if t.persistent && client.remaining > 0 then
-      after t (think t) (fun () ->
-          if t.running && client.attempt = attempt then send_request t client conn)
-    else if t.persistent then begin
-      Stack.client_close t.stack conn;
-      after t (think t) (fun () ->
-          if t.running && client.attempt = attempt then initiate t client)
-    end
-    (* Non-persistent: the server closes the connection after the response,
-       and the loop restarts from [on_closed]. *)
-  end
-
-and on_closed t client attempt =
-  if t.running && client.attempt = attempt && not t.persistent then
-    after t (think t) (fun () ->
-        if t.running && client.attempt = attempt then initiate t client)
+(* The one handlers record this client ever uses.  A connection belongs to
+   the current attempt iff its source port equals [client.attempt];
+   events from an abandoned attempt's connection fail that test and are
+   dropped, exactly as the old per-attempt closures' captured counter
+   did.  Refusals carry no connection: one can only be in flight while
+   the current attempt is unestablished, which the guard checks. *)
+and make_handlers t client =
+  {
+    Socket.on_established =
+      (fun conn ->
+        if t.running && conn.Socket.src_port = client.attempt then begin
+          client.established <- true;
+          send_request t client conn
+        end);
+    on_refused =
+      (fun () ->
+        if t.running && not client.established then begin
+          t.refused <- t.refused + 1;
+          let attempt = client.attempt in
+          after t t.retry_delay (fun () ->
+              if t.running && client.attempt = attempt then initiate t client)
+        end);
+    on_response =
+      (fun conn _payload ->
+        if conn.Socket.src_port = client.attempt then begin
+          record_response t client;
+          client.remaining <- client.remaining - 1;
+          let attempt = client.attempt in
+          if t.persistent && client.remaining > 0 then
+            after t (think t) (fun () ->
+                if t.running && client.attempt = attempt then send_request t client conn)
+          else if t.persistent then begin
+            Stack.client_close t.stack conn;
+            after t (think t) (fun () ->
+                if t.running && client.attempt = attempt then initiate t client)
+          end
+          (* Non-persistent: the server closes the connection after the
+             response, and the loop restarts from [on_closed]. *)
+        end);
+    on_closed =
+      (fun conn ->
+        if t.running && conn.Socket.src_port = client.attempt && not t.persistent then begin
+          let attempt = client.attempt in
+          after t (think t) (fun () ->
+              if t.running && client.attempt = attempt then initiate t client)
+        end);
+  }
 
 let start t =
   t.running <- true;
   if not t.started then begin
     t.started <- true;
-    Array.iter (fun client -> initiate t client) t.clients
+    Array.iter
+      (fun client ->
+        if client.handlers == Socket.null_handlers then
+          client.handlers <- make_handlers t client;
+        initiate t client)
+      t.clients
   end
 
 let stop t = t.running <- false

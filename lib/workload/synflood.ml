@@ -38,13 +38,13 @@ let rec fire t =
     t.next_src <- (t.next_src + 1) mod t.src_count;
     Stack.inject_syn t.stack ~src ~port:t.port;
     t.sent <- t.sent + 1;
-    ignore (Sim.after (sim t) (gap t) (fun () -> fire t))
+    Sim.post (sim t) (gap t) (fun () -> fire t)
   end
 
 let start t =
   if not t.running then begin
     t.running <- true;
-    ignore (Sim.after (sim t) (gap t) (fun () -> fire t))
+    Sim.post (sim t) (gap t) (fun () -> fire t)
   end
 
 let stop t = t.running <- false

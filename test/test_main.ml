@@ -18,6 +18,7 @@ let () =
       ("machine", Test_machine.suite);
       ("disksim", Test_disksim.suite);
       ("netsim", Test_netsim.suite);
+      ("pooling", Test_pooling.suite);
       ("httpsim", Test_httpsim.suite);
       ("workload", Test_workload.suite);
       ("invariant", Test_invariant.suite);

@@ -35,6 +35,32 @@ let test_map_exception () =
 let test_recommended_jobs () =
   Alcotest.(check bool) "at least one core" true (Sweep.recommended_jobs () >= 1)
 
+(* Force the persistent worker pool into action even on a 1-core host
+   (where the core-count cap would normally keep every map serial), and
+   run several batches so the generation hand-off between batches is
+   exercised, not just the first spawn. *)
+let test_pool_oversubscribed_batches () =
+  let points = Array.init 60 Fun.id in
+  let expect = Array.map (fun i -> (i * 7) + 1 ) points in
+  for round = 1 to 3 do
+    let got = Sweep.map ~jobs:4 ~oversubscribe:true (fun i -> (i * 7) + 1) points in
+    Alcotest.(check (array int))
+      (Printf.sprintf "pooled round %d preserves order" round)
+      expect got
+  done
+
+let test_pool_exception () =
+  let raised =
+    try
+      ignore
+        (Sweep.map ~jobs:3 ~oversubscribe:true
+           (fun i -> if i = 5 then raise (Boom i) else i)
+           (Array.init 8 Fun.id));
+      None
+    with Boom i -> Some i
+  in
+  Alcotest.(check (option int)) "failure propagates from the pool" (Some 5) raised
+
 (* The determinism guarantee, end to end: the same miniature sweep run
    serially and run across four domains must render to the same bytes.
    This is what makes --jobs safe to default on for result generation. *)
@@ -53,5 +79,7 @@ let suite =
     Alcotest.test_case "map edge cases" `Quick test_map_empty_and_single;
     Alcotest.test_case "map propagates exceptions" `Quick test_map_exception;
     Alcotest.test_case "recommended jobs" `Quick test_recommended_jobs;
+    Alcotest.test_case "worker pool across batches" `Quick test_pool_oversubscribed_batches;
+    Alcotest.test_case "worker pool propagates exceptions" `Quick test_pool_exception;
     Alcotest.test_case "jobs=4 equals jobs=1 byte-for-byte" `Quick test_jobs_determinism;
   ]

@@ -99,16 +99,24 @@ let test_clear () =
    drawn across several orders of magnitude to exercise every wheel
    level. *)
 
-type op = Insert of int (* delta *) | Cancel of int (* index hint *) | Pop
+type op =
+  | Insert of int (* delta *)
+  | Insert_pooled of int (* delta; wheel-side uses the free-list path *)
+  | Cancel of int (* index hint *)
+  | Pop
 
 let gen_ops =
   QCheck2.Gen.(
     list_size (int_range 1 400)
       (frequency
          [
-           ( 5,
+           ( 4,
              map
                (fun (mag, d) -> Insert (d mod (1 lsl mag)))
+               (pair (int_range 0 40) (int_range 0 max_int)) );
+           ( 3,
+             map
+               (fun (mag, d) -> Insert_pooled (d mod (1 lsl mag)))
                (pair (int_range 0 40) (int_range 0 max_int)) );
            (2, map (fun i -> Cancel i) (int_range 0 1000));
            (3, return Pop);
@@ -132,6 +140,17 @@ let prop_wheel_matches_heap =
               let hh = Heapq.insert h ~prio id in
               let wh = Wheel.insert w ~prio id in
               handles := (hh, wh) :: !handles;
+              Heapq.length h = Wheel.length w
+          | Insert_pooled delta ->
+              (* Pooled nodes have no handle and recycle through the free
+                 list on pop; interleaved with handled inserts, cancels
+                 and pops they must still extract in exactly the heap's
+                 order, across solo-lane transitions and node reuse. *)
+              let prio = if !bound > max_int - delta then max_int else !bound + delta in
+              let id = !seq in
+              incr seq;
+              ignore (Heapq.insert h ~prio id);
+              Wheel.insert_pooled w ~prio id;
               Heapq.length h = Wheel.length w
           | Cancel i -> (
               match !handles with
@@ -218,7 +237,7 @@ let test_sim_backend_equivalence () =
 
 let prop_sim_random_schedule_equivalence =
   QCheck2.Test.make ~name:"random Sim schedules fire identically on both backends" ~count:100
-    QCheck2.Gen.(list_size (int_range 1 120) (pair (int_range 0 50_000) (int_range 0 8)))
+    QCheck2.Gen.(list_size (int_range 1 120) (pair (int_range 0 50_000) (int_range 0 10)))
     (fun script ->
       let run backend =
         let sim = Sim.create ~backend () in
@@ -229,6 +248,9 @@ let prop_sim_random_schedule_equivalence =
             match kind with
             | 0 | 1 | 2 | 3 ->
                 ignore (Sim.at sim t (fun () -> log := (Simtime.to_ns (Sim.now sim), i) :: !log))
+            | 9 | 10 ->
+                (* fire-and-forget lane; pooled on the wheel backend *)
+                Sim.post_at sim t (fun () -> log := (Simtime.to_ns (Sim.now sim), 3000 + i) :: !log)
             | 4 | 5 ->
                 (* schedule then immediately cancel: must never fire *)
                 let ev = Sim.at sim t (fun () -> log := (-1, i) :: !log) in
@@ -256,9 +278,104 @@ let prop_sim_random_schedule_equivalence =
       in
       run Sim.Heap = run Sim.Wheel)
 
+(* The periodic fast lane's primitive: a popped node goes back in at a
+   later priority, keeping the same handle (so cancellation still works),
+   and a rearm while the node is queued, or into the past, is refused. *)
+let test_rearm () =
+  let w = Wheel.create () in
+  let h = Wheel.insert w ~prio:10 "tick" in
+  (try
+     Wheel.rearm w h ~prio:20;
+     Alcotest.fail "rearm of a queued node must raise"
+   with Invalid_argument _ -> ());
+  Alcotest.(check (option (pair int string))) "first firing" (Some (10, "tick")) (Wheel.pop_min w);
+  Wheel.rearm w h ~prio:75;
+  Alcotest.(check int) "rearmed node counts" 1 (Wheel.length w);
+  Alcotest.(check (option (pair int string))) "second firing" (Some (75, "tick")) (Wheel.pop_min w);
+  (try
+     Wheel.rearm w h ~prio:5;
+     Alcotest.fail "rearm below the lower bound must raise"
+   with Invalid_argument _ -> ());
+  Wheel.rearm w h ~prio:75;
+  Alcotest.(check bool) "handle still cancellable" true (Wheel.cancel w h);
+  Alcotest.(check bool) "wheel drained" true (Wheel.is_empty w);
+  Wheel.rearm w h ~prio:200;
+  Alcotest.(check (option (pair int string)))
+    "cancelled node rearms too" (Some (200, "tick")) (Wheel.pop_min w)
+
+(* Pooled (fire-and-forget) inserts: recycled nodes must behave exactly
+   like fresh ones — same FIFO among ties, clean interaction with the
+   solo fast lane (repeated single-occupant pops), and no value leakage
+   across reuse. *)
+let test_insert_pooled () =
+  let w = Wheel.create () in
+  (* Solo-lane churn: one pooled occupant at a time, popped repeatedly —
+     the same node cycles through the free list each time. *)
+  for i = 1 to 5 do
+    Wheel.insert_pooled w ~prio:(i * 10) i;
+    Alcotest.(check (option (pair int int))) "solo pooled pop" (Some (i * 10, i)) (Wheel.pop_min w)
+  done;
+  (* Mixed ties: pooled and handled nodes at one priority keep insertion
+     order, and a recycled pooled node re-queued mid-stream slots in
+     FIFO like any fresh insert. *)
+  Wheel.insert_pooled w ~prio:100 1;
+  ignore (Wheel.insert w ~prio:100 2);
+  Wheel.insert_pooled w ~prio:100 3;
+  Alcotest.(check int) "three queued" 3 (Wheel.length w);
+  Alcotest.(check (list int)) "FIFO among mixed ties" [ 1; 2; 3 ] (drain_wheel w);
+  (* Cancellation of a handled node must not disturb pooled neighbours. *)
+  Wheel.insert_pooled w ~prio:200 10;
+  let hc = Wheel.insert w ~prio:200 11 in
+  Wheel.insert_pooled w ~prio:300 12;
+  Alcotest.(check bool) "cancel handled" true (Wheel.cancel w hc);
+  Alcotest.(check (list int)) "pooled survive cancel" [ 10; 12 ] (drain_wheel w);
+  (* clear must not strand pooled nodes in an inconsistent state. *)
+  Wheel.insert_pooled w ~prio:400 20;
+  Wheel.insert_pooled w ~prio:500 21;
+  Wheel.clear w;
+  Alcotest.(check bool) "cleared" true (Wheel.is_empty w);
+  Wheel.insert_pooled w ~prio:600 22;
+  Alcotest.(check (option (pair int int))) "usable after clear" (Some (600, 22)) (Wheel.pop_min w)
+
+(* Sim.post is the fire-and-forget lane end to end: posted events must
+   fire in exactly the position an [at] at the same instant would, on
+   both backends, including nested posts from inside a firing event. *)
+let test_sim_post_equivalence () =
+  let run backend =
+    let sim = Sim.create ~backend () in
+    let log = ref [] in
+    let record tag () = log := (Simtime.to_ns (Sim.now sim), tag) :: !log in
+    Sim.post_at sim (Simtime.of_ns 40) (record "p40");
+    ignore (Sim.at sim (Simtime.of_ns 40) (record "a40"));
+    Sim.post_at sim (Simtime.of_ns 40) (record "q40");
+    Sim.post sim (Simtime.us 1) (fun () ->
+        record "outer" ();
+        Sim.post sim Simtime.span_zero (record "inner-now");
+        Sim.post sim (Simtime.us 2) (record "inner-later"));
+    ignore (Sim.every sim (Simtime.us 1) (record "tick"));
+    Sim.run_until sim (Simtime.of_ns 4_500);
+    (List.rev !log, Simtime.to_ns (Sim.now sim))
+  in
+  let heap_log, heap_clock = run Sim.Heap in
+  let wheel_log, wheel_clock = run Sim.Wheel in
+  Alcotest.(check (list (pair int string))) "same firing sequence" heap_log wheel_log;
+  Alcotest.(check int) "same final clock" heap_clock wheel_clock
+
+(* Rearm must interleave correctly with fresh inserts: FIFO among ties
+   places the rearmed node behind nodes already at that priority. *)
+let test_rearm_tie_order () =
+  let w = Wheel.create () in
+  let h = Wheel.insert w ~prio:1 "recycled" in
+  ignore (Wheel.pop_min w);
+  ignore (Wheel.insert w ~prio:9 "fresh");
+  Wheel.rearm w h ~prio:9;
+  Alcotest.(check (list string)) "behind existing ties" [ "fresh"; "recycled" ] (drain_wheel w)
+
 let suite =
   [
     Alcotest.test_case "empty wheel" `Quick test_empty;
+    Alcotest.test_case "rearm recycles a node" `Quick test_rearm;
+    Alcotest.test_case "rearm tie order" `Quick test_rearm_tie_order;
     Alcotest.test_case "min ordering" `Quick test_ordering;
     Alcotest.test_case "FIFO among ties" `Quick test_fifo_ties;
     Alcotest.test_case "cancellation" `Quick test_cancel;
@@ -267,7 +384,9 @@ let suite =
     Alcotest.test_case "insert at lower bound" `Quick test_insert_at_lower_bound_ok;
     Alcotest.test_case "pop_min_until commits horizon" `Quick test_pop_min_until_commits_horizon;
     Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "pooled inserts recycle cleanly" `Quick test_insert_pooled;
     Alcotest.test_case "scripted Sim equivalence" `Quick test_sim_backend_equivalence;
+    Alcotest.test_case "Sim.post fires like Sim.at" `Quick test_sim_post_equivalence;
     QCheck_alcotest.to_alcotest prop_wheel_matches_heap;
     QCheck_alcotest.to_alcotest prop_pop_until_equals_peek_and_pop;
     QCheck_alcotest.to_alcotest prop_sim_random_schedule_equivalence;
