@@ -239,6 +239,12 @@ let () =
         "benchmark compare: baseline %S vs current %S (threshold +%.0f%%, alloc +%.0f%%)\n"
         base_label cur_label (100. *. !threshold) (100. *. !alloc_threshold);
       let regressions = ref 0 in
+      (* Per-unit speedup accumulators (sum of log(baseline/current) over
+         shared metrics with positive values) for the geometric-mean
+         summary, and the regressed metrics with their slowdown ratios so
+         a failing run leads with its worst offenders. *)
+      let units : (string * (float ref * int ref)) list ref = ref [] in
+      let regressed : (string * float) list ref = ref [] in
       List.iter
         (fun (name, (bv, unit_)) ->
           match List.assoc_opt name cur with
@@ -247,10 +253,23 @@ let () =
               let is_alloc = unit_ = "mw/op" in
               let t = if is_alloc then !alloc_threshold else !threshold in
               let ratio = if bv > 0. then cv /. bv else Float.infinity in
+              if bv > 0. && cv > 0. then begin
+                let lsum, n =
+                  match List.assoc_opt unit_ !units with
+                  | Some cell -> cell
+                  | None ->
+                      let cell = (ref 0., ref 0) in
+                      units := (unit_, cell) :: !units;
+                      cell
+                in
+                lsum := !lsum +. log (bv /. cv);
+                incr n
+              end;
               let above_floor = (not is_alloc) || cv -. bv >= !alloc_floor in
               let verdict =
                 if cv > bv *. (1. +. t) && above_floor then begin
                   incr regressions;
+                  regressed := (name, ratio) :: !regressed;
                   "REGRESSED"
                 end
                 else if bv > cv *. (1. +. t) then "improved"
@@ -263,7 +282,25 @@ let () =
         (fun (name, _) ->
           if List.assoc_opt name base = None then Printf.printf "  [only-current] %s\n" name)
         cur;
+      (* Geometric mean of baseline/current per unit: >1.00x means the
+         current run is faster (or allocates less) on average. *)
+      List.iter
+        (fun (unit_, (lsum, n)) ->
+          if !n > 0 then
+            Printf.printf "geomean speedup [%s]: %.2fx over %d metric(s)\n" unit_
+              (exp (!lsum /. float_of_int !n))
+              !n)
+        (List.rev !units);
       if !regressions > 0 then begin
+        let worst = List.sort (fun (_, a) (_, b) -> compare b a) !regressed in
+        let max_listed = 5 in
+        Printf.printf "worst regression(s):\n";
+        List.iteri
+          (fun i (name, ratio) ->
+            if i < max_listed then Printf.printf "  %.2fx slower  %s\n" ratio name)
+          worst;
+        if List.length worst > max_listed then
+          Printf.printf "  ... and %d more\n" (List.length worst - max_listed);
         Printf.printf "%d metric(s) regressed beyond the threshold\n" !regressions;
         exit 1
       end

@@ -12,7 +12,9 @@
              dune exec bench/main.exe -- --json [--fast] [--label NAME]
                (machine-readable fast-path metrics on stdout; redirect to a
                 BENCH_*.json and diff with bench/compare.exe — see the
-                Benchmarking section of EXPERIMENTS.md)                    *)
+                Benchmarking section of EXPERIMENTS.md)
+             dune exec bench/main.exe -- --json --smoke
+               (CI smoke: tiny quotas, output too noisy to gate on)        *)
 
 open Bechamel
 open Toolkit
@@ -438,18 +440,33 @@ let emit_json ~label metrics =
     metrics;
   print_string "  ]\n}\n"
 
-let run_json ~fast ~label =
-  let scale cfg_quota = if fast then cfg_quota /. 2. else cfg_quota in
+(* [--smoke] shrinks every quota and measurement window to the minimum
+   that still exercises the code: CI runs it on every push so the bench
+   harness (including both Sim backends) cannot rot between baseline
+   regenerations.  Smoke numbers are far too noisy to gate on. *)
+let run_json ~fast ~smoke ~label =
+  let scale cfg_quota =
+    if smoke then cfg_quota /. 20. else if fast then cfg_quota /. 2. else cfg_quota
+  in
+  (* Ledger slots are never reused, so the create+destroy churn loop
+     permanently claims two arena slots per iteration — millions over a
+     Bechamel quota.  Renew the domain arena between groups so one
+     group's slot bloat is not live major heap that every later group's
+     GC has to scan (it inflated the end-to-end and sweep wall-clocks
+     ~4x before this). *)
+  let renew = Rescont.Usage.renew_domain_arena in
   let t1 =
     ols_estimates ~group:"table1"
       ~cfg:(Benchmark.cfg ~limit:2000 ~quota:(Time.second (scale 0.5)) ())
       table1_tests
   in
+  renew ();
   let sched =
     ols_estimates ~group:"sched"
       ~cfg:(Benchmark.cfg ~limit:1000 ~quota:(Time.second (scale 0.25)) ())
       (sched_tests ())
   in
+  renew ();
   let sim =
     ols_estimates2 ~group:"sim"
       ~cfg:(Benchmark.cfg ~limit:1000 ~quota:(Time.second (scale 0.25)) ())
@@ -465,10 +482,11 @@ let run_json ~fast ~label =
      simulated time keeps fast and full runs comparable.  Measured for
      both event-queue backends; the unsuffixed metric (the wheel, the
      production default) is the one compared against older baselines. *)
-  let warmup = if fast then Simtime.ms 500 else Simtime.sec 1 in
-  let measure = if fast then Simtime.sec 1 else Simtime.sec 2 in
+  let warmup = if smoke then Simtime.ms 100 else if fast then Simtime.ms 500 else Simtime.sec 1 in
+  let measure = if smoke then Simtime.ms 200 else if fast then Simtime.sec 1 else Simtime.sec 2 in
   let sim_seconds = Simtime.span_to_sec_f warmup +. Simtime.span_to_sec_f measure in
   let fig11_wall backend =
+    renew ();
     let t0 = Unix.gettimeofday () in
     ignore
       (Experiments.Exp_fig11.t_high ~backend ~warmup ~measure
@@ -484,6 +502,7 @@ let run_json ~fast ~label =
     List.concat_map
       (fun system ->
         let mode = Experiments.Harness.system_name system in
+        renew ();
         let words0 = Gc.minor_words () in
         let t0 = Unix.gettimeofday () in
         let r =
@@ -517,9 +536,12 @@ let run_json ~fast ~label =
     let points =
       Experiments.Exp_sweep.grid ~client_counts:[ 4 ] ~seeds:[ 1; 2; 3 ] ()
     in
-    let s_warmup = Simtime.ms 500 in
-    let s_measure = if fast then Simtime.ms 500 else Simtime.sec 1 in
+    let s_warmup = if smoke then Simtime.ms 100 else Simtime.ms 500 in
+    let s_measure =
+      if smoke then Simtime.ms 100 else if fast then Simtime.ms 500 else Simtime.sec 1
+    in
     let time_with jobs =
+      renew ();
       let t0 = Unix.gettimeofday () in
       ignore
         (Experiments.Exp_sweep.run_grid ~warmup:s_warmup ~measure:s_measure ~jobs points);
@@ -627,6 +649,7 @@ let run_experiments ~fast =
 
 let () =
   let fast = Array.exists (String.equal "--fast") Sys.argv in
+  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
   let opt_value name =
     let result = ref None in
     Array.iteri
@@ -642,14 +665,17 @@ let () =
      let label =
        match opt_value "--label" with Some label -> label | None -> "current"
      in
-     run_json ~fast ~label
+     run_json ~fast ~smoke ~label
    end
    else begin
      Format.printf "=== Part 1: primitive costs (real wall clock, Bechamel OLS) ===@.";
      run_table1_microbench ();
+     Rescont.Usage.renew_domain_arena ();
      run_sched_microbench ();
+     Rescont.Usage.renew_domain_arena ();
      run_sim_microbench ();
      run_netsim_microbench ();
+     Rescont.Usage.renew_domain_arena ();
      Format.printf "@.=== Part 2: reproduction of the paper's evaluation (simulated) ===@.";
      run_experiments ~fast
    end);

@@ -1,6 +1,6 @@
 #!/bin/sh
 # CI gate: build everything, run the test suites, and check the
-# fast-path benchmarks against the committed baseline (BENCH_PR5.json).
+# fast-path benchmarks against the committed baseline (BENCH_PR6.json).
 # Referenced from README.md "Install and build".
 set -eu
 cd "$(dirname "$0")"
@@ -11,11 +11,14 @@ dune build @all
 echo "== dune runtest"
 dune runtest
 
+echo "== bench smoke (tiny quotas, both Sim backends; executes the harness, gates nothing)"
+dune exec bench/main.exe -- --json --smoke --label ci-smoke > /dev/null
+
 echo "== dune build @bench-check"
 dune build @bench-check
 
 echo "== event-core A/B + PR1-to-now trend (informational, never fails)"
-dune exec bench/compare.exe -- BENCH_PR1.json BENCH_PR5.json --threshold 1000 || true
+dune exec bench/compare.exe -- BENCH_PR1.json BENCH_PR6.json --threshold 1000 || true
 
 echo "== sweep smoke (2 jobs must match the serial report byte-for-byte)"
 dune exec bin/rc_sim.exe -- sweep --fast --jobs 1 --json-out "${TMPDIR:-/tmp}/rc-sweep-j1.json"

@@ -47,11 +47,17 @@ let check_time t time =
     invalid_arg
       (Format.asprintf "Sim.at: %a is before current time %a" Simtime.pp time Simtime.pp t.clock)
 
+(* One-shot events use the wheel's stamped oneshot lane: the node's
+   arena slot recycles as soon as it fires or is cancelled, and a cancel
+   arriving after the firing is refused by the generation stamp — so the
+   cancellable [at]/[after] traffic (scheduler slice-end events, TCP-ish
+   timeouts) is allocation- and leak-free in steady state, not just the
+   fire-and-forget [post] lane. *)
 let at t time f =
   check_time t time;
   match t.queue with
   | Q_heap q -> Ev_heap (Heapq.insert q ~prio:(Simtime.to_ns time) f)
-  | Q_wheel w -> Ev_wheel (Timer_wheel.insert w ~prio:(Simtime.to_ns time) f)
+  | Q_wheel w -> Ev_wheel (Timer_wheel.insert_oneshot w ~prio:(Simtime.to_ns time) f)
 
 let after t span f =
   let span = Simtime.span_max span Simtime.span_zero in

@@ -18,6 +18,32 @@
      earlier node already is, behind it.  Buckets append at the tail and
      cascades walk head-to-tail, so insertion-order FIFO is structural.
 
+   {2 Arena layout}
+
+   Storage is a struct-of-arrays arena: a node is an [int] index into
+   parallel arrays ([prio]/[link_next]/[link_prev]/[meta], plus a
+   [values] payload array), not a boxed record.  Indices
+   [0 .. levels*64 - 1] are the bucket sentinels (sentinel of level [l],
+   slot [s] is [l*64 + s]); dynamic nodes start right after and are
+   recycled through an intrusive free list threaded through
+   [link_next].  Cascades and pops therefore walk contiguous int arrays
+   instead of chasing heap pointers, and the wheel performs zero GC
+   allocation in steady state.
+
+   A node's bookkeeping is packed into one [meta] word:
+
+     bits 0..7   level + 2         (-2 = solo lane, -1 = free/idle)
+     bit  8      queued
+     bit  9      pinned            (caller owns the slot; never recycled)
+     bits 10..39 generation stamp  (bumped when the slot is recycled)
+
+   Handles are ints too: [index | stamp lsl 30].  A handle is valid only
+   while its stamp matches the slot's current stamp, so a cancel racing
+   a recycled slot is detected and safely refused — slot reuse can never
+   cancel an innocent newer node.  Pinned nodes ({!insert}) keep their
+   stamp for the lifetime of the wheel, which is what lets {!rearm}
+   revive them arbitrarily often under one handle.
+
    Buckets are circular doubly-linked lists through a per-slot sentinel,
    which makes cancellation a true O(1) unlink — no dead nodes, no
    compaction, and a cancel-heavy workload (TCP timers under SYN flood)
@@ -30,31 +56,40 @@
    wheel-vs-heap gap on sparse periodic workloads, where a lone timer
    used to pay a full-window scan per tick. *)
 
-type 'a node = {
-  mutable prio : int; (* mutable so [rearm] can reuse the node *)
-  mutable value : 'a; (* mutable so pooled nodes can be recycled *)
-  pooled : bool; (* no handle outside the wheel: free-list it after the pop *)
-  mutable lvl : int; (* current level, for the per-level count *)
-  mutable queued : bool;
-  mutable prev : 'a node;
-  mutable next : 'a node;
-}
-
-type 'a handle = 'a node
-
 let bits = 6
 let slot_count = 64
 let levels = 11 (* 11 * 6 = 66 bits >= the 62 of max_int *)
+let nsent = levels * slot_count (* arena indices below this are sentinels *)
+let mask = slot_count - 1
+
+(* meta word accessors *)
+let m_queued = 0x100
+let m_pinned = 0x200
+let lvl_of m = (m land 0xff) - 2
+let queued m = m land m_queued <> 0
+let pinned m = m land m_pinned <> 0
+let stamp_of m = (m lsr 10) land 0x3FFFFFFF
+
+(* handle = index | stamp lsl 30; both fields 30 bits wide *)
+let h_idx h = h land 0x3FFFFFFF
+let h_stamp h = (h lsr 30) land 0x3FFFFFFF
+let mk_handle i stamp = i lor (stamp lsl 30)
+
+type 'a handle = int
 
 type 'a t = {
-  slots : 'a node array array; (* [levels][slot_count] sentinels *)
+  mutable prio : int array;
+  mutable link_next : int array;
+  mutable link_prev : int array;
+  mutable meta : int array;
+  mutable values : 'a array;
   counts : int array; (* queued nodes per level *)
   occ : int array; (* [levels*2] occupancy: slots 0-31 at [2l], 32-63 at [2l+1] *)
   mutable live : int;
   mutable cur : int; (* lower bound on every queued priority *)
-  nil : 'a node; (* dummy marking [solo] as absent *)
-  mutable solo : 'a node; (* when [live = 1]: the queued node, held OUT of the buckets *)
-  mutable free : 'a node; (* free list of recyclable pooled nodes, chained by [next] *)
+  mutable solo : int; (* when [live = 1]: the queued node, held OUT of the buckets; -1 = none *)
+  mutable free : int; (* free list of recyclable nodes, chained by [link_next]; -1 = end *)
+  mutable used : int; (* high-water mark: indices >= this were never allocated *)
 }
 
 (* Solo fast lane: while exactly one node is queued it lives in [solo]
@@ -66,44 +101,94 @@ type 'a t = {
    is valid), preserving FIFO order for equal priorities because the
    earlier node is placed first. *)
 
-(* The sentinel's [value] is never read; the immediate 0 keeps the slot
-   array from pinning popped payloads. *)
-let make_sentinel () : 'a node =
-  let rec s =
-    { prio = min_int; value = Obj.magic 0; pooled = false; lvl = -1; queued = false;
-      prev = s; next = s }
-  in
-  s
+(* The payload of a free or sentinel slot is never read; the immediate 0
+   keeps the values array from pinning popped payloads. *)
+let dummy () : 'a = Obj.magic 0
+
+let initial_cap = nsent + 256
 
 let create () =
-  let nil = make_sentinel () in
   {
-    slots = Array.init levels (fun _ -> Array.init slot_count (fun _ -> make_sentinel ()));
+    (* every slot starts self-linked; sentinels stay that way until used *)
+    prio = Array.make initial_cap min_int;
+    link_next = Array.init initial_cap (fun i -> i);
+    link_prev = Array.init initial_cap (fun i -> i);
+    meta = Array.make initial_cap 0;
+    values = Array.make initial_cap (dummy ());
     counts = Array.make levels 0;
     occ = Array.make (levels * 2) 0;
     live = 0;
     cur = 0;
-    nil;
-    solo = nil;
-    free = nil;
+    solo = -1;
+    free = -1;
+    used = nsent;
   }
 
 let length t = t.live
 let is_empty t = t.live = 0
 let lower_bound t = t.cur
 
-let append sentinel node =
-  let tail = sentinel.prev in
-  node.prev <- tail;
-  node.next <- sentinel;
-  tail.next <- node;
-  sentinel.prev <- node
+let grow t =
+  let cap = Array.length t.prio in
+  let ncap = cap * 2 in
+  let gi a =
+    let n = Array.make ncap 0 in
+    Array.blit a 0 n 0 cap;
+    n
+  in
+  t.prio <- gi t.prio;
+  t.link_next <- gi t.link_next;
+  t.link_prev <- gi t.link_prev;
+  t.meta <- gi t.meta;
+  let nv = Array.make ncap (dummy ()) in
+  Array.blit t.values 0 nv 0 cap;
+  t.values <- nv
 
-let unlink node =
-  node.prev.next <- node.next;
-  node.next.prev <- node.prev;
-  node.prev <- node;
-  node.next <- node
+(* Take a slot off the free list (or extend the high-water mark), keep
+   its generation stamp, and initialise it queued at level 0. *)
+let alloc_node t ~prio ~value ~pin =
+  let i =
+    if t.free >= 0 then begin
+      let i = t.free in
+      t.free <- t.link_next.(i);
+      i
+    end
+    else begin
+      if t.used = Array.length t.prio then grow t;
+      let i = t.used in
+      t.used <- i + 1;
+      i
+    end
+  in
+  t.prio.(i) <- prio;
+  t.values.(i) <- value;
+  t.link_next.(i) <- i;
+  t.link_prev.(i) <- i;
+  t.meta.(i) <- (t.meta.(i) land lnot 0x3ff) lor m_queued lor (if pin then m_pinned else 0) lor 2;
+  i
+
+(* Recycle a slot: drop the payload, bump the generation stamp (which
+   invalidates every outstanding handle onto it) and push it on the free
+   list. *)
+let free_node t i =
+  t.values.(i) <- dummy ();
+  t.meta.(i) <- ((stamp_of t.meta.(i) + 1) land 0x3FFFFFFF) lsl 10;
+  t.link_next.(i) <- t.free;
+  t.free <- i
+
+let append t sentinel i =
+  let tail = t.link_prev.(sentinel) in
+  t.link_prev.(i) <- tail;
+  t.link_next.(i) <- sentinel;
+  t.link_next.(tail) <- i;
+  t.link_prev.(sentinel) <- i
+
+let unlink t i =
+  let p = t.link_prev.(i) and n = t.link_next.(i) in
+  t.link_next.(p) <- n;
+  t.link_prev.(n) <- p;
+  t.link_prev.(i) <- i;
+  t.link_next.(i) <- i
 
 (* {2 Occupancy bitmaps} *)
 
@@ -140,35 +225,36 @@ let first_occupied t lvl ~from =
 
 let rec level_of_diff l d = if d < slot_count then l else level_of_diff (l + 1) (d lsr bits)
 
-let place t node =
-  let lvl = level_of_diff 0 (node.prio lxor t.cur) in
-  let slot = (node.prio lsr (bits * lvl)) land (slot_count - 1) in
-  node.lvl <- lvl;
-  append t.slots.(lvl).(slot) node;
+let place t i =
+  let prio = t.prio.(i) in
+  let lvl = level_of_diff 0 (prio lxor t.cur) in
+  let slot = (prio lsr (bits * lvl)) land mask in
+  t.meta.(i) <- (t.meta.(i) land lnot 0xff) lor (lvl + 2);
+  append t ((lvl lsl bits) lor slot) i;
   occ_set t lvl slot;
   t.counts.(lvl) <- t.counts.(lvl) + 1
 
 (* Unlink a queued node and keep counts and occupancy honest; the slot is
    recomputed from the node's own (prio, lvl), which [unlink] preserves. *)
-let remove t node =
-  let lvl = node.lvl in
-  let slot = (node.prio lsr (bits * lvl)) land (slot_count - 1) in
-  unlink node;
+let remove t i =
+  let lvl = lvl_of t.meta.(i) in
+  let slot = (t.prio.(i) lsr (bits * lvl)) land mask in
+  unlink t i;
   t.counts.(lvl) <- t.counts.(lvl) - 1;
-  let sentinel = t.slots.(lvl).(slot) in
-  if sentinel.next == sentinel then occ_clear t lvl slot
+  let sentinel = (lvl lsl bits) lor slot in
+  if t.link_next.(sentinel) = sentinel then occ_clear t lvl slot
 
-let enqueue_node t node =
+let enqueue_node t i =
   if t.live = 0 then begin
-    node.lvl <- -2;
-    t.solo <- node
+    t.meta.(i) <- t.meta.(i) land lnot 0xff; (* lvl2 = 0, i.e. lvl = -2 *)
+    t.solo <- i
   end
   else begin
-    if t.solo != t.nil then begin
+    if t.solo >= 0 then begin
       place t t.solo;
-      t.solo <- t.nil
+      t.solo <- -1
     end;
-    place t node
+    place t i
   end;
   t.live <- t.live + 1
 
@@ -176,20 +262,32 @@ let insert t ~prio value =
   if prio < t.cur then
     invalid_arg
       (Printf.sprintf "Timer_wheel.insert: priority %d below lower bound %d" prio t.cur);
-  let rec node =
-    { prio; value; pooled = false; lvl = 0; queued = true; prev = node; next = node }
-  in
-  enqueue_node t node;
-  node
+  let i = alloc_node t ~prio ~value ~pin:true in
+  enqueue_node t i;
+  mk_handle i (stamp_of t.meta.(i))
 
-let rearm t node ~prio =
-  if node.queued then invalid_arg "Timer_wheel.rearm: node is still queued";
+(* Cancellable fire-once insertion: like {!insert} the caller gets a
+   handle, but the slot recycles the moment the node pops or the cancel
+   lands — the generation stamp makes the dangling handle inert. *)
+let insert_oneshot t ~prio value =
+  if prio < t.cur then
+    invalid_arg
+      (Printf.sprintf "Timer_wheel.insert_oneshot: priority %d below lower bound %d" prio t.cur);
+  let i = alloc_node t ~prio ~value ~pin:false in
+  enqueue_node t i;
+  mk_handle i (stamp_of t.meta.(i))
+
+let rearm t h ~prio =
+  let i = h_idx h in
+  if i < nsent || i >= t.used || h_stamp h <> stamp_of t.meta.(i) then
+    invalid_arg "Timer_wheel.rearm: stale handle (node was recycled)";
+  if queued t.meta.(i) then invalid_arg "Timer_wheel.rearm: node is still queued";
   if prio < t.cur then
     invalid_arg
       (Printf.sprintf "Timer_wheel.rearm: priority %d below lower bound %d" prio t.cur);
-  node.prio <- prio;
-  node.queued <- true;
-  enqueue_node t node
+  t.prio.(i) <- prio;
+  t.meta.(i) <- t.meta.(i) lor m_queued;
+  enqueue_node t i
 
 (* Fire-and-forget insertion: the node never escapes the wheel, so there
    is nothing to cancel and the node can be recycled through the free list
@@ -200,54 +298,33 @@ let insert_pooled t ~prio value =
   if prio < t.cur then
     invalid_arg
       (Printf.sprintf "Timer_wheel.insert_pooled: priority %d below lower bound %d" prio t.cur);
-  let node =
-    if t.free != t.nil then begin
-      let node = t.free in
-      t.free <- node.next;
-      node.prev <- node;
-      node.next <- node;
-      node.prio <- prio;
-      node.value <- value;
-      node.queued <- true;
-      node
+  let i = alloc_node t ~prio ~value ~pin:false in
+  enqueue_node t i
+
+let cancel t h =
+  let i = h_idx h in
+  if i < nsent || i >= t.used then false
+  else begin
+    let m = t.meta.(i) in
+    if h_stamp h <> stamp_of m || not (queued m) then false
+    else begin
+      t.meta.(i) <- m land lnot m_queued;
+      if i = t.solo then t.solo <- -1 else remove t i;
+      t.live <- t.live - 1;
+      if not (pinned m) then free_node t i;
+      true
     end
-    else
-      let rec node =
-        { prio; value; pooled = true; lvl = 0; queued = true; prev = node; next = node }
-      in
-      node
-  in
-  enqueue_node t node
-
-(* Popped pooled nodes go back on the free list; the value is dropped so
-   the list pins no payloads. *)
-let recycle t node =
-  if node.pooled then begin
-    node.value <- Obj.magic 0;
-    node.next <- t.free;
-    t.free <- node
   end
-
-let cancel t node =
-  if node.queued then begin
-    node.queued <- false;
-    if node == t.solo then t.solo <- t.nil else remove t node;
-    t.live <- t.live - 1;
-    true
-  end
-  else false
 
 (* Move every node of a cascading bucket down; [t.cur] has just advanced
    to the bucket's window start, so [place] lands each node at a strictly
-   lower level, head-to-tail order preserved by tail-append.  A top-level
-   loop rather than a local [let rec]: a closure here would be the only
-   allocation on the steady-state periodic path. *)
+   lower level, head-to-tail order preserved by tail-append. *)
 let rec cascade_drain t sentinel lvl =
-  let node = sentinel.next in
-  if node != sentinel then begin
-    unlink node;
+  let i = t.link_next.(sentinel) in
+  if i <> sentinel then begin
+    unlink t i;
     t.counts.(lvl) <- t.counts.(lvl) - 1;
-    place t node;
+    place t i;
     cascade_drain t sentinel lvl
   end
 
@@ -255,7 +332,14 @@ let cascade t sentinel lvl slot =
   cascade_drain t sentinel lvl;
   occ_clear t lvl slot
 
-let mask = slot_count - 1
+(* Pop bookkeeping shared by every extraction path: mark unqueued,
+   capture the payload, recycle the slot unless the caller pinned it. *)
+let take_payload t i =
+  let m = t.meta.(i) in
+  t.meta.(i) <- m land lnot m_queued;
+  let v = t.values.(i) in
+  if not (pinned m) then free_node t i;
+  v
 
 (* Extract the minimum-priority node with priority <= horizon, advancing
    [cur] no further than [min next-priority horizon]; [commit] decides
@@ -265,24 +349,22 @@ let rec extract t ~horizon ~commit =
     if commit && horizon > t.cur then t.cur <- horizon;
     None
   end
-  else if t.solo != t.nil then begin
+  else if t.solo >= 0 then begin
     (* The lone queued node lives outside the buckets, so this branch is
        the whole story: pop it, or commit [cur] toward the horizon —
        which is safe without any digit reasoning precisely because no
        bucket placement depends on [cur] right now. *)
-    let node = t.solo in
-    if node.prio > horizon then begin
+    let i = t.solo in
+    let prio = t.prio.(i) in
+    if prio > horizon then begin
       if horizon > t.cur then t.cur <- horizon;
       None
     end
     else begin
-      node.queued <- false;
       t.live <- 0;
-      t.solo <- t.nil;
-      t.cur <- node.prio;
-      let r = Some (node.prio, node.value) in
-      recycle t node;
-      r
+      t.solo <- -1;
+      t.cur <- prio;
+      Some (prio, take_payload t i)
     end
   end
   else if t.counts.(0) > 0 then begin
@@ -291,19 +373,17 @@ let rec extract t ~horizon ~commit =
     let s = first_occupied t 0 ~from:(t.cur land mask) in
     if s = slot_count then invalid_arg "Timer_wheel: inconsistent level-0 count"
     else begin
-      let node = t.slots.(0).(s).next in
-      if node.prio > horizon then begin
+      let i = t.link_next.(s) in
+      let prio = t.prio.(i) in
+      if prio > horizon then begin
         if horizon > t.cur then t.cur <- horizon;
         None
       end
       else begin
-        node.queued <- false;
-        remove t node;
+        remove t i;
         t.live <- t.live - 1;
-        t.cur <- node.prio;
-        let r = Some (node.prio, node.value) in
-        recycle t node;
-        r
+        t.cur <- prio;
+        Some (prio, take_payload t i)
       end
     end
   end
@@ -340,9 +420,9 @@ and scan_levels t ~horizon ~commit lvl =
         None
       end
       else begin
-        let sentinel = t.slots.(lvl).(j) in
-        let node = sentinel.next in
-        if node.next == sentinel && node.prio <= horizon then begin
+        let sentinel = (lvl lsl bits) lor j in
+        let i = t.link_next.(sentinel) in
+        if t.link_next.(i) = sentinel && t.prio.(i) <= horizon then begin
           (* Single-occupant bucket.  The first busy bucket at the lowest
              busy level holds the wheel's minimum (lower levels share
              [cur]'s digits above them, so they sort first; equal
@@ -353,15 +433,13 @@ and scan_levels t ~horizon ~commit lvl =
              unchanged and the level-[lvl] digit advances exactly to [j],
              which this pop empties.  This is what makes a lone periodic
              timer O(1)-cheap per tick instead of one cascade per level. *)
-          node.queued <- false;
-          unlink node;
+          let prio = t.prio.(i) in
+          unlink t i;
           t.counts.(lvl) <- t.counts.(lvl) - 1;
           occ_clear t lvl j;
           t.live <- t.live - 1;
-          t.cur <- node.prio;
-          let r = Some (node.prio, node.value) in
-          recycle t node;
-          r
+          t.cur <- prio;
+          Some (prio, take_payload t i)
         end
         else begin
           t.cur <- bucket_start;
@@ -376,25 +454,20 @@ let pop_min t = extract t ~horizon:max_int ~commit:false
 let pop_min_until t ~horizon = extract t ~horizon ~commit:true
 
 let clear t =
-  Array.iter
-    (fun row ->
-      Array.iter
-        (fun sentinel ->
-          let rec drain () =
-            let node = sentinel.next in
-            if node != sentinel then begin
-              node.queued <- false;
-              unlink node;
-              drain ()
-            end
-          in
-          drain ())
-        row)
-    t.slots;
+  (* Unqueue every allocated node; non-pinned slots recycle, pinned ones
+     stay owned by their handle (still rearm-able, as after a pop). *)
+  for i = nsent to t.used - 1 do
+    let m = t.meta.(i) in
+    if queued m then begin
+      t.meta.(i) <- m land lnot m_queued;
+      if not (pinned m) then free_node t i
+    end
+  done;
+  for s = 0 to nsent - 1 do
+    t.link_next.(s) <- s;
+    t.link_prev.(s) <- s
+  done;
   Array.fill t.counts 0 levels 0;
   Array.fill t.occ 0 (levels * 2) 0;
-  if t.solo != t.nil then begin
-    t.solo.queued <- false;
-    t.solo <- t.nil
-  end;
+  t.solo <- -1;
   t.live <- 0

@@ -22,7 +22,10 @@ type 'a t
 
 type 'a handle
 (** A handle onto an inserted element, usable to cancel or re-arm it
-    later. *)
+    later.  Handles are generation-stamped indexes into the wheel's
+    node arena: a handle onto a recycled {!insert_oneshot} slot is
+    detected as stale and refused, never misdirected at the slot's new
+    occupant. *)
 
 val create : unit -> 'a t
 
@@ -39,7 +42,19 @@ val lower_bound : 'a t -> int
 
 val insert : 'a t -> prio:int -> 'a -> 'a handle
 (** [insert t ~prio v] queues [v].  [prio] must be [>= lower_bound t].
-    Ties extract in insertion order.
+    Ties extract in insertion order.  The returned handle {e pins} its
+    arena slot: the node survives pops and cancellations and can be
+    re-queued with {!rearm} indefinitely, so the slot is never recycled
+    — use {!insert_oneshot} for cancellable events that fire once.
+    @raise Invalid_argument if [prio < lower_bound t]. *)
+
+val insert_oneshot : 'a t -> prio:int -> 'a -> 'a handle
+(** Cancellable fire-once {!insert}: the handle can {!cancel} the
+    element but never {!rearm} it, and the arena slot recycles through
+    the free list the moment the element pops or the cancel lands.  A
+    cancel arriving after the pop safely returns [false] (the handle's
+    generation stamp no longer matches), even if the slot has since
+    been reused.  Same ordering semantics as {!insert}.
     @raise Invalid_argument if [prio < lower_bound t]. *)
 
 val insert_pooled : 'a t -> prio:int -> 'a -> unit

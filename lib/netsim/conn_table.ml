@@ -1,14 +1,30 @@
-(* Slot-indexed connection registry.  The previous representation — a
-   [Socket.conn list] rebuilt with [List.filter] on every prune — made
-   close/reap O(live connections) and allocated a fresh spine each sweep.
-   Here every tracked connection owns a slot in a flat array, found again
-   in O(1) through the [track_slot] index stamped on the connection
-   itself, and a free-list of slot indexes makes add/remove allocation-
-   free in the steady state (the arrays only grow, by doubling, when the
-   peak population grows). *)
+(* Struct-of-arrays connection registry.  The previous representation kept
+   one [Socket.conn array] of boxed records; here the per-slot state is
+   split into parallel field arrays — the connection pointer, a 16-bit
+   wrapping generation stamp, and a buffered-rx-bytes mirror — so the
+   table-wide scans the stack runs (the memory-conservation law, reaps,
+   slot-order batch processing) walk flat int arrays instead of chasing a
+   record per connection.
+
+   Slots are reused through a free list; the generation stamp is bumped on
+   every vacate, and a {!handle} packs (slot, stamp-at-issue) into one int
+   so a held handle from before the slot turned over is rejected by
+   {!find} instead of resolving to the slot's new occupant.  Stamps wrap
+   at 2^16: a handle can alias again only after exactly 65536 reuses of
+   its slot, which the wraparound test pins as the contract. *)
+
+type handle = int (* (slot lsl 16) lor stamp *)
+
+let stamp_bits = 16
+let stamp_mask = (1 lsl stamp_bits) - 1
+let null_handle = -1
+let handle_slot h = h lsr stamp_bits
+let handle_stamp h = h land stamp_mask
 
 type t = {
-  mutable slots : Socket.conn array; (* [dummy] marks a vacant slot *)
+  mutable conns : Socket.conn array; (* [dummy] marks a vacant slot *)
+  mutable stamps : int array; (* 16-bit generation, bumped when a slot vacates *)
+  mutable rx_bytes : int array; (* buffered rx bytes of the slot's occupant *)
   dummy : Socket.conn;
   mutable free : int array; (* stack of vacant slot indexes *)
   mutable free_top : int;
@@ -24,7 +40,9 @@ let create ?(capacity = 64) () =
       ~now:Engine.Simtime.zero
   in
   {
-    slots = Array.make capacity dummy;
+    conns = Array.make capacity dummy;
+    stamps = Array.make capacity 0;
+    rx_bytes = Array.make capacity 0;
     dummy;
     free = Array.init capacity (fun i -> capacity - 1 - i);
     free_top = capacity;
@@ -34,10 +52,16 @@ let create ?(capacity = 64) () =
 let length t = t.live
 
 let grow t =
-  let n = Array.length t.slots in
-  let slots = Array.make (2 * n) t.dummy in
-  Array.blit t.slots 0 slots 0 n;
-  t.slots <- slots;
+  let n = Array.length t.conns in
+  let conns = Array.make (2 * n) t.dummy in
+  Array.blit t.conns 0 conns 0 n;
+  t.conns <- conns;
+  let stamps = Array.make (2 * n) 0 in
+  Array.blit t.stamps 0 stamps 0 n;
+  t.stamps <- stamps;
+  let rx = Array.make (2 * n) 0 in
+  Array.blit t.rx_bytes 0 rx 0 n;
+  t.rx_bytes <- rx;
   let free = Array.make (2 * n) 0 in
   Array.blit t.free 0 free 0 t.free_top;
   for i = 0 to n - 1 do
@@ -51,26 +75,71 @@ let add t conn =
   if t.free_top = 0 then grow t;
   t.free_top <- t.free_top - 1;
   let slot = t.free.(t.free_top) in
-  t.slots.(slot) <- conn;
+  t.conns.(slot) <- conn;
+  t.rx_bytes.(slot) <- 0;
   conn.Socket.track_slot <- slot;
   t.live <- t.live + 1
 
+let mem t conn =
+  let slot = conn.Socket.track_slot in
+  slot >= 0 && slot < Array.length t.conns && t.conns.(slot) == conn
+
+let handle t conn =
+  if mem t conn then (conn.Socket.track_slot lsl stamp_bits) lor t.stamps.(conn.Socket.track_slot)
+  else null_handle
+
+let find t h =
+  if h < 0 then None
+  else
+    let slot = handle_slot h in
+    if slot >= Array.length t.conns then None
+    else
+      let conn = t.conns.(slot) in
+      (* Stamp and occupancy: a handle issued before the slot turned over
+         carries the old generation and is rejected here. *)
+      if conn != t.dummy && t.stamps.(slot) = handle_stamp h then Some conn else None
+
+(* Vacate a slot: drop the occupant, zero the rx mirror, advance the
+   generation (wrapping at 2^16) so outstanding handles go stale. *)
+let vacate t slot =
+  t.conns.(slot) <- t.dummy;
+  t.rx_bytes.(slot) <- 0;
+  t.stamps.(slot) <- (t.stamps.(slot) + 1) land stamp_mask;
+  t.free.(t.free_top) <- slot;
+  t.free_top <- t.free_top + 1;
+  t.live <- t.live - 1
+
 let remove t conn =
   let slot = conn.Socket.track_slot in
-  if slot >= 0 && slot < Array.length t.slots && t.slots.(slot) == conn then begin
-    t.slots.(slot) <- t.dummy;
+  if slot >= 0 && slot < Array.length t.conns && t.conns.(slot) == conn then begin
     conn.Socket.track_slot <- -1;
-    t.free.(t.free_top) <- slot;
-    t.free_top <- t.free_top + 1;
-    t.live <- t.live - 1;
+    vacate t slot;
     true
   end
   else false
 
+let rx_add t conn delta =
+  let slot = conn.Socket.track_slot in
+  if slot >= 0 && slot < Array.length t.conns && t.conns.(slot) == conn then
+    t.rx_bytes.(slot) <- t.rx_bytes.(slot) + delta
+
+let rx_of t conn =
+  let slot = conn.Socket.track_slot in
+  if slot >= 0 && slot < Array.length t.conns && t.conns.(slot) == conn then t.rx_bytes.(slot)
+  else 0
+
+let rx_total t =
+  let rx = t.rx_bytes in
+  let acc = ref 0 in
+  for i = 0 to Array.length rx - 1 do
+    acc := !acc + Array.unsafe_get rx i
+  done;
+  !acc
+
 let iter t f =
-  let slots = t.slots in
-  for i = 0 to Array.length slots - 1 do
-    let c = slots.(i) in
+  let conns = t.conns in
+  for i = 0 to Array.length conns - 1 do
+    let c = conns.(i) in
     if c != t.dummy then f c
   done
 
@@ -81,20 +150,13 @@ let fold t ~init f =
 
 let reap_closed t =
   let removed = ref 0 in
-  let slots = t.slots in
-  for i = 0 to Array.length slots - 1 do
-    let c = slots.(i) in
+  let conns = t.conns in
+  for i = 0 to Array.length conns - 1 do
+    let c = conns.(i) in
     if c != t.dummy && c.Socket.state = Socket.Closed then begin
-      slots.(i) <- t.dummy;
       c.Socket.track_slot <- -1;
-      t.free.(t.free_top) <- i;
-      t.free_top <- t.free_top + 1;
-      t.live <- t.live - 1;
+      vacate t i;
       incr removed
     end
   done;
   !removed
-
-let mem t conn =
-  let slot = conn.Socket.track_slot in
-  slot >= 0 && slot < Array.length t.slots && t.slots.(slot) == conn

@@ -1,15 +1,18 @@
-(** Slot-indexed registry of the connections a {!Stack} has created.
+(** Struct-of-arrays registry of the connections a {!Stack} has created.
 
-    Replaces the [Socket.conn list] + amortised [List.filter] prune: each
-    tracked connection is stamped with its slot index ([Socket.track_slot]),
-    so add, remove, and membership are O(1) and allocation-free once the
-    backing arrays have grown to the peak population.  The stack removes a
-    connection the moment it transitions to [Closed], so the table holds
-    exactly the non-closed connections — which is what makes reap-style
-    sweeps ({!reap_closed}) no-ops rather than whole-list rebuilds.
+    Per-slot state lives in parallel field arrays — the connection, a
+    16-bit wrapping generation stamp, and a mirror of the connection's
+    buffered rx bytes — so table-wide scans (the memory-conservation law,
+    reap sweeps, slot-order batch processing) walk flat arrays instead of
+    chasing one boxed record per connection.  Each tracked connection is
+    stamped with its slot index ([Socket.track_slot]), so add, remove, and
+    membership are O(1) and allocation-free once the backing arrays have
+    grown to the peak population.  The stack removes a connection the
+    moment it transitions to [Closed], so the table holds exactly the
+    non-closed connections.
 
     The list representation survives as the QCheck executable reference
-    (test_netsim's conn-table equivalence property). *)
+    (test_pooling's conn-table equivalence property). *)
 
 type t
 
@@ -20,14 +23,56 @@ val length : t -> int
 (** Number of tracked connections. *)
 
 val add : t -> Socket.conn -> unit
-(** Track a connection, stamping [track_slot].
+(** Track a connection, stamping [track_slot]; its rx mirror starts at 0.
     @raise Invalid_argument if it is already tracked (by any table). *)
 
 val remove : t -> Socket.conn -> bool
 (** Untrack in O(1) via the stamped slot; [false] if it was not tracked
-    here. *)
+    here.  Bumps the slot's generation, so outstanding {!handle}s for the
+    departed occupant go stale. *)
 
 val mem : t -> Socket.conn -> bool
+
+(** {1 Generation-stamped handles}
+
+    A handle packs (slot, 16-bit generation at issue) into one immediate
+    int: storable in flat int arrays and across events without pinning the
+    connection.  {!find} rejects a handle once its slot has been vacated —
+    the slot's next occupant carries a new generation.  Generations wrap
+    at 2^16, so a handle can alias again only after exactly 65536 reuses
+    of its slot (the wraparound test pins this contract). *)
+
+type handle = int
+
+val null_handle : handle
+(** Never resolves. *)
+
+val handle : t -> Socket.conn -> handle
+(** The current handle for a tracked connection; {!null_handle} if it is
+    not tracked here. *)
+
+val find : t -> handle -> Socket.conn option
+(** Resolve a handle: [None] if the slot was vacated (stale generation) or
+    the handle is out of range. *)
+
+(** {1 Buffered-rx mirror}
+
+    The stack maintains, per slot, the byte count buffered in the
+    occupant's rx queue (updated at data-push, recv and close).  The
+    table-wide sum is then one flat array walk — the fast side of the
+    memory-conservation law — while the structural per-queue walk remains
+    available to validate the mirror itself. *)
+
+val rx_add : t -> Socket.conn -> int -> unit
+(** Adjust the tracked connection's mirrored rx byte count; no-op if the
+    connection is not tracked here (a vacated slot's mirror is already
+    zeroed). *)
+
+val rx_of : t -> Socket.conn -> int
+(** The mirrored count for a tracked connection (0 if untracked). *)
+
+val rx_total : t -> int
+(** Sum of the mirror over all slots, in slot order. *)
 
 val iter : t -> (Socket.conn -> unit) -> unit
 (** Visit every tracked connection (slot order, not insertion order). *)

@@ -298,7 +298,11 @@ let reap t = Conn_table.reap_closed t.conns
 let sum_conn_rx acc conn =
   Queue.fold (fun a p -> a + p.Payload.bytes) acc conn.Socket.rx_queue
 
-let buffered_rx_bytes t = Conn_table.fold t.conns ~init:0 sum_conn_rx
+(* Fast readout: the table's per-slot rx mirror summed in slot order.  The
+   structural per-queue walk stays available so the conservation law can
+   hold the mirror itself to account. *)
+let buffered_rx_bytes t = Conn_table.rx_total t.conns
+let buffered_rx_bytes_walk t = Conn_table.fold t.conns ~init:0 sum_conn_rx
 
 (* Container teardown (§4.6): drop the per-container deferred-processing
    queue and service stamp, or both tables grow forever under per-connection
@@ -410,6 +414,7 @@ let rec perform t (w : Workpool.item) =
              application reads it (§4.4). *)
           Container.charge_memory owner payload.Payload.bytes;
           Queue.push payload conn.Socket.rx_queue;
+          Conn_table.rx_add t.conns conn payload.Payload.bytes;
           t.on_event ()
         end
       end
@@ -767,10 +772,20 @@ let create ?(mtu = 1460) ?(latency = Simtime.us 150) ?(costs = default_costs)
         in
         scan t.listen_sockets);
     I.register inv ~law:"net.memory-conservation" (fun () ->
-        I.equal_int ~what:"buffered rx bytes vs root-subtree memory_bytes"
-          (buffered_rx_bytes t)
-          (Rescont.Usage.memory_bytes
-             (Container.subtree_usage (Machine.root machine))));
+        (* Two checks in one law: the slot-order rx mirror must agree with
+           a structural walk of the rx queues (the mirror is redundant
+           state and may not drift), and that total must equal the memory
+           charged into the root's subtree. *)
+        match
+          I.equal_int ~what:"rx mirror vs structural rx-queue walk" (buffered_rx_bytes t)
+            (buffered_rx_bytes_walk t)
+        with
+        | Error _ as e -> e
+        | Ok () ->
+            I.equal_int ~what:"buffered rx bytes vs root-subtree memory_bytes"
+              (buffered_rx_bytes t)
+              (Rescont.Usage.memory_bytes
+                 (Container.subtree_usage (Machine.root machine))));
     (* Pooled work items can never leak or double-free silently: every item
        is on the free list, held by a service thread, or queued for one —
        and each per-container queue's linked length matches its counter. *)
@@ -824,6 +839,7 @@ let recv t conn =
   | None -> None
   | Some payload ->
       Container.charge_memory (rx_memory_container t conn) (-payload.Payload.bytes);
+      Conn_table.rx_add t.conns conn (-payload.Payload.bytes);
       Some payload
 
 let send t conn payload =

@@ -62,7 +62,8 @@ type t = {
   mutable irq_busy_until : Simtime.t; (* interrupts run on processor 0 *)
   mutable busy : int; (* total ns consumed, all processors *)
   mutable threads : thread list;
-  by_task : (int, thread) Hashtbl.t;
+  mutable tslots : thread array; (* indexed by [Task.mslot]; grows, never shrinks *)
+  mutable tslot_used : int;
   mutable on_idle : unit -> unit;
   invariants : Engine.Invariant.t;
   mutable starvation_bound : int; (* ns a non-idle thread may wait while idle runs *)
@@ -221,24 +222,32 @@ and dispatch_on m ~from_cpu =
                 | Some t when Simtime.(t > now m) -> kick_at m t
                 | Some _ | None -> ());
                 m.on_idle ()
-            | Some task -> (
-                match Hashtbl.find_opt m.by_task task.Task.id with
-                | None ->
-                    (* Task of an exited thread still queued: drop, retry. *)
-                    m.pol.Sched.Policy.dequeue task;
+            | Some task ->
+                (* Thread lookup is an array load off the task's machine
+                   slot (stamped at spawn); the identity check rejects a
+                   task this machine never spawned. *)
+                let s = task.Task.mslot in
+                if
+                  s < 0 || s >= m.tslot_used
+                  || (Array.unsafe_get m.tslots s).task != task
+                then begin
+                  m.pol.Sched.Policy.dequeue task;
+                  scan cpu
+                end
+                else begin
+                  let thread = Array.unsafe_get m.tslots s in
+                  if thread.pending <= 0 then begin
+                    (* Nothing to burn: run the thread's code to its next
+                       effect, then look again. *)
+                    m.pol.Sched.Policy.dequeue thread.task;
+                    resume_thread m thread;
                     scan cpu
-                | Some thread ->
-                    if thread.pending <= 0 then begin
-                      (* Nothing to burn: run the thread's code to its next
-                         effect, then look again. *)
-                      m.pol.Sched.Policy.dequeue thread.task;
-                      resume_thread m thread;
-                      scan cpu
-                    end
-                    else begin
-                      start_slice m thread ~cpu;
-                      scan (cpu + 1)
-                    end)
+                  end
+                  else begin
+                    start_slice m thread ~cpu;
+                    scan (cpu + 1)
+                  end
+                end
           end
   in
   scan from_cpu
@@ -322,7 +331,8 @@ let create ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(prune_interval = Simtime.ms 1
       irq_busy_until = Simtime.zero;
       busy = 0;
       threads = [];
-      by_task = Hashtbl.create 64;
+      tslots = [||];
+      tslot_used = 0;
       on_idle = (fun () -> ());
       invariants;
       starvation_bound = Simtime.span_to_ns (Simtime.ms 100);
@@ -408,9 +418,9 @@ let create ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(prune_interval = Simtime.ms 1
   Engine.Metrics.gauge metrics "machine.runnable_tasks" (fun () ->
       float_of_int (m.pol.Sched.Policy.runnable_count ()));
   Engine.Metrics.gauge metrics "rc.root.cpu_ns" (fun () ->
-      Simtime.span_to_sec_f (Rescont.Usage.cpu_total (Container.subtree_usage root)) *. 1e9);
+      float_of_int (Rescont.Usage.cpu_ns (Container.subtree_usage root)));
   Engine.Metrics.gauge metrics "rc.root.memory_bytes" (fun () ->
-      float_of_int (Rescont.Usage.memory_bytes (Container.subtree_usage root)));
+      float_of_int (Rescont.Usage.mem_bytes (Container.subtree_usage root)));
   (* Periodic pruning of scheduler-binding sets (paper §4.3). *)
   ignore
     (Sim.every sim prune_interval (fun () ->
@@ -497,7 +507,18 @@ let spawn m ?(kernel = false) ~name ~container body =
     { task; state = Blocked; pending = 0; kernel_mode = kernel; cont = None; entry = Some body;
       ready_since = now m }
   in
-  Hashtbl.replace m.by_task task.Task.id thread;
+  let slot = m.tslot_used in
+  if slot >= Array.length m.tslots then begin
+    let cap = max 64 (2 * Array.length m.tslots) in
+    (* The placeholder is never dereferenced: only slots below
+       [tslot_used] are read (same pattern as the dispatch pool). *)
+    let grown = Array.make cap (Obj.magic 0 : thread) in
+    Array.blit m.tslots 0 grown 0 (Array.length m.tslots);
+    m.tslots <- grown
+  end;
+  task.Task.mslot <- slot;
+  m.tslots.(slot) <- thread;
+  m.tslot_used <- slot + 1;
   m.threads <- thread :: m.threads;
   thread.state <- Ready;
   m.pol.Sched.Policy.enqueue task;

@@ -32,7 +32,19 @@ type invoice = {
   total : float;
 }
 
-type tracked = { label : string; container : Container.t; mutable last : Usage.snapshot }
+(* The per-customer high-water marks are plain ints read through the
+   usage arena's scalar accessors: closing a cycle polls every tracked
+   container without allocating a snapshot record per customer. *)
+type tracked = {
+  label : string;
+  container : Container.t;
+  mutable last_cpu_ns : int;
+  mutable last_rx_bytes : int;
+  mutable last_tx_bytes : int;
+  mutable last_rx_packets : int;
+  mutable last_tx_packets : int;
+  mutable last_disk_ns : int;
+}
 
 type t = {
   rates : rate_card;
@@ -47,8 +59,18 @@ let create ?(rates = default_rates) ~now () =
 let track t ~customer container =
   if List.exists (fun tr -> String.equal tr.label customer) t.tracked then
     invalid_arg (Printf.sprintf "Billing.track: duplicate customer %S" customer);
+  let u = Container.subtree_usage container in
   t.tracked <-
-    { label = customer; container; last = Usage.snapshot (Container.subtree_usage container) }
+    {
+      label = customer;
+      container;
+      last_cpu_ns = Usage.cpu_ns u;
+      last_rx_bytes = Usage.rx_bytes u;
+      last_tx_bytes = Usage.tx_bytes u;
+      last_rx_packets = Usage.rx_packets u;
+      last_tx_packets = Usage.tx_packets u;
+      last_disk_ns = Usage.disk_ns u;
+    }
     :: t.tracked
 
 let amount_of line = line.amount
@@ -64,19 +86,23 @@ let close_cycle t ~now =
   let lines =
     List.rev_map
       (fun tr ->
-        let current = Usage.snapshot (Container.subtree_usage tr.container) in
-        let previous = tr.last in
-        tr.last <- current;
-        let cpu = Simtime.span_sub current.Usage.cpu_total previous.Usage.cpu_total in
-        let bytes =
-          current.Usage.rx_bytes - previous.Usage.rx_bytes
-          + (current.Usage.tx_bytes - previous.Usage.tx_bytes)
-        in
-        let packets =
-          current.Usage.rx_packets - previous.Usage.rx_packets
-          + (current.Usage.tx_packets - previous.Usage.tx_packets)
-        in
-        let disk = Simtime.span_sub current.Usage.disk_time previous.Usage.disk_time in
+        let u = Container.subtree_usage tr.container in
+        let cpu_ns = Usage.cpu_ns u in
+        let rx_bytes = Usage.rx_bytes u in
+        let tx_bytes = Usage.tx_bytes u in
+        let rx_packets = Usage.rx_packets u in
+        let tx_packets = Usage.tx_packets u in
+        let disk_ns = Usage.disk_ns u in
+        let cpu = Simtime.span_of_ns (cpu_ns - tr.last_cpu_ns) in
+        let bytes = rx_bytes - tr.last_rx_bytes + (tx_bytes - tr.last_tx_bytes) in
+        let packets = rx_packets - tr.last_rx_packets + (tx_packets - tr.last_tx_packets) in
+        let disk = Simtime.span_of_ns (disk_ns - tr.last_disk_ns) in
+        tr.last_cpu_ns <- cpu_ns;
+        tr.last_rx_bytes <- rx_bytes;
+        tr.last_tx_bytes <- tx_bytes;
+        tr.last_rx_packets <- rx_packets;
+        tr.last_tx_packets <- tx_packets;
+        tr.last_disk_ns <- disk_ns;
         { customer = tr.label; cpu; bytes; packets; disk;
           amount = price t.rates ~cpu ~bytes ~packets ~disk })
       t.tracked

@@ -40,6 +40,10 @@ let id t = t.id
 let name t = t.name
 let parent t = t.parent
 
+(* Dense per-domain creation-order index (the container's own usage
+   slot); schedulers key their flat per-container state arrays on it. *)
+let slot t = Usage.slot t.usage
+
 let children t =
   if t.children_dirty then begin
     t.children_fwd <- List.rev t.children_rev;
@@ -139,7 +143,8 @@ let make ?name ?(attrs = Attrs.default) ~parent ~root () =
   (match parent with
   | Some p ->
       check_can_adopt p (share_of t);
-      add_child p t
+      add_child p t;
+      Usage.set_chain_parent t.subtree_usage (Some p.subtree_usage)
   | None -> ());
   t
 
@@ -156,6 +161,7 @@ let detach t =
       p.children_rev <- List.filter (fun c -> c.id <> t.id) p.children_rev;
       p.children_dirty <- true;
       t.parent <- None;
+      Usage.set_chain_parent t.subtree_usage None;
       Atomic.incr topology_gen;
       invalidate_subtree t
 
@@ -182,6 +188,7 @@ let set_parent t new_parent =
       check_can_adopt p (share_of t);
       add_child p t;
       t.parent <- Some p;
+      Usage.set_chain_parent t.subtree_usage (Some p.subtree_usage);
       Atomic.incr topology_gen;
       invalidate_subtree t
 
@@ -205,43 +212,30 @@ let set_attrs t attrs =
 
 (* Charges land on the container's own usage and roll up into the subtree
    usage of the container and every ancestor, so hierarchical accounting
-   survives the destruction of children (§4.5).  The walk is a flat array
-   iteration over the cached chain: no closures, no allocation. *)
+   survives the destruction of children (§4.5).  The roll-up is an index
+   walk over the ledger arena's parent-slot array ([Usage.*_chain]),
+   maintained eagerly at attach/detach/destroy — no record chasing, no
+   closures, no allocation. *)
 
 let charge_cpu t ~kernel span =
   Usage.charge_cpu t.usage ~kernel span;
-  let chain = ancestry t in
-  for i = 0 to Array.length chain - 1 do
-    Usage.charge_cpu (Array.unsafe_get chain i).subtree_usage ~kernel span
-  done
+  Usage.charge_cpu_chain t.subtree_usage ~kernel span
 
 let charge_rx t ~packets ~bytes =
   Usage.charge_rx t.usage ~packets ~bytes;
-  let chain = ancestry t in
-  for i = 0 to Array.length chain - 1 do
-    Usage.charge_rx (Array.unsafe_get chain i).subtree_usage ~packets ~bytes
-  done
+  Usage.charge_rx_chain t.subtree_usage ~packets ~bytes
 
 let charge_tx t ~packets ~bytes =
   Usage.charge_tx t.usage ~packets ~bytes;
-  let chain = ancestry t in
-  for i = 0 to Array.length chain - 1 do
-    Usage.charge_tx (Array.unsafe_get chain i).subtree_usage ~packets ~bytes
-  done
+  Usage.charge_tx_chain t.subtree_usage ~packets ~bytes
 
 let charge_memory t delta =
   Usage.charge_memory t.usage delta;
-  let chain = ancestry t in
-  for i = 0 to Array.length chain - 1 do
-    Usage.charge_memory (Array.unsafe_get chain i).subtree_usage delta
-  done
+  Usage.charge_memory_chain t.subtree_usage delta
 
 let charge_disk t ~bytes span =
   Usage.charge_disk t.usage ~bytes span;
-  let chain = ancestry t in
-  for i = 0 to Array.length chain - 1 do
-    Usage.charge_disk (Array.unsafe_get chain i).subtree_usage ~bytes span
-  done
+  Usage.charge_disk_chain t.subtree_usage ~bytes span
 
 let subtree_usage t = t.subtree_usage
 let subtree_cpu t = Usage.cpu_total t.subtree_usage
@@ -272,6 +266,7 @@ let destroy t =
     List.iter
       (fun c ->
         c.parent <- None;
+        Usage.set_chain_parent c.subtree_usage None;
         invalidate_subtree c)
       t.children_rev;
     t.children_rev <- [];

@@ -34,6 +34,13 @@ val create_detached : ?name:string -> ?attrs:Attrs.t -> unit -> t
 (** {1 Structure} *)
 
 val id : t -> int
+
+val slot : t -> int
+(** Dense per-domain creation-order index (the container's own
+    {!Usage.slot}): small, never reused, suitable for indexing flat
+    per-container state arrays.  Nothing may depend on absolute slot
+    values — only on per-rig creation order, like {!id}. *)
+
 val name : t -> string
 val parent : t -> t option
 val children : t -> t list

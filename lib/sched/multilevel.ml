@@ -47,6 +47,8 @@ type cstate = {
   mutable node_vnow : float; (* as a parent: virtual clock (max served vt) *)
   mutable kids_key : Container.t list; (* children list the index was built from *)
   mutable kids : kid array; (* as a parent: index over children *)
+  mutable cchain : cstate array; (* charge path: states of self..top, cached *)
+  mutable cchain_key : Container.t array; (* ancestry array the chain was built from *)
   mutable scratch : kid array; (* eligible children of the current round *)
   mutable s_elig : int; (* as a parent: eligible-child count, this round *)
   mutable s_any : bool; (* as a parent: any child subtree has queued work *)
@@ -63,19 +65,33 @@ let make ?(window = Simtime.ms 100) ?invariants ~root () =
   | Some registry ->
       Engine.Invariant.register registry ~law:"sched.runq-counts" (fun () -> Runq.validate runq)
   | None -> ());
-  let states : (int, cstate) Hashtbl.t = Hashtbl.create 64 in
+  (* Scheduler state lives in a flat array indexed by [Container.slot] —
+     dense per-domain creation order, never reused — so the hot lookup is
+     a bounds check and an array load instead of a hash probe. *)
+  let states : cstate option array ref = ref (Array.make 64 None) in
   let state_of container =
-    let cid = Container.id container in
-    match Hashtbl.find states cid with
-    | s -> s
-    | exception Not_found ->
+    let slot = Container.slot container in
+    let arr =
+      let a = !states in
+      if slot < Array.length a then a
+      else begin
+        let n = Array.make (max (slot + 1) (2 * Array.length a)) None in
+        Array.blit a 0 n 0 (Array.length a);
+        states := n;
+        n
+      end
+    in
+    match Array.unsafe_get arr slot with
+    | Some s -> s
+    | None ->
         let s =
           { vt = 0.; last_weight = 1.; win_id = -1; win_used = 0; last_round = 0;
             tried_round = -1; node_round = 0; node_vnow = 0.; kids_key = []; kids = [||];
+            cchain = [||]; cchain_key = [||];
             scratch = [||]; s_elig = 0; s_any = false;
             fs = { a_fixed = 0.; a_ts = 0.; a_residual = 0.; a_tssum = 0. } }
         in
-        Hashtbl.replace states cid s;
+        Array.unsafe_set arr slot (Some s);
         s
   in
   let win_index now = Simtime.to_ns now / window_ns in
@@ -217,15 +233,27 @@ let make ?(window = Simtime.ms 100) ?invariants ~root () =
     | Some task -> Some task
     | None -> pick_node ~now ~include_idle:true root root_state
   in
+  (* The charge path runs once per slice for the dispatched container, so
+     the ancestor state chain is cached flat on that container's own
+     state, keyed on the physical identity of the memoized
+     [Container.ancestry] array: steady state is a straight walk over a
+     cstate array with zero lookups, rebuilt only after a re-parent. *)
   let charge ~container ~now span =
     let span_ns = Simtime.span_to_ns span in
-    let chain = Container.ancestry container in
+    let s = state_of container in
+    let ancestry = Container.ancestry container in
+    if not (s.cchain_key == ancestry) then begin
+      s.cchain <- Array.map state_of ancestry;
+      s.cchain_key <- ancestry
+    end;
+    let chain = s.cchain in
     let len = Array.length chain in
     for i = 0 to len - 1 do
-      let s = state_of (Array.unsafe_get chain i) in
-      ignore (win_used_s ~now s);
-      s.win_used <- s.win_used + span_ns;
-      if i < len - 1 then s.vt <- s.vt +. (float_of_int span_ns /. Float.max 1e-9 s.last_weight)
+      let st = Array.unsafe_get chain i in
+      ignore (win_used_s ~now st);
+      st.win_used <- st.win_used + span_ns;
+      if i < len - 1 then
+        st.vt <- st.vt +. (float_of_int span_ns /. Float.max 1e-9 st.last_weight)
     done;
     Runq.rotate runq container
   in

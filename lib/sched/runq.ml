@@ -1,33 +1,63 @@
 module Container = Rescont.Container
 
-(* Queues use lazy deletion: [where] is the source of truth for membership
-   (task id -> container id + enqueue stamp), and a queue entry is live only
-   while [where] still matches its stamp.  Dequeue is therefore O(1); stale
-   entries are skipped when they reach the front and bulk-compacted if they
-   ever dominate a queue.
+(* Queues use lazy deletion over flat ring buffers: each per-container
+   queue is a pair of parallel arrays (tasks and enqueue stamps), and an
+   entry is live only while the task's own intrusive membership fields
+   ([rq_owner]/[rq_cid]/[rq_stamp] on {!Task.t}) still match it.  Dequeue
+   is therefore O(1) field stores; stale entries are skipped when they
+   reach the front and bulk-compacted if they ever dominate a ring.
+
+   Membership lives on the task rather than in a hash table, so the
+   per-packet enqueue/dequeue cycle does no hashing and no allocation.
+   A task can only carry one queue's fields; the rare second queue (the
+   scheduler equivalence tests enqueue one task into an optimised and a
+   reference policy at once) falls back to a per-queue [overflow] table
+   with the exact same semantics.
 
    [counts] holds, per container, the number of live tasks queued anywhere
    in its subtree, maintained incrementally along the cached ancestor chain
    on enqueue/dequeue — so [subtree_has_work] is an O(1) lookup instead of
-   a recursive walk.  The counts are keyed on the container topology
-   generation and rebuilt from the queues when the tree is re-shaped. *)
+   a recursive walk.  Each ring caches its container's chain of count
+   refs, keyed on the physical identity of [Container.ancestry] (which is
+   rebuilt exactly when the topology above the container changes), so the
+   common bump is a straight array walk with no table lookups.  The counts
+   are keyed on the container topology generation and rebuilt from the
+   queues when the tree is re-shaped. *)
 
-type entry = { task : Task.t; stamp : int }
-type cq = { q : entry Queue.t; container : Container.t; mutable live : int }
+type cq = {
+  mutable tasks : Task.t array; (* ring buffer, capacity always a power of two *)
+  mutable stamps : int array; (* enqueue stamp of the parallel [tasks] entry *)
+  mutable head : int;
+  mutable len : int; (* ring entries, live or stale *)
+  container : Container.t;
+  mutable live : int;
+  mutable chain : int ref array; (* cached subtree count refs along the ancestry *)
+  mutable chain_key : Container.t array; (* the ancestry array [chain] was built from *)
+}
 
 type t = {
+  id : int; (* matches Task.rq_owner for tasks this queue tracks intrusively *)
   queues : (int, cq) Hashtbl.t; (* container id -> queue *)
-  where : (int, int * int) Hashtbl.t; (* task id -> (container id, stamp) *)
+  overflow : (int, int * int) Hashtbl.t; (* task id -> (container id, stamp) *)
   counts : (int, int ref) Hashtbl.t; (* container id -> live tasks in subtree *)
+  mutable total : int; (* live tasks across all queues *)
   mutable next_stamp : int;
   mutable topo_gen : int;
 }
 
+(* Queue ids only ever participate in equality tests against
+   [Task.rq_owner]; nothing may depend on their absolute values. *)
+let next_rqid = Atomic.make 0
+
+let dummy_task : Task.t = Obj.magic 0
+
 let create () =
   {
+    id = Atomic.fetch_and_add next_rqid 1;
     queues = Hashtbl.create 64;
-    where = Hashtbl.create 64;
+    overflow = Hashtbl.create 8;
     counts = Hashtbl.create 64;
+    total = 0;
     next_stamp = 0;
     topo_gen = Container.topology_generation ();
   }
@@ -41,6 +71,25 @@ let subtree_count_ref t container =
       Hashtbl.replace t.counts cid r;
       r
 
+(* The count refs keep their identity across topology rebuilds, so the
+   cached chains here and the multilevel scheduler's child index stay
+   valid; only the ancestry ARRAY changes identity, which is exactly the
+   event that invalidates a ring's cached chain. *)
+let refresh_chain t cq =
+  let ancestry = Container.ancestry cq.container in
+  if not (cq.chain_key == ancestry) then begin
+    cq.chain <- Array.map (fun c -> subtree_count_ref t c) ancestry;
+    cq.chain_key <- ancestry
+  end
+
+let bump_cq t cq delta =
+  refresh_chain t cq;
+  let chain = cq.chain in
+  for i = 0 to Array.length chain - 1 do
+    let r = Array.unsafe_get chain i in
+    r := !r + delta
+  done
+
 let bump_chain t container delta =
   let chain = Container.ancestry container in
   for i = 0 to Array.length chain - 1 do
@@ -48,9 +97,6 @@ let bump_chain t container delta =
     r := !r + delta
   done
 
-(* The refs keep their identity across a rebuild, so cached pointers into
-   [counts] (e.g. the multilevel scheduler's per-parent child index) stay
-   valid. *)
 let rebuild_counts t =
   Hashtbl.iter (fun _ r -> r := 0) t.counts;
   Hashtbl.iter (fun _ cq -> if cq.live > 0 then bump_chain t cq.container cq.live) t.queues
@@ -67,33 +113,93 @@ let queue_for t container =
   match Hashtbl.find t.queues cid with
   | cq -> cq
   | exception Not_found ->
-      let cq = { q = Queue.create (); container; live = 0 } in
+      let cq =
+        {
+          tasks = Array.make 8 dummy_task;
+          stamps = Array.make 8 0;
+          head = 0;
+          len = 0;
+          container;
+          live = 0;
+          chain = [||];
+          chain_key = [||];
+        }
+      in
       Hashtbl.replace t.queues cid cq;
       cq
 
-let mem t task = Hashtbl.mem t.where task.Task.id
+let owns t (task : Task.t) = task.Task.rq_owner = t.id
 
-let entry_live t cid e =
-  match Hashtbl.find t.where e.task.Task.id with
-  | c, s -> c = cid && s = e.stamp
-  | exception Not_found -> false
+let mem t (task : Task.t) = owns t task || Hashtbl.mem t.overflow task.Task.id
 
-(* Drop stale entries sitting at the front. *)
-let rec skim t cid cq =
-  match Queue.peek cq.q with
-  | e when not (entry_live t cid e) ->
-      ignore (Queue.pop cq.q);
-      skim t cid cq
-  | _ -> ()
-  | exception Queue.Empty -> ()
+(* Liveness of a ring entry: the fast path is three field compares on the
+   task itself; overflow membership is consulted only for tasks owned by
+   another queue. *)
+let entry_live t cid (task : Task.t) stamp =
+  if task.Task.rq_owner = t.id then task.Task.rq_cid = cid && task.Task.rq_stamp = stamp
+  else
+    match Hashtbl.find t.overflow task.Task.id with
+    | c, s -> c = cid && s = stamp
+    | exception Not_found -> false
 
+let ring_push cq task stamp =
+  let cap = Array.length cq.tasks in
+  if cq.len = cap then begin
+    let ncap = cap * 2 in
+    let nt = Array.make ncap dummy_task in
+    let ns = Array.make ncap 0 in
+    for i = 0 to cq.len - 1 do
+      let j = (cq.head + i) land (cap - 1) in
+      nt.(i) <- cq.tasks.(j);
+      ns.(i) <- cq.stamps.(j)
+    done;
+    cq.tasks <- nt;
+    cq.stamps <- ns;
+    cq.head <- 0
+  end;
+  let i = (cq.head + cq.len) land (Array.length cq.tasks - 1) in
+  cq.tasks.(i) <- task;
+  cq.stamps.(i) <- stamp;
+  cq.len <- cq.len + 1
+
+(* Drop stale entries sitting at the front, releasing their task pointers
+   so the ring never pins a dequeued task. *)
+let skim t cid cq =
+  let continue = ref true in
+  while !continue && cq.len > 0 do
+    let i = cq.head land (Array.length cq.tasks - 1) in
+    let task = cq.tasks.(i) in
+    if entry_live t cid task cq.stamps.(i) then continue := false
+    else begin
+      cq.tasks.(i) <- dummy_task;
+      cq.head <- cq.head + 1;
+      cq.len <- cq.len - 1
+    end
+  done
+
+(* Fresh arrays rather than in-place: compaction runs only when stale
+   entries outnumber live ones, and copying sidesteps the read-after-
+   overwrite hazard of sliding a wrapped ring over itself. *)
 let compact_cq t cid cq =
-  let keep = Queue.create () in
-  Queue.iter (fun e -> if entry_live t cid e then Queue.push e keep) cq.q;
-  Queue.clear cq.q;
-  Queue.transfer keep cq.q
+  let cap = Array.length cq.tasks in
+  let nt = Array.make cap dummy_task in
+  let ns = Array.make cap 0 in
+  let j = ref 0 in
+  for i = 0 to cq.len - 1 do
+    let src = (cq.head + i) land (cap - 1) in
+    let task = cq.tasks.(src) in
+    if entry_live t cid task cq.stamps.(src) then begin
+      nt.(!j) <- task;
+      ns.(!j) <- cq.stamps.(src);
+      incr j
+    end
+  done;
+  cq.tasks <- nt;
+  cq.stamps <- ns;
+  cq.head <- 0;
+  cq.len <- !j
 
-let enqueue t task =
+let enqueue t (task : Task.t) =
   if not (mem t task) then begin
     sync t;
     let container = Task.container task in
@@ -101,47 +207,75 @@ let enqueue t task =
     let cq = queue_for t container in
     let stamp = t.next_stamp in
     t.next_stamp <- stamp + 1;
-    Queue.push { task; stamp } cq.q;
-    Hashtbl.replace t.where task.Task.id (cid, stamp);
+    ring_push cq task stamp;
+    if task.Task.rq_owner < 0 then begin
+      task.Task.rq_owner <- t.id;
+      task.Task.rq_cid <- cid;
+      task.Task.rq_stamp <- stamp
+    end
+    else Hashtbl.replace t.overflow task.Task.id (cid, stamp);
     cq.live <- cq.live + 1;
-    bump_chain t container 1;
-    if Queue.length cq.q > 8 + (2 * cq.live) then compact_cq t cid cq
+    t.total <- t.total + 1;
+    bump_cq t cq 1;
+    if cq.len > 8 + (2 * cq.live) then compact_cq t cid cq
   end
 
-let dequeue t task =
-  match Hashtbl.find t.where task.Task.id with
-  | exception Not_found -> ()
-  | cid, _stamp -> (
-      sync t;
-      Hashtbl.remove t.where task.Task.id;
-      match Hashtbl.find t.queues cid with
-      | cq ->
-          cq.live <- cq.live - 1;
-          bump_chain t cq.container (-1)
-      | exception Not_found -> ())
+let dequeue t (task : Task.t) =
+  let cid =
+    if owns t task then begin
+      let cid = task.Task.rq_cid in
+      task.Task.rq_owner <- -1;
+      task.Task.rq_cid <- -1;
+      cid
+    end
+    else
+      match Hashtbl.find t.overflow task.Task.id with
+      | cid, _stamp ->
+          Hashtbl.remove t.overflow task.Task.id;
+          cid
+      | exception Not_found -> -1
+  in
+  if cid >= 0 then begin
+    sync t;
+    match Hashtbl.find t.queues cid with
+    | cq ->
+        cq.live <- cq.live - 1;
+        t.total <- t.total - 1;
+        bump_cq t cq (-1)
+    | exception Not_found -> ()
+  end
 
 let requeue t task =
   dequeue t task;
   enqueue t task
 
-let count t = Hashtbl.length t.where
+let count t = t.total
 
 let front t container =
   let cid = Container.id container in
   match Hashtbl.find t.queues cid with
   | exception Not_found -> None
-  | cq when cq.live > 0 -> (
+  | cq when cq.live > 0 ->
       skim t cid cq;
-      match Queue.peek cq.q with e -> Some e.task | exception Queue.Empty -> None)
+      if cq.len > 0 then Some cq.tasks.(cq.head land (Array.length cq.tasks - 1)) else None
   | _ -> None
 
 let rotate t container =
   let cid = Container.id container in
   match Hashtbl.find t.queues cid with
   | exception Not_found -> ()
-  | cq when cq.live > 1 -> (
+  | cq when cq.live > 1 ->
       skim t cid cq;
-      match Queue.take cq.q with head -> Queue.push head cq.q | exception Queue.Empty -> ())
+      if cq.len > 0 then begin
+        let cap = Array.length cq.tasks in
+        let i = cq.head land (cap - 1) in
+        let task = cq.tasks.(i) in
+        let stamp = cq.stamps.(i) in
+        cq.tasks.(i) <- dummy_task;
+        cq.head <- cq.head + 1;
+        cq.len <- cq.len - 1;
+        ring_push cq task stamp
+      end
   | _ -> ()
 
 let container_has_work t container =
@@ -162,32 +296,37 @@ let containers_with_work t =
    order [containers_with_work] uses, without building the list. *)
 let iter_busy t f = Hashtbl.iter (fun _ cq -> if cq.live > 0 then f cq.container) t.queues
 
-(* Re-derive every maintained count from the membership table and compare:
-   the incremental bookkeeping ([live], [counts], [where]) must agree with
-   a from-scratch recomputation at any event boundary. *)
+(* Re-derive every maintained count from the ring contents and compare:
+   the incremental bookkeeping ([live], [total], [counts] and the
+   task-resident membership fields) must agree with a from-scratch
+   recomputation at any event boundary. *)
 let validate t =
   sync t;
-  let live_by_cid = Hashtbl.create 16 in
-  Hashtbl.iter
-    (fun _task (cid, _stamp) ->
-      let n = match Hashtbl.find_opt live_by_cid cid with Some n -> n | None -> 0 in
-      Hashtbl.replace live_by_cid cid (n + 1))
-    t.where;
   let mismatch = ref None in
+  let total = ref 0 in
   Hashtbl.iter
     (fun cid cq ->
-      let expected = match Hashtbl.find_opt live_by_cid cid with Some n -> n | None -> 0 in
-      if !mismatch = None && cq.live <> expected then
+      let live = ref 0 in
+      let cap = Array.length cq.tasks in
+      for i = 0 to cq.len - 1 do
+        let j = (cq.head + i) land (cap - 1) in
+        if entry_live t cid cq.tasks.(j) cq.stamps.(j) then incr live
+      done;
+      total := !total + !live;
+      if !mismatch = None && cq.live <> !live then
         mismatch :=
           Some
-            (Printf.sprintf "queue %s: live=%d but %d tasks mapped to it"
-               (Container.name cq.container) cq.live expected))
+            (Printf.sprintf "queue %s: live=%d but %d ring entries are live"
+               (Container.name cq.container) cq.live !live))
     t.queues;
+  if !mismatch = None && t.total <> !total then
+    mismatch := Some (Printf.sprintf "total=%d but queues hold %d live entries" t.total !total);
   Hashtbl.iter
-    (fun cid n ->
+    (fun task_id (cid, _stamp) ->
       if !mismatch = None && not (Hashtbl.mem t.queues cid) then
-        mismatch := Some (Printf.sprintf "%d tasks mapped to container #%d with no queue" n cid))
-    live_by_cid;
+        mismatch :=
+          Some (Printf.sprintf "overflow task#%d mapped to container #%d with no queue" task_id cid))
+    t.overflow;
   (match !mismatch with
   | Some _ -> ()
   | None ->

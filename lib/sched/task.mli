@@ -9,6 +9,18 @@ type t = {
   name : string;
   binding : Rescont.Binding.t;
   kernel : bool;  (** [true] for kernel threads, e.g. per-process network threads. *)
+  mutable rq_owner : int;
+      (** Intrusive run-queue bookkeeping, owned by {!Runq}: the id of
+          the run queue currently holding the task ([-1] when none).
+          Membership checks read a task field instead of a hash table;
+          a task queued in {e two} run queues at once (the scheduler
+          equivalence tests do this) overflows into the second queue's
+          side table. *)
+  mutable rq_cid : int;  (** Container id the task is queued under; owned by {!Runq}. *)
+  mutable rq_stamp : int;  (** Enqueue stamp for lazy deletion; owned by {!Runq}. *)
+  mutable mslot : int;
+      (** Thread-table slot on the machine running this task, [-1] when
+          none; owned by [Procsim.Machine]. *)
 }
 
 val create : ?kernel:bool -> name:string -> Rescont.Binding.t -> t

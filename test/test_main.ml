@@ -19,6 +19,7 @@ let () =
       ("disksim", Test_disksim.suite);
       ("netsim", Test_netsim.suite);
       ("pooling", Test_pooling.suite);
+      ("soa", Test_soa.suite);
       ("httpsim", Test_httpsim.suite);
       ("workload", Test_workload.suite);
       ("invariant", Test_invariant.suite);
