@@ -210,6 +210,70 @@ let sched_tests () =
 
 let sched_cfg () = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ()
 
+(* {1 Part 1b': SMP dispatch micro-benchmarks}
+
+   Cost of one scheduling round on a 4-processor machine: every processor
+   picks and charges once, against a single shared run queue holding the
+   whole task population versus per-CPU shards each holding a quarter.
+   Sharding keeps each queue's population — and hence each decision —
+   smaller, which is the capacity argument for per-CPU run queues. *)
+
+let smp_cpus = 4
+
+let smp_bench_dispatch ~sharded n =
+  let root = Container.create_root () in
+  let class_parent =
+    Container.create ~parent:root ~attrs:(Attrs.fixed_share ~share:1.0 ()) ()
+  in
+  let pols =
+    if sharded then Array.init smp_cpus (fun _ -> Sched.Multilevel.make ~root ())
+    else Array.make smp_cpus (Sched.Multilevel.make ~root ())
+  in
+  for i = 1 to n do
+    let c = Container.create ~parent:class_parent ~name:(Printf.sprintf "c%d" i) () in
+    let task =
+      Sched.Task.create ~name:(Printf.sprintf "t%d" i) (Binding.create ~now:Simtime.zero c)
+    in
+    pols.(i mod smp_cpus).Sched.Policy.enqueue task
+  done;
+  let now = ref 0 in
+  Test.make
+    ~name:
+      (Printf.sprintf "4-CPU dispatch round, %d tasks, %s" n
+         (if sharded then "per-CPU queues" else "shared queue"))
+    (Staged.stage (fun () ->
+         incr now;
+         for cpu = 0 to smp_cpus - 1 do
+           let pol = pols.(cpu) in
+           match pol.Sched.Policy.pick ~now:(Simtime.of_ns !now) with
+           | Some task ->
+               pol.Sched.Policy.charge
+                 ~container:(Sched.Task.container task)
+                 ~now:(Simtime.of_ns !now) (Simtime.us 10)
+           | None -> ()
+         done))
+
+let smp_tests () =
+  List.concat_map
+    (fun n -> [ smp_bench_dispatch ~sharded:false n; smp_bench_dispatch ~sharded:true n ])
+    [ 64; 256 ]
+
+let run_smp_microbench () =
+  let estimates = ols_estimates ~group:"smp" ~cfg:(sched_cfg ()) (smp_tests ()) in
+  let table =
+    Engine.Series.table
+      ~title:"4-processor dispatch cost: shared run queue vs per-CPU shards"
+      ~columns:[ "configuration"; "ns per round" ]
+  in
+  List.iter
+    (fun (name, estimate) ->
+      let estimate =
+        match estimate with Some ns -> Printf.sprintf "%.0f" ns | None -> "-"
+      in
+      Engine.Series.add_row table [ name; estimate ])
+    estimates;
+  Format.printf "%a@." Engine.Series.pp_table table
+
 let run_sched_microbench () =
   let estimates = ols_estimates ~group:"sched" ~cfg:(sched_cfg ()) (sched_tests ()) in
   let table =
@@ -467,6 +531,12 @@ let run_json ~fast ~smoke ~label =
       (sched_tests ())
   in
   renew ();
+  let smp =
+    ols_estimates ~group:"smp"
+      ~cfg:(Benchmark.cfg ~limit:1000 ~quota:(Time.second (scale 0.25)) ())
+      (smp_tests ())
+  in
+  renew ();
   let sim =
     ols_estimates2 ~group:"sim"
       ~cfg:(Benchmark.cfg ~limit:1000 ~quota:(Time.second (scale 0.25)) ())
@@ -529,6 +599,20 @@ let run_json ~fast ~smoke ~label =
         ])
       [ Experiments.Harness.Unmodified; Experiments.Harness.Lrp_sys; Experiments.Harness.Rc_sys ]
   in
+  (* The same end-to-end rig on a 4-processor machine with per-CPU
+     run-queue shards and RSS interrupt steering. *)
+  let smp_endtoend =
+    renew ();
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Experiments.Exp_sweep.run ~cpus:4 ~warmup ~measure
+         {
+           Experiments.Exp_sweep.system = Experiments.Harness.Rc_sys;
+           clients = 16;
+           seed = 1;
+         });
+    (Unix.gettimeofday () -. t0) /. sim_seconds
+  in
   (* Sweep throughput: the same 9-point grid serially and fanned across 4
      domains.  On a multicore host jobs=4 divides the wall time; on a
      single core it only adds domain overhead — both are worth knowing. *)
@@ -556,7 +640,7 @@ let run_json ~fast ~smoke ~label =
     List.filter_map
       (fun (name, estimate) ->
         Option.map (fun v -> { m_name = name; m_unit = "ns/op"; m_value = v }) estimate)
-      (t1 @ sched)
+      (t1 @ sched @ smp)
     @ List.filter_map
         (fun (name, ns, _) ->
           Option.map (fun v -> { m_name = name; m_unit = "ns/op"; m_value = v }) ns)
@@ -580,7 +664,15 @@ let run_json ~fast ~smoke ~label =
           m_value = fig11_heap;
         };
       ]
-    @ mode_metrics @ sweep_metrics
+    @ mode_metrics
+    @ [
+        {
+          m_name = "endtoend/wall-clock per simulated second, rc mode, 16 clients, 4 cpus";
+          m_unit = "s/simsec";
+          m_value = smp_endtoend;
+        };
+      ]
+    @ sweep_metrics
   in
   emit_json ~label metrics
 
@@ -672,6 +764,8 @@ let () =
      run_table1_microbench ();
      Rescont.Usage.renew_domain_arena ();
      run_sched_microbench ();
+     Rescont.Usage.renew_domain_arena ();
+     run_smp_microbench ();
      Rescont.Usage.renew_domain_arena ();
      run_sim_microbench ();
      run_netsim_microbench ();

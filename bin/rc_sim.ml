@@ -152,6 +152,15 @@ let run_trace _jobs _fast _csv =
     (fun e -> Format.printf "  %a@." Engine.Tracelog.pp_entry e)
     (Engine.Tracelog.entries (Machine.trace machine))
 
+let run_smp _jobs fast csv =
+  let warmup = if fast then Simtime.ms 500 else Simtime.sec 1 in
+  let measure = if fast then Simtime.sec 1 else Simtime.sec 4 in
+  print_table ~csv (Experiments.Exp_smp.livelock_table ~warmup ~measure ());
+  print_table ~csv
+    (Experiments.Exp_smp.hot_table
+       ~measure:(if fast then Simtime.sec 1 else Simtime.sec 2)
+       ())
+
 let run_ablation _jobs fast csv =
   let measure = if fast then Simtime.sec 3 else Simtime.sec 10 in
   print_table ~csv (Experiments.Exp_ablation.scheduler_family_table ~measure ());
@@ -205,8 +214,12 @@ let sweep_cmd =
 (* Conservation-law fuzzing: run seeded random scenarios with every
    invariant armed.  Exit status 0 means every law held on every run (or,
    under --inject, that the planted bug was caught on every run). *)
-let run_fuzz jobs seeds seed mode inject trace_out =
+let run_fuzz jobs seeds seed mode cpus inject trace_out =
   let jobs = resolve_jobs jobs in
+  if cpus < 1 then begin
+    Format.eprintf "fuzz: --cpus must be >= 1@.";
+    Stdlib.exit 2
+  end;
   let modes =
     if mode = "all" then Fuzz.all_modes
     else
@@ -231,7 +244,7 @@ let run_fuzz jobs seeds seed mode inject trace_out =
     match (seed_list, modes) with
     | [ s ], [ m ] ->
         (* Single replay: honour --trace-out for the violation dump. *)
-        let o = Fuzz.run_seed ~inject ?trace_path:trace_out ~mode:m ~seed:s () in
+        let o = Fuzz.run_seed ~inject ~cpus ?trace_path:trace_out ~mode:m ~seed:s () in
         Format.printf "%a@." Fuzz.pp_outcome o;
         [ o ]
     | _ when jobs > 1 ->
@@ -244,13 +257,13 @@ let run_fuzz jobs seeds seed mode inject trace_out =
         in
         let outcomes =
           Experiments.Harness.Sweep.map ~jobs
-            (fun (m, s) -> Fuzz.run_seed ~inject ~mode:m ~seed:s ())
+            (fun (m, s) -> Fuzz.run_seed ~inject ~cpus ~mode:m ~seed:s ())
             pairs
         in
         Array.iter (fun o -> Format.printf "%a@." Fuzz.pp_outcome o) outcomes;
         Array.to_list outcomes
     | _ ->
-        Fuzz.run_batch ~inject
+        Fuzz.run_batch ~inject ~cpus
           ~log:(fun o -> Format.printf "%a@." Fuzz.pp_outcome o)
           ~modes ~seeds:seed_list ()
   in
@@ -281,6 +294,14 @@ let fuzz_cmd =
     let doc = "Stack mode to fuzz: $(b,all), $(b,softirq), $(b,lrp) or $(b,rc)." in
     Arg.(value & opt string "all" & info [ "mode" ] ~doc ~docv:"MODE")
   in
+  let cpus_arg =
+    let doc =
+      "Run every scenario on an SMP machine with $(docv) processors (per-CPU run \
+       queues and RSS packet steering); the generated workload is identical at \
+       every CPU count."
+    in
+    Arg.(value & opt int 1 & info [ "cpus" ] ~doc ~docv:"N")
+  in
   let inject_arg =
     let doc =
       "Plant a known accounting bug ($(b,mischarge)); every run must then be caught \
@@ -291,8 +312,8 @@ let fuzz_cmd =
   let doc = "Fuzz random scenarios under the conservation-law invariants." in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
-      const run_fuzz $ jobs_flag $ seeds_arg $ seed_arg $ mode_arg $ inject_arg
-      $ trace_out_flag)
+      const run_fuzz $ jobs_flag $ seeds_arg $ seed_arg $ mode_arg $ cpus_arg
+      $ inject_arg $ trace_out_flag)
 
 let term_of f =
   let apply jobs fast csv chart trace_out metrics_out =
@@ -324,6 +345,7 @@ let cmds =
     subcommand "latency" "Run the latency-vs-load extension sweep." run_latency;
     subcommand "trace" "Dump a kernel trace of a small RC scenario." run_trace;
     subcommand "ablation" "Run the design-choice ablations." run_ablation;
+    subcommand "smp" "Run the SMP steering/fixed-share extension experiments." run_smp;
     sweep_cmd;
     fuzz_cmd;
     subcommand "all" "Run every experiment." run_all;

@@ -28,6 +28,13 @@ cmp "${TMPDIR:-/tmp}/rc-sweep-j1.json" "${TMPDIR:-/tmp}/rc-sweep-j2.json"
 echo "== fuzz smoke (fixed seeds, invariants armed, 2 jobs)"
 dune exec bin/rc_sim.exe -- fuzz --seeds 5 --jobs 2
 
+echo "== fuzz smoke at 2 and 4 processors (same seeds, per-CPU laws armed)"
+dune exec bin/rc_sim.exe -- fuzz --seeds 3 --cpus 2 --jobs 2
+dune exec bin/rc_sim.exe -- fuzz --seeds 3 --cpus 4 --jobs 2
+
+echo "== SMP experiments smoke (steering livelock confinement + sharded fixed shares)"
+dune exec bin/rc_sim.exe -- smp --fast > /dev/null
+
 echo "== fuzz self-test (planted mis-charge must be caught)"
 dune exec bin/rc_sim.exe -- fuzz --seed 1 --mode rc --inject mischarge \
   --trace-out "${TMPDIR:-/tmp}/rc-fuzz-selftest.trace.jsonl"

@@ -7,7 +7,8 @@ type t =
   | Spawn of { thread : string; cid : int; container : string }
   | Rebind of { thread : string; cid : int; container : string }
   | Kill of { thread : string }
-  | Irq_steal of { cost_ns : int; cid : int; container : string }
+  | Irq_steal of { cpu : int; cost_ns : int; cid : int; container : string }
+  | Migrate of { thread : string; from_cpu : int; to_cpu : int }
   | Charge of { resource : resource; cid : int; container : string; amount : int }
   | Net_syn of { src : string; listen : int }
   | Net_established of { conn : int; src : string }
@@ -38,6 +39,7 @@ let category = function
   | Rebind _ -> "rebind"
   | Kill _ -> "kill"
   | Irq_steal _ -> "irq"
+  | Migrate _ -> "migrate"
   | Charge _ -> "charge"
   | Net_syn _ | Net_established _ | Conn_close _ -> "net"
   | Net_enqueue _ | Net_dequeue _ -> "netq"
@@ -53,8 +55,10 @@ let render = function
   | Spawn { thread; container; _ } -> Printf.sprintf "thread %s in container %s" thread container
   | Rebind { thread; container; _ } -> Printf.sprintf "%s -> %s" thread container
   | Kill { thread } -> thread
-  | Irq_steal { cost_ns; container; _ } ->
-      Printf.sprintf "steal %dns charged to %s" cost_ns container
+  | Irq_steal { cpu; cost_ns; container; _ } ->
+      Printf.sprintf "cpu%d steal %dns charged to %s" cpu cost_ns container
+  | Migrate { thread; from_cpu; to_cpu } ->
+      Printf.sprintf "%s migrates cpu%d -> cpu%d" thread from_cpu to_cpu
   | Charge { resource; container; amount; _ } ->
       Printf.sprintf "%s %+d to %s" (resource_name resource) amount container
   | Net_syn { src; listen } -> Printf.sprintf "SYN from %s on listen#%d" src listen
@@ -97,8 +101,12 @@ let to_json = function
   | Rebind { thread; cid; container } ->
       typed "rebind" (("thread", String thread) :: container_fields cid container)
   | Kill { thread } -> typed "kill" [ ("thread", String thread) ]
-  | Irq_steal { cost_ns; cid; container } ->
-      typed "irq_steal" (("cost_ns", Int cost_ns) :: container_fields cid container)
+  | Irq_steal { cpu; cost_ns; cid; container } ->
+      typed "irq_steal"
+        (("cpu", Int cpu) :: ("cost_ns", Int cost_ns) :: container_fields cid container)
+  | Migrate { thread; from_cpu; to_cpu } ->
+      typed "migrate"
+        [ ("thread", String thread); ("from_cpu", Int from_cpu); ("to_cpu", Int to_cpu) ]
   | Charge { resource; cid; container; amount } ->
       typed "charge"
         (("resource", String (resource_name resource))

@@ -24,8 +24,12 @@ type t =
   | Spawn of { thread : string; cid : int; container : string }
   | Rebind of { thread : string; cid : int; container : string }
   | Kill of { thread : string }
-  | Irq_steal of { cost_ns : int; cid : int; container : string }
-      (** Interrupt-level work stole wall-clock time, charged as noted. *)
+  | Irq_steal of { cpu : int; cost_ns : int; cid : int; container : string }
+      (** Interrupt-level work stole wall-clock time on [cpu], charged as
+          noted. *)
+  | Migrate of { thread : string; from_cpu : int; to_cpu : int }
+      (** A runnable thread moved between per-CPU run-queue shards (idle
+          steal or periodic rebalance). *)
   | Charge of { resource : resource; cid : int; container : string; amount : int }
       (** Resource consumption charged to a container: [amount] is ns for
           [Cpu]/[Disk], bytes for the rest (negative = refund). *)
@@ -51,8 +55,8 @@ type t =
 
 val category : t -> string
 (** Stable coarse grouping used by [Tracelog.find]: "dispatch", "preempt",
-    "spawn", "rebind", "kill", "irq", "charge", "net", "netq", "drop",
-    "http", or the [Message] category. *)
+    "spawn", "rebind", "kill", "irq", "migrate", "charge", "net", "netq",
+    "drop", "http", or the [Message] category. *)
 
 val render : t -> string
 (** One-line human-readable form (the legacy message text). *)

@@ -28,8 +28,9 @@ let grid ?(systems = [ Harness.Unmodified; Harness.Lrp_sys; Harness.Rc_sys ])
    think-time jitter) comes from the point's own seed, so the result is a
    pure function of the point — the property the jobs-determinism test
    leans on. *)
-let run ?(warmup = Simtime.sec 1) ?(measure = Simtime.sec 2) { system; clients; seed } =
-  let rig = Harness.make_rig system in
+let run ?(cpus = 1) ?(warmup = Simtime.sec 1) ?(measure = Simtime.sec 2)
+    { system; clients; seed } =
+  let rig = Harness.make_rig ~cpus system in
   let listen = Socket.make_listen ~port:Harness.default_port () in
   let server =
     Event_server.create ~stack:rig.Harness.stack ~process:rig.Harness.server_proc
@@ -53,8 +54,8 @@ let run ?(warmup = Simtime.sec 1) ?(measure = Simtime.sec 2) { system; clients; 
     completed;
   }
 
-let run_grid ?warmup ?measure ?(jobs = 1) points =
-  Harness.Sweep.map ~jobs (run ?warmup ?measure) points
+let run_grid ?cpus ?warmup ?measure ?(jobs = 1) points =
+  Harness.Sweep.map ~jobs (run ?cpus ?warmup ?measure) points
 
 let result_to_json r =
   Jsonx.Obj

@@ -29,10 +29,17 @@ val grid :
     clients × seeds {1, 2}. *)
 
 val run :
-  ?warmup:Engine.Simtime.span -> ?measure:Engine.Simtime.span -> point -> result
-(** Run one point (default 1 s warmup, 2 s measurement). *)
+  ?cpus:int ->
+  ?warmup:Engine.Simtime.span ->
+  ?measure:Engine.Simtime.span ->
+  point ->
+  result
+(** Run one point (default 1 s warmup, 2 s measurement).  [cpus]
+    (default 1) runs the point's rig on an SMP machine with one run-queue
+    shard per processor. *)
 
 val run_grid :
+  ?cpus:int ->
   ?warmup:Engine.Simtime.span ->
   ?measure:Engine.Simtime.span ->
   ?jobs:int ->

@@ -42,17 +42,25 @@ let make_rig ?backend ?(cpus = 1) ?(quantum = Simtime.ms 1) ?(limit_window = Sim
   let sim = Sim.create ?backend () in
   let root = Container.create_root () in
   let invariants = Engine.Invariant.create () in
-  let policy =
+  let make_policy _cpu =
     match system with
     | Unmodified | Lrp_sys -> Sched.Timeshare.make ()
     | Rc_sys -> Sched.Multilevel.make ~window:limit_window ~invariants ~root ()
   in
+  let policy = make_policy 0 in
   let trace =
     match Atomic.get observe_capacity with
     | Some capacity -> Some (Engine.Tracelog.create ~enabled:true ~capacity ())
     | None -> None
   in
-  let machine = Machine.create ~cpus ~quantum ?trace ~sim ~policy ~root ~invariants () in
+  (* A real SMP rig gets one run-queue shard per processor; the
+     uniprocessor path is untouched (same policy value, same machine). *)
+  let machine =
+    if cpus > 1 then
+      Machine.create ~cpus ~shard_policy:make_policy ~quantum ?trace ~sim ~policy ~root
+        ~invariants ()
+    else Machine.create ~cpus ~quantum ?trace ~sim ~policy ~root ~invariants ()
+  in
   let server_proc = Process.create machine ?container_attrs:server_attrs ~name:"httpd" () in
   let mode =
     match system with Unmodified -> Stack.Softirq | Lrp_sys -> Stack.Lrp | Rc_sys -> Stack.Rc

@@ -38,6 +38,7 @@ let all_modes = [ Stack.Softirq; Stack.Lrp; Stack.Rc ]
 type outcome = {
   seed : int;
   mode : Stack.mode;
+  cpus : int;  (** processors the scenario ran on *)
   scenario : string;  (** one-line description of the generated scenario *)
   checks : int;  (** invariant sweeps that ran *)
   completed : int;  (** client requests completed *)
@@ -48,9 +49,10 @@ type outcome = {
   trace_file : string option;  (** JSONL trace written on violation *)
 }
 
-let replay_command ?(inject = false) ~mode ~seed () =
-  Printf.sprintf "dune exec bin/rc_sim.exe -- fuzz --seed %d --mode %s%s" seed
+let replay_command ?(inject = false) ?(cpus = 1) ~mode ~seed () =
+  Printf.sprintf "dune exec bin/rc_sim.exe -- fuzz --seed %d --mode %s%s%s" seed
     (mode_name mode)
+    (if cpus > 1 then Printf.sprintf " --cpus %d" cpus else "")
     (if inject then " --inject mischarge" else "")
 
 (* The generated scenario, described so a violating run is understandable
@@ -76,7 +78,8 @@ let scenario_summary s =
 
 let doc_paths = [| "/doc/1k"; "/doc/8k"; "/doc/64k" |]
 
-let run_seed ?(inject = false) ?trace_path ~mode ~seed () =
+let run_seed ?(inject = false) ?(cpus = 1) ?trace_path ~mode ~seed () =
+  if cpus < 1 then invalid_arg "Fuzz.run_seed: cpus must be >= 1";
   let rng = Rng.create ~seed in
   let pick arr = arr.(Rng.int rng (Array.length arr)) in
   let strict_before = Rescont.Usage.strict_memory_enabled () in
@@ -86,13 +89,22 @@ let run_seed ?(inject = false) ?trace_path ~mode ~seed () =
       let sim = Sim.create () in
       let root = Container.create_root () in
       let invariants = Engine.Invariant.create () in
-      let policy =
+      (* Same policy constructor per run-queue shard; the generated
+         scenario itself is a pure function of (seed, mode) — [cpus] only
+         changes where its work lands, never the rng stream. *)
+      let make_policy _cpu =
         match mode with
         | Stack.Rc -> Sched.Multilevel.make ~invariants ~root ()
         | Stack.Softirq | Stack.Lrp -> Sched.Timeshare.make ()
       in
+      let policy = make_policy 0 in
       let trace = Engine.Tracelog.create ~enabled:true ~capacity:4096 () in
-      let machine = Machine.create ~sim ~policy ~root ~invariants ~trace () in
+      let machine =
+        if cpus > 1 then
+          Machine.create ~cpus ~shard_policy:make_policy ~sim ~policy ~root ~invariants
+            ~trace ()
+        else Machine.create ~sim ~policy ~root ~invariants ~trace ()
+      in
       let server_proc = Process.create machine ~name:"httpd" () in
       let stack =
         Stack.create ~machine ~mode
@@ -262,7 +274,9 @@ let run_seed ?(inject = false) ?trace_path ~mode ~seed () =
             let path =
               match trace_path with
               | Some p -> p
-              | None -> Printf.sprintf "fuzz-%s-seed%d.trace.jsonl" (mode_name mode) seed
+              | None ->
+                  Printf.sprintf "fuzz-%s-seed%d%s.trace.jsonl" (mode_name mode) seed
+                    (if cpus > 1 then Printf.sprintf "-cpus%d" cpus else "")
             in
             let oc = open_out path in
             Fun.protect
@@ -274,7 +288,10 @@ let run_seed ?(inject = false) ?trace_path ~mode ~seed () =
       {
         seed;
         mode;
-        scenario = scenario_summary scenario;
+        cpus;
+        scenario =
+          scenario_summary scenario
+          ^ (if cpus > 1 then Printf.sprintf " cpus=%d" cpus else "");
         checks = Engine.Invariant.checks_run invariants;
         completed = List.fold_left (fun acc c -> acc + Workload.Sclient.completed c) 0 sclients;
         packets = s.Stack.packets_processed;
@@ -293,17 +310,17 @@ let pp_outcome ppf o =
       Format.fprintf ppf
         "seed %-6d %-7s FAIL  %s@\n  scenario: %s@\n  replay:   %s%s" o.seed
         (mode_name o.mode) v o.scenario
-        (replay_command ~inject:o.injected ~mode:o.mode ~seed:o.seed ())
+        (replay_command ~inject:o.injected ~cpus:o.cpus ~mode:o.mode ~seed:o.seed ())
         (match o.trace_file with
         | Some f -> Printf.sprintf "\n  trace:    %s" f
         | None -> "")
 
-let run_batch ?(inject = false) ?(log = fun _ -> ()) ~modes ~seeds () =
+let run_batch ?(inject = false) ?(cpus = 1) ?(log = fun _ -> ()) ~modes ~seeds () =
   List.concat_map
     (fun seed ->
       List.map
         (fun mode ->
-          let o = run_seed ~inject ~mode ~seed () in
+          let o = run_seed ~inject ~cpus ~mode ~seed () in
           log o;
           o)
         modes)

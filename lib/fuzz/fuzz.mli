@@ -25,6 +25,7 @@ val all_modes : Netsim.Stack.mode list
 type outcome = {
   seed : int;
   mode : Netsim.Stack.mode;
+  cpus : int;  (** processors the scenario ran on (1 = uniprocessor) *)
   scenario : string;  (** one-line description of the generated scenario *)
   checks : int;  (** invariant sweeps that ran *)
   completed : int;  (** client requests completed *)
@@ -35,11 +36,13 @@ type outcome = {
   trace_file : string option;  (** JSONL trace written on violation *)
 }
 
-val replay_command : ?inject:bool -> mode:Netsim.Stack.mode -> seed:int -> unit -> string
+val replay_command :
+  ?inject:bool -> ?cpus:int -> mode:Netsim.Stack.mode -> seed:int -> unit -> string
 (** The one-command replay line printed with a violation. *)
 
 val run_seed :
   ?inject:bool ->
+  ?cpus:int ->
   ?trace_path:string ->
   mode:Netsim.Stack.mode ->
   seed:int ->
@@ -48,8 +51,12 @@ val run_seed :
 (** Run one scenario.  [inject] plants a deliberate accounting bug
     (interrupt time charged to a container outside the root's subtree)
     halfway through the run, which the [cpu.conservation] law must catch —
-    the self-test that the checker checks.  [trace_path] overrides where
-    the JSONL trace is written on violation (default
+    the self-test that the checker checks.  [cpus] (default 1) runs the
+    same scenario on an SMP machine with one run-queue shard per
+    processor and RSS packet steering; the scenario generation is a pure
+    function of [(seed, mode)] alone, so a given seed exercises the same
+    workload at every CPU count.  [trace_path] overrides where the JSONL
+    trace is written on violation (default
     [fuzz-<mode>-seed<seed>.trace.jsonl] in the working directory).
     Restores the process-wide strict-memory flag on exit. *)
 
@@ -57,9 +64,11 @@ val pp_outcome : Format.formatter -> outcome -> unit
 
 val run_batch :
   ?inject:bool ->
+  ?cpus:int ->
   ?log:(outcome -> unit) ->
   modes:Netsim.Stack.mode list ->
   seeds:int list ->
   unit ->
   outcome list
-(** Run every (seed, mode) pair, calling [log] after each. *)
+(** Run every (seed, mode) pair at the given CPU count (default 1),
+    calling [log] after each. *)

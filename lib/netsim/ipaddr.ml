@@ -29,6 +29,7 @@ let to_string t =
 
 let equal = Int32.equal
 let compare = Int32.unsigned_compare
+let hash t = Int32.to_int t land 0xFFFFFFFF
 
 let mask_of_bits bits =
   if bits < 0 || bits > 32 then invalid_arg "Ipaddr: prefix length outside [0,32]";

@@ -15,6 +15,10 @@ val to_string : t -> string
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+val hash : t -> int
+(** The address as a non-negative integer — stable across runs, used as
+    RSS-style flow-hash input. *)
+
 val in_prefix : t -> template:t -> bits:int -> bool
 (** [in_prefix addr ~template ~bits] is [true] when the top [bits] bits of
     [addr] equal those of [template].  [bits] = 0 matches everything;

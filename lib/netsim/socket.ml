@@ -17,6 +17,10 @@ type conn = {
   mutable track_slot : int;
       (** Slot index in the owning stack's {!Conn_table}; -1 when
           untracked.  Kernel-private. *)
+  mutable steer_cpu : int;
+      (** Processor this connection's interrupt work is steered to (the
+          stack's RSS hash of the flow); 0 on a uniprocessor.
+          Kernel-private. *)
 }
 
 and listen = {
@@ -82,6 +86,7 @@ let make_conn ~src ~src_port ~client ~now =
     syn_arrival = now;
     last_delivery = now;
     track_slot = -1;
+    steer_cpu = 0;
   }
 
 let conn_container_or conn ~default =

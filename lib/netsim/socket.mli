@@ -31,6 +31,10 @@ type conn = {
       (** Slot index in the owning stack's {!Conn_table}, stamped by the
           table itself; -1 when untracked.  Kernel-private plumbing that
           makes untracking on close O(1). *)
+  mutable steer_cpu : int;
+      (** Processor this flow's interrupt work is steered to, stamped by
+          {!Stack} from its RSS hash when the connection is created; 0 on
+          a uniprocessor.  Kernel-private. *)
 }
 
 and listen = {

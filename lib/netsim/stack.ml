@@ -70,6 +70,7 @@ type t = {
   mutable pending : int;
   mutable services : service list; (* specific first, catch-all last *)
   conns : Conn_table.t; (* every non-closed connection this stack created *)
+  ncpus : int; (* Machine.cpus, cached: the RSS hash fans flows over these *)
   irq_cost : Simtime.span; (* irq_per_packet + demux, precomputed *)
   system_charge : [ `Container of Container.t | `Current_or_system ];
   softirq_charge_v : [ `Container of Container.t | `Current_or_system ];
@@ -84,6 +85,7 @@ and service = {
   svc_covers : Container.t -> bool;
   svc_wq : Machine.Waitq.t;
   svc_home : Container.t;
+  svc_cpu : int; (* processor the kthread is pinned to; -1 = unpinned *)
   mutable svc_busy : bool;
   mutable svc_thread : Machine.thread option;
 }
@@ -191,6 +193,27 @@ let container_of_work t (w : Workpool.item) =
           Socket.conn_container_or w.conn ~default:t.owner)
 
 let is_idle_class container = Attrs.is_idle_class (Container.attrs container)
+
+(* RSS-style receive-side steering: hash the flow (source address, source
+   port) to a processor, so every packet of a connection takes its
+   interrupt — and its charge — on the same CPU.  A cheap avalanche mix;
+   always 0 on a uniprocessor. *)
+let rss_steer t src src_port =
+  if t.ncpus <= 1 then 0
+  else begin
+    let h = Ipaddr.hash src lxor ((src_port + 1) * 0x9E3779B1) in
+    let h = h lxor (h lsr 16) in
+    let h = h * 0x45D9F3B land max_int in
+    let h = h lxor (h lsr 13) in
+    h mod t.ncpus
+  end
+
+(* Where a unit of protocol work takes its interrupt: SYNs hash the flow,
+   everything else follows the steering stamped on its connection. *)
+let steer_of_work t (w : Workpool.item) =
+  match w.kind with
+  | Workpool.Syn -> rss_steer t w.src w.src_port
+  | Workpool.Ack | Workpool.Data | Workpool.Fin -> w.conn.Socket.steer_cpu
 
 (* The principal that owns a connection's buffered bytes.  Resolved once
    and stamped on the connection: charge and refund must hit the same
@@ -352,6 +375,7 @@ let rec perform t (w : Workpool.item) =
           purge_syn_queue t l;
           evict_syn t l;
           let conn = Socket.make_conn ~src:w.src ~src_port:w.src_port ~client:w.client ~now:(now t) in
+          conn.Socket.steer_cpu <- rss_steer t w.src w.src_port;
           track_conn t conn;
           conn.Socket.listen <- Some l;
           Queue.push conn l.Socket.syn_queue;
@@ -465,12 +489,18 @@ and best_pending t ~covers ~allow_idle =
         | Some _ | None -> Some (c, prio))
     t.queues None
 
-and service_for t container =
-  let rec find = function
-    | [] -> None
-    | svc :: rest -> if svc.svc_covers container then Some svc else find rest
+(* The covering service pinned to [steer] when one exists, else the first
+   covering service (the uniprocessor case, and explicitly-added virtual
+   hosting services, which are unpinned). *)
+and service_covering t container ~steer =
+  let rec find best = function
+    | [] -> best
+    | svc :: rest ->
+        if not (svc.svc_covers container) then find best rest
+        else if svc.svc_cpu = steer then Some svc
+        else find (match best with None -> Some svc | some -> some) rest
   in
-  find t.services
+  find None t.services
 
 and service_has_work t svc =
   Hashtbl.fold
@@ -544,8 +574,9 @@ and enqueue_work t (work : Workpool.item) =
                depth = Workpool.queue_length q;
              });
       (* Make the covering network kernel thread runnable at the priority of
-         its best pending container (paper §4.7). *)
-      match service_for t container with
+         its best pending container (paper §4.7) — preferring the kthread
+         pinned to the processor this work was steered to. *)
+      match service_covering t container ~steer:(steer_of_work t work) with
       | Some svc ->
           if not svc.svc_busy then begin
             (match (svc.svc_thread, best_pending t ~covers:svc.svc_covers ~allow_idle:true) with
@@ -560,19 +591,21 @@ and enqueue_work t (work : Workpool.item) =
 (* Interrupt-level arrival of an already-built work item: charge the IRQ +
    demux cost and either process immediately (softirq) or enqueue. *)
 and dispatch t (work : Workpool.item) =
+  let cpu = steer_of_work t work in
   match t.mode with
   | Softirq ->
       (* Interrupt + softirq protocol processing, immediately, above all
-         threads.  Charged per §3.2 either to the unlucky principal running
-         at the time, or (default, matching Digital UNIX's behaviour as
-         measured in Fig. 13) to no process at all. *)
-      Machine.steal_time t.machine
+         threads — on the processor the flow is steered to.  Charged per
+         §3.2 either to the unlucky principal running at the time, or
+         (default, matching Digital UNIX's behaviour as measured in
+         Fig. 13) to no process at all. *)
+      Machine.steal_time ~cpu t.machine
         ~cost:(Simtime.span_add t.irq_cost (cost_of_work t work))
         ~charge:t.softirq_charge_v;
       perform t work;
       Workpool.release t.pool work
   | Lrp | Rc ->
-      Machine.steal_time t.machine ~cost:t.irq_cost ~charge:t.system_charge;
+      Machine.steal_time ~cpu t.machine ~cost:t.irq_cost ~charge:t.system_charge;
       enqueue_work t work
 
 and ack_arrival t conn =
@@ -653,7 +686,7 @@ let kthread_body t svc () =
   in
   loop ()
 
-let spawn_service t ~name ~home ~covers =
+let spawn_service ?cpu t ~name ~home ~covers =
   match t.mode with
   | Softirq -> None
   | Lrp | Rc ->
@@ -663,16 +696,19 @@ let spawn_service t ~name ~home ~covers =
           svc_covers = covers;
           svc_wq = Machine.Waitq.create ~name t.machine;
           svc_home = home;
+          svc_cpu = (match cpu with Some c -> c | None -> -1);
           svc_busy = false;
           svc_thread = None;
         }
       in
-      let thread = Machine.spawn t.machine ~kernel:true ~name ~container:home (kthread_body t svc) in
+      let thread =
+        Machine.spawn t.machine ~kernel:true ?cpu ~name ~container:home (kthread_body t svc)
+      in
       svc.svc_thread <- Some thread;
       Some svc
 
-let add_service t ~name ~home ~covers =
-  match spawn_service t ~name ~home ~covers with
+let add_service ?cpu t ~name ~home ~covers =
+  match spawn_service ?cpu t ~name ~home ~covers with
   | Some svc -> t.services <- svc :: t.services
   | None -> ()
 
@@ -704,6 +740,7 @@ let create ?(mtu = 1460) ?(latency = Simtime.us 150) ?(costs = default_costs)
       pending = 0;
       services = [];
       conns = Conn_table.create ();
+      ncpus = Machine.cpus machine;
       irq_cost = Simtime.span_add costs.irq_per_packet costs.demux;
       system_charge = `Container system;
       softirq_charge_v =
@@ -813,7 +850,18 @@ let create ?(mtu = 1460) ?(latency = Simtime.us 150) ?(costs = default_costs)
   (match mode with
   | Softirq -> ()
   | Lrp | Rc ->
-      add_service t ~name:"netisr" ~home:owner ~covers:(fun _ -> true);
+      (* One network kernel thread per processor on an SMP machine, each
+         pinned to its CPU so steered flows are protocol-processed where
+         their interrupts land; the classic single netisr on a
+         uniprocessor. *)
+      if t.ncpus = 1 then add_service t ~name:"netisr" ~home:owner ~covers:(fun _ -> true)
+      else
+        for i = t.ncpus - 1 downto 0 do
+          add_service ~cpu:i t
+            ~name:(Printf.sprintf "netisr%d" i)
+            ~home:owner
+            ~covers:(fun _ -> true)
+        done;
       (* Idle-class protocol processing runs only when the CPU would
          otherwise idle (paper §4.8). *)
       Machine.set_on_idle machine (fun () ->

@@ -145,12 +145,25 @@ val inject_syn : t -> src:Ipaddr.t -> port:int -> unit
     SYN-flood attack packet of §5.7.  Arrives immediately. *)
 
 val add_service :
-  t -> name:string -> home:Rescont.Container.t -> covers:(Rescont.Container.t -> bool) -> unit
+  ?cpu:int ->
+  t ->
+  name:string ->
+  home:Rescont.Container.t ->
+  covers:(Rescont.Container.t -> bool) ->
+  unit
 (** Add a per-process network kernel thread (paper §5.1) responsible for
     the deferred protocol processing of every container satisfying
     [covers]; more recently added services take precedence over earlier
     ones, and the stack's built-in catch-all service handles the rest.
-    [home] is the thread's fallback container.  No-op in [Softirq] mode. *)
+    [home] is the thread's fallback container.  [cpu] pins the kthread to
+    a processor (the stack's own per-CPU netisr threads use this; steered
+    work signals the kthread pinned to its flow's CPU first).  No-op in
+    [Softirq] mode. *)
+
+val rss_steer : t -> Ipaddr.t -> int -> int
+(** [rss_steer t src src_port] is the processor the flow hashes to:
+    deterministic, uniform-ish over [0, cpus), always 0 on a
+    uniprocessor.  Every packet of a connection shares its steering. *)
 
 (** {1 Introspection} *)
 

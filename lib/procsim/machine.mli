@@ -17,6 +17,8 @@ type thread
 
 val create :
   ?cpus:int ->
+  ?shard_policy:(int -> Sched.Policy.t) ->
+  ?rebalance_interval:Engine.Simtime.span ->
   ?quantum:Engine.Simtime.span ->
   ?prune_interval:Engine.Simtime.span ->
   ?prune_age:Engine.Simtime.span ->
@@ -30,9 +32,21 @@ val create :
   t
 (** [cpus] is the number of processors (default 1; every experiment in the
     paper runs on a uniprocessor).  Interrupt-level work is taken on
-    processor 0.  [quantum] is the time-slice length (default 1 ms).
-    [prune_interval] / [prune_age] control the periodic pruning of
-    scheduler-binding sets (paper §4.3; defaults 100 ms / 500 ms). *)
+    processor 0 unless steered (see {!steal_time}).  [quantum] is the
+    time-slice length (default 1 ms).  [prune_interval] / [prune_age]
+    control the periodic pruning of scheduler-binding sets (paper §4.3;
+    defaults 100 ms / 500 ms).
+
+    [policy] serves processor 0.  With [shard_policy], processors
+    [1 .. cpus-1] each get their own run-queue shard [shard_policy i] and
+    the machine runs as a real SMP kernel: tasks are stamped with a home
+    CPU at spawn (least-loaded shard, or the [?cpu] pin), an idle processor
+    steals runnable work from other shards, and a periodic container-aware
+    rebalance (every [rebalance_interval], default 5 ms) moves tasks from
+    the deepest to the shallowest queue.  Migration only ever moves a task
+    to a strictly less-loaded shard, so fixed-share guarantees cannot be
+    diluted by it.  Without [shard_policy], all processors share [policy]
+    — one global queue, the pre-SMP behaviour. *)
 
 val sim : t -> Engine.Sim.t
 val now : t -> Engine.Simtime.t
@@ -42,15 +56,40 @@ val system_container : t -> Rescont.Container.t
 (** Where consumption "charged to no process at all" lands (the root). *)
 
 val policy : t -> Sched.Policy.t
+(** Processor 0's scheduling policy (the only one unless the machine was
+    created with [shard_policy]). *)
+
+val shard : t -> int -> Sched.Policy.t
+(** The run-queue shard serving the given processor. *)
+
+val sharded : t -> bool
+(** [true] iff the machine runs distinct per-CPU run-queue shards. *)
+
 val busy_time : t -> Engine.Simtime.span
-(** Total CPU time consumed so far (slices + stolen interrupt time). *)
+(** Total CPU time consumed so far (slices + stolen interrupt time),
+    summed over every processor — at [cpus > 1] this can exceed elapsed
+    simulated time (it is bounded by [cpus ×] elapsed). *)
+
+val busy_time_on : t -> int -> Engine.Simtime.span
+(** CPU time consumed on one processor; never exceeds elapsed simulated
+    time plus the in-flight committed slice.  The per-processor values sum
+    to {!busy_time} (law [cpu.per-cpu-conservation]). *)
 
 (** {1 Threads} *)
 
 val spawn :
-  t -> ?kernel:bool -> name:string -> container:Rescont.Container.t -> (unit -> unit) -> thread
+  t ->
+  ?kernel:bool ->
+  ?cpu:int ->
+  name:string ->
+  container:Rescont.Container.t ->
+  (unit -> unit) ->
+  thread
 (** Create a thread whose first resource binding is [container] and make it
-    runnable.  The body runs inside the machine's effect handler.
+    runnable.  The body runs inside the machine's effect handler.  [cpu]
+    pins the thread to a processor's shard (it is placed there and never
+    migrated — used for per-CPU kernel threads); without it the thread
+    starts on the least-loaded shard and may migrate.
     @raise Container.Error if [container] is not a leaf. *)
 
 val thread_name : thread -> string
@@ -107,13 +146,20 @@ end
 (** {1 Interrupt-level work} *)
 
 val steal_time :
-  t -> cost:Engine.Simtime.span -> charge:[ `Current_or_system | `Container of Rescont.Container.t ] -> unit
-(** Execute interrupt-level work costing [cost] {e now}.  If a slice is in
-    progress it is extended by [cost] (the running thread loses wall-clock
-    time); otherwise the dispatcher is pushed back by [cost].  The cost is
-    charged to the running thread's container ([`Current_or_system] — the
-    unmodified kernel's misaccounting; the system container when idle) or
-    to an explicit container. *)
+  ?cpu:int ->
+  t ->
+  cost:Engine.Simtime.span ->
+  charge:[ `Current_or_system | `Container of Rescont.Container.t ] ->
+  unit
+(** Execute interrupt-level work costing [cost] {e now} on processor [cpu]
+    (default 0 — the classic single-interrupt-CPU kernel; a steered
+    interrupt names the CPU its connection hashes to).  If a slice is in
+    progress on that processor it is extended by [cost] (the running
+    thread loses wall-clock time); otherwise that processor's dispatcher
+    is pushed back by [cost].  The cost is charged to that processor's
+    running thread's container ([`Current_or_system] — the unmodified
+    kernel's misaccounting; the system container when idle) or to an
+    explicit container. *)
 
 val run_until : t -> Engine.Simtime.t -> unit
 (** Drive the simulation to the horizon.  When the machine's invariant
@@ -126,11 +172,14 @@ val invariants : t -> Engine.Invariant.t
 (** The machine's invariant registry (fresh unless one was passed at
     creation).  The machine registers [cpu.conservation] (every nanosecond
     of {!busy_time} rolled up into the root's subtree usage),
+    [cpu.per-cpu-conservation] (the per-processor busy counters partition
+    the global sum and no processor exceeds its committed time horizon),
     [cpu.subtree-rollup], [memory.non-negative] (no container's memory
     balance below zero) and [sched.no-idle-starvation] (no non-idle
-    runnable thread waits past a bound while an idle-class thread holds a
-    processor); the network stack, scheduler and caches sharing the
-    machine register their own laws here. *)
+    runnable thread competing for a processor waits past a bound while an
+    idle-class thread holds that processor — per-CPU on a sharded
+    machine); the network stack, scheduler and caches sharing the machine
+    register their own laws here. *)
 
 val check_invariants : t -> Engine.Invariant.violation list
 (** Run every registered law now (independent of arming). *)
@@ -145,23 +194,27 @@ val arm_invariants :
     [sched.no-idle-starvation]. *)
 
 val set_on_idle : t -> (unit -> unit) -> unit
-(** [on_idle] fires whenever the dispatcher finds no eligible task.  The
-    network stack uses it to run idle-class protocol processing (priority-0
-    containers, paper §4.8) only when the CPU would otherwise idle.  The
-    hook must not unconditionally wake a thread, or the dispatcher will
-    spin. *)
+(** [on_idle] fires when the dispatcher finds no eligible task {e and}
+    every processor slot is free — never while another CPU is mid-slice.
+    The network stack uses it to run idle-class protocol processing
+    (priority-0 containers, paper §4.8) only when the machine would
+    otherwise idle.  The hook must not unconditionally wake a thread, or
+    the dispatcher will spin. *)
 
 val runnable_tasks : t -> int
-(** Number of tasks currently queued in the policy.  Tasks occupying a
-    processor are dequeued while they run, so from inside a running thread
-    this counts the {e other} runnable tasks. *)
+(** Number of tasks currently queued across every shard.  Tasks occupying
+    a processor are dequeued while they run, so from inside a running
+    thread this counts the {e other} runnable tasks. *)
+
+val runnable_tasks_on : t -> int -> int
+(** Number of tasks queued in one processor's shard. *)
 
 val cpus : t -> int
 
 val trace : t -> Engine.Tracelog.t
 (** The machine's trace log (disabled unless the log passed at creation was
     enabled).  Categories: "spawn", "dispatch", "preempt", "rebind", "kill",
-    "irq", "charge". *)
+    "irq", "migrate", "charge". *)
 
 val metrics : t -> Engine.Metrics.t
 (** The machine's metrics registry (fresh unless one was passed at

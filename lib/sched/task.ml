@@ -7,6 +7,7 @@ type t = {
   mutable rq_cid : int;
   mutable rq_stamp : int;
   mutable mslot : int;
+  mutable home_cpu : int;
 }
 
 (* Atomic so parallel sweep domains can create tasks concurrently; nothing
@@ -23,6 +24,7 @@ let create ?(kernel = false) ~name binding =
     rq_cid = -1;
     rq_stamp = 0;
     mslot = -1;
+    home_cpu = 0;
   }
 
 let container t = Rescont.Binding.resource_binding t.binding

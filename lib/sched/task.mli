@@ -21,6 +21,10 @@ type t = {
   mutable mslot : int;
       (** Thread-table slot on the machine running this task, [-1] when
           none; owned by [Procsim.Machine]. *)
+  mutable home_cpu : int;
+      (** Processor whose run-queue shard currently holds (or last held)
+          the task; owned by [Procsim.Machine].  Always [0] on a machine
+          with a single shared queue. *)
 }
 
 val create : ?kernel:bool -> name:string -> Rescont.Binding.t -> t

@@ -435,6 +435,168 @@ let test_kill_blocked_thread () =
   Machine.run_until machine (Simtime.of_ns 10_000_000);
   Alcotest.(check bool) "killed thread never resumes" false !resumed
 
+(* --- Sharded (per-CPU run queue) machines ---------------------------- *)
+
+let make_smp ?(cpus = 2) () =
+  let sim = Sim.create () in
+  let root = Container.create_root () in
+  let machine =
+    Machine.create ~cpus
+      ~shard_policy:(fun _ -> Sched.Multilevel.make ~root ())
+      ~sim
+      ~policy:(Sched.Multilevel.make ~root ())
+      ~root ()
+  in
+  (sim, root, machine)
+
+let test_smp_on_idle_waits_for_all_cpus () =
+  let sim, root, machine = make_smp ~cpus:2 () in
+  let c = leaf root "worker" in
+  let fired = ref [] in
+  Machine.set_on_idle machine (fun () -> fired := Sim.now sim :: !fired);
+  ignore
+    (Machine.spawn machine ~name:"w" ~container:c (fun () -> Machine.cpu (Simtime.ms 10)));
+  Machine.run_until machine (Simtime.of_ns 100_000_000);
+  (* Processor 1 has nothing to run from t = 0, but the machine is not idle
+     until processor 0's slice ends at 10ms: on_idle must never fire while
+     any CPU is mid-slice. *)
+  Alcotest.(check bool) "fired once truly idle" true (!fired <> []);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "never while another CPU is mid-slice" true
+        (Simtime.to_ns t >= 10_000_000))
+    !fired
+
+let test_smp_per_cpu_utilization_bounded () =
+  let _, root, machine = make_smp ~cpus:2 () in
+  (* Overcommit: four always-runnable threads on two processors. *)
+  for i = 1 to 4 do
+    let c = leaf root (Printf.sprintf "c%d" i) in
+    ignore
+      (Machine.spawn machine ~name:(Printf.sprintf "t%d" i) ~container:c (fun () ->
+           for _ = 1 to 40 do
+             Machine.cpu (Simtime.ms 1)
+           done))
+  done;
+  let horizon = Simtime.of_ns 50_000_000 in
+  Machine.run_until machine horizon;
+  for cpu = 0 to 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "cpu %d utilization <= 1.0" cpu)
+      true
+      (Simtime.span_to_ns (Machine.busy_time_on machine cpu) <= Simtime.to_ns horizon)
+  done;
+  Alcotest.(check int) "aggregate view = per-CPU sum"
+    (Simtime.span_to_ns (Machine.busy_time machine))
+    (Simtime.span_to_ns (Machine.busy_time_on machine 0)
+    + Simtime.span_to_ns (Machine.busy_time_on machine 1))
+
+let test_smp_irq_steal_on_cpu1 () =
+  let sim, root, machine = make_smp ~cpus:2 () in
+  (* A steered interrupt burst holds processor 1 and charges its busy time
+     there, not on processor 0. *)
+  Machine.steal_time machine ~cpu:1 ~cost:(Simtime.ms 2) ~charge:`Current_or_system;
+  Alcotest.(check int) "stolen time lands on cpu 1" 2_000_000
+    (Simtime.span_to_ns (Machine.busy_time_on machine 1));
+  Alcotest.(check int) "cpu 0 untouched" 0
+    (Simtime.span_to_ns (Machine.busy_time_on machine 0));
+  (* A thread pinned to the held processor waits out the burst; an unpinned
+     one runs immediately on processor 0. *)
+  let pinned_start = ref Simtime.zero and free_start = ref Simtime.zero in
+  ignore
+    (Machine.spawn machine ~cpu:1 ~name:"pinned" ~container:(leaf root "p") (fun () ->
+         pinned_start := Sim.now sim;
+         Machine.cpu (Simtime.us 10)));
+  ignore
+    (Machine.spawn machine ~name:"free" ~container:(leaf root "f") (fun () ->
+         free_start := Sim.now sim;
+         Machine.cpu (Simtime.us 10)));
+  Machine.run_until machine (Simtime.of_ns 100_000_000);
+  Alcotest.(check bool) "pinned thread delayed past the irq hold" true
+    (Simtime.to_ns !pinned_start >= 2_000_000);
+  Alcotest.(check int) "unpinned thread unaffected" 0 (Simtime.to_ns !free_start)
+
+let test_smp_kill_mid_slice () =
+  let sim, root, machine = make_smp ~cpus:2 () in
+  let a = leaf root "a" and b = leaf root "b" in
+  let a_progress = ref 0 and b_done = ref Simtime.zero in
+  let victim =
+    Machine.spawn machine ~cpu:0 ~name:"victim" ~container:a (fun () ->
+        let rec loop () =
+          Machine.cpu (Simtime.ms 1);
+          incr a_progress;
+          loop ()
+        in
+        loop ())
+  in
+  ignore
+    (Machine.spawn machine ~cpu:1 ~name:"worker" ~container:b (fun () ->
+         Machine.cpu (Simtime.ms 10);
+         b_done := Sim.now sim));
+  ignore (Sim.at sim (Simtime.of_ns 3_500_000) (fun () -> Machine.kill machine victim));
+  Machine.run_until machine (Simtime.of_ns 100_000_000);
+  Alcotest.(check bool) "victim done" true (Machine.is_done victim);
+  Alcotest.(check bool) "victim stopped mid-slice" true (!a_progress <= 4);
+  Alcotest.(check int) "other processor keeps dispatching" 10_000_000
+    (Simtime.to_ns !b_done);
+  Alcotest.(check int) "binding released" 0 (Container.binding_count a)
+
+let test_smp_rebind_on_cpu1 () =
+  let _, root, machine = make_smp ~cpus:2 () in
+  let a = leaf root "a" and b = leaf root "b" in
+  ignore
+    (Machine.spawn machine ~cpu:1 ~name:"w" ~container:a (fun () ->
+         Machine.cpu (Simtime.ms 2);
+         Machine.rebind machine (Machine.self ()) b;
+         Machine.cpu (Simtime.ms 3)));
+  Machine.run_until machine (Simtime.of_ns 100_000_000);
+  Alcotest.(check int) "a charged before rebind" 2_000_000
+    (Simtime.span_to_ns (Usage.cpu_total (Container.usage a)));
+  Alcotest.(check int) "b charged after rebind" 3_000_000
+    (Simtime.span_to_ns (Usage.cpu_total (Container.usage b)));
+  Alcotest.(check int) "all busy time on cpu 1" 5_000_000
+    (Simtime.span_to_ns (Machine.busy_time_on machine 1));
+  Alcotest.(check int) "cpu 0 idle throughout" 0
+    (Simtime.span_to_ns (Machine.busy_time_on machine 0))
+
+(* Random mixes of pinned/unpinned, CPU-burning, sleeping threads at 1, 2
+   and 4 processors, with the conservation laws armed: the per-CPU busy
+   counters must partition the global [cpu.conservation] total exactly. *)
+let prop_per_cpu_busy_partitions_total =
+  QCheck2.Test.make ~name:"per-CPU busy times partition the global total" ~count:40
+    QCheck2.Gen.(
+      pair (int_range 0 2) (list_size (int_range 1 10) (pair (int_range 0 4) (int_range 1 8))))
+    (fun (cpus_sel, jobs) ->
+      let cpus = [| 1; 2; 4 |].(cpus_sel) in
+      let sim = Sim.create () in
+      let root = Container.create_root () in
+      let machine =
+        Machine.create ~cpus
+          ~shard_policy:(fun _ -> Sched.Multilevel.make ~root ())
+          ~sim
+          ~policy:(Sched.Multilevel.make ~root ())
+          ~root ()
+      in
+      Machine.arm_invariants machine;
+      List.iteri
+        (fun i (pin, ms) ->
+          let c = leaf root (Printf.sprintf "c%d" i) in
+          let cpu = if pin = 0 then None else Some ((pin - 1) mod cpus) in
+          ignore
+            (Machine.spawn machine ?cpu ~name:(Printf.sprintf "t%d" i) ~container:c
+               (fun () ->
+                 for _ = 1 to 3 do
+                   Machine.cpu (Simtime.ms ms);
+                   Machine.sleep (Simtime.ms 1)
+                 done)))
+        jobs;
+      Machine.run_until machine (Simtime.of_ns 500_000_000);
+      let sum = ref 0 in
+      for i = 0 to cpus - 1 do
+        sum := !sum + Simtime.span_to_ns (Machine.busy_time_on machine i)
+      done;
+      !sum = Simtime.span_to_ns (Machine.busy_time machine))
+
 let suite =
   [
     Alcotest.test_case "thread runs and charges" `Quick test_thread_runs_and_charges;
@@ -456,6 +618,12 @@ let suite =
     Alcotest.test_case "SMP parallel progress" `Quick test_smp_parallel_progress;
     Alcotest.test_case "SMP no speedup for one thread" `Quick test_smp_single_thread_no_speedup;
     Alcotest.test_case "SMP interrupts on cpu 0" `Quick test_smp_irq_on_cpu0_only;
+    Alcotest.test_case "SMP on_idle waits for all CPUs" `Quick test_smp_on_idle_waits_for_all_cpus;
+    Alcotest.test_case "SMP per-CPU utilization bounded" `Quick test_smp_per_cpu_utilization_bounded;
+    Alcotest.test_case "SMP irq steal on cpu 1" `Quick test_smp_irq_steal_on_cpu1;
+    Alcotest.test_case "SMP kill mid-slice" `Quick test_smp_kill_mid_slice;
+    Alcotest.test_case "SMP rebind on cpu 1" `Quick test_smp_rebind_on_cpu1;
+    QCheck_alcotest.to_alcotest prop_per_cpu_busy_partitions_total;
     Alcotest.test_case "tracing" `Quick test_tracing;
     Alcotest.test_case "kill" `Quick test_kill;
     Alcotest.test_case "process exit_all" `Quick test_process_exit_all;
