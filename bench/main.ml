@@ -613,6 +613,27 @@ let run_json ~fast ~smoke ~label =
          });
     (Unix.gettimeofday () -. t0) /. sim_seconds
   in
+  (* The cluster rig end to end: 4 machines x 4 CPUs behind the flow-hash
+     balancer, open-loop Poisson arrivals.  Wall time per simulated second
+     plus allocation per completed request (the arrival path is meant to
+     be allocation-free, so this also watches the injection fast path). *)
+  let cluster_wall, cluster_mw =
+    renew ();
+    let module Cluster = Clustersim.Cluster in
+    let c =
+      Cluster.create ~machines:4 ~cpus:4 ~policy:Cluster.Flow_hash
+        ~profile:(Cluster.Poisson 2_000.) ~seed:1 ()
+    in
+    Cluster.start c;
+    let words0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    Cluster.run_for c (Simtime.span_add warmup measure);
+    let wall = Unix.gettimeofday () -. t0 in
+    let words = Gc.minor_words () -. words0 in
+    let completed = Cluster.completed c in
+    ( wall /. sim_seconds,
+      if completed > 0 then words /. float_of_int completed else words )
+  in
   (* Sweep throughput: the same 9-point grid serially and fanned across 4
      domains.  On a multicore host jobs=4 divides the wall time; on a
      single core it only adds domain overhead — both are worth knowing. *)
@@ -670,6 +691,17 @@ let run_json ~fast ~smoke ~label =
           m_name = "endtoend/wall-clock per simulated second, rc mode, 16 clients, 4 cpus";
           m_unit = "s/simsec";
           m_value = smp_endtoend;
+        };
+        {
+          m_name =
+            "endtoend/wall-clock per simulated second, cluster, 4 machines x 4 cpus, flow-hash";
+          m_unit = "s/simsec";
+          m_value = cluster_wall;
+        };
+        {
+          m_name = "gc.minor_words_per_op/endtoend cluster, per completed request";
+          m_unit = "mw/op";
+          m_value = cluster_mw;
         };
       ]
     @ sweep_metrics

@@ -203,6 +203,72 @@ let run_sweep jobs fast json_out =
         (Array.length points) jobs path
   | None -> print_string doc
 
+(* Cluster scale-out: the multi-machine balancer rig, gated against the
+   M/G/1-PS closed form.  --check runs the 10^5-concurrent-connection gate
+   configuration and fails the command if the oracle error exceeds 5%. *)
+let run_cluster fast csv check json_out =
+  let module C = Experiments.Exp_cluster in
+  let machines = if fast then 2 else 4 in
+  let rhos = if fast then [ 0.3; 0.6 ] else [ 0.3; 0.5; 0.7 ] in
+  let warmup = if fast then Simtime.ms 500 else Simtime.sec 2 in
+  let measure = if fast then Simtime.sec 2 else Simtime.sec 6 in
+  let curve = C.oracle_curve ~machines ~rhos ~warmup ~measure () in
+  print_table ~csv (C.oracle_table curve);
+  let gate =
+    if check then begin
+      let g = C.gate_point () in
+      Format.printf
+        "gate: %d machines, %d peak concurrent conns, measured %.3f ms vs predicted \
+         %.3f ms (err %.1f%%)@."
+        g.C.op_machines g.C.op_concurrent g.C.op_measured_ms g.C.op_predicted_ms
+        g.C.op_err_pct;
+      Some g
+    end
+    else None
+  in
+  (match json_out with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Engine.Jsonx.to_string (C.oracle_json ?gate curve)));
+      Format.printf "cluster: oracle points written to %s@." path
+  | None -> ());
+  let clone_measure = if fast then Simtime.sec 2 else Simtime.sec 4 in
+  print_table ~csv (C.clone_table (C.clone_pair ~measure:clone_measure ()));
+  print_table ~csv
+    (C.qos_table ~measure:(if fast then Simtime.sec 2 else Simtime.sec 4) ());
+  print_table ~csv (C.tenant_table ~measure:(if fast then Simtime.sec 1 else Simtime.sec 3) ());
+  match gate with
+  | Some g ->
+      if g.C.op_err_pct > 5.0 then begin
+        Format.printf "cluster: GATE FAILED — oracle error %.1f%% > 5%%@." g.C.op_err_pct;
+        Stdlib.exit 1
+      end;
+      if g.C.op_concurrent < 100_000 then begin
+        Format.printf "cluster: GATE FAILED — peak concurrency %d < 100000@."
+          g.C.op_concurrent;
+        Stdlib.exit 1
+      end;
+      Format.printf "cluster: gate passed@."
+  | None -> ()
+
+let cluster_cmd =
+  let check_flag =
+    let doc =
+      "Also run the acceptance gate: 8 machines, clients holding connections so \
+       >= 10^5 are concurrently open, M/G/1-PS prediction within 5%."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let json_out_arg =
+    let doc = "Write the oracle points as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json-out" ] ~doc ~docv:"FILE")
+  in
+  let doc = "Run the cluster scale-out experiments (balancer + PS oracle)." in
+  Cmd.v (Cmd.info "cluster" ~doc)
+    Term.(const run_cluster $ fast_flag $ csv_flag $ check_flag $ json_out_arg)
+
 let sweep_cmd =
   let json_out_arg =
     let doc = "Write the JSON report to $(docv) instead of stdout." in
@@ -214,10 +280,14 @@ let sweep_cmd =
 (* Conservation-law fuzzing: run seeded random scenarios with every
    invariant armed.  Exit status 0 means every law held on every run (or,
    under --inject, that the planted bug was caught on every run). *)
-let run_fuzz jobs seeds seed mode cpus inject trace_out =
+let run_fuzz jobs seeds seed mode cpus machines inject trace_out =
   let jobs = resolve_jobs jobs in
   if cpus < 1 then begin
     Format.eprintf "fuzz: --cpus must be >= 1@.";
+    Stdlib.exit 2
+  end;
+  if machines < 1 then begin
+    Format.eprintf "fuzz: --machines must be >= 1@.";
     Stdlib.exit 2
   end;
   let modes =
@@ -244,7 +314,9 @@ let run_fuzz jobs seeds seed mode cpus inject trace_out =
     match (seed_list, modes) with
     | [ s ], [ m ] ->
         (* Single replay: honour --trace-out for the violation dump. *)
-        let o = Fuzz.run_seed ~inject ~cpus ?trace_path:trace_out ~mode:m ~seed:s () in
+        let o =
+          Fuzz.run_seed ~inject ~cpus ~machines ?trace_path:trace_out ~mode:m ~seed:s ()
+        in
         Format.printf "%a@." Fuzz.pp_outcome o;
         [ o ]
     | _ when jobs > 1 ->
@@ -257,13 +329,13 @@ let run_fuzz jobs seeds seed mode cpus inject trace_out =
         in
         let outcomes =
           Experiments.Harness.Sweep.map ~jobs
-            (fun (m, s) -> Fuzz.run_seed ~inject ~cpus ~mode:m ~seed:s ())
+            (fun (m, s) -> Fuzz.run_seed ~inject ~cpus ~machines ~mode:m ~seed:s ())
             pairs
         in
         Array.iter (fun o -> Format.printf "%a@." Fuzz.pp_outcome o) outcomes;
         Array.to_list outcomes
     | _ ->
-        Fuzz.run_batch ~inject ~cpus
+        Fuzz.run_batch ~inject ~cpus ~machines
           ~log:(fun o -> Format.printf "%a@." Fuzz.pp_outcome o)
           ~modes ~seeds:seed_list ()
   in
@@ -302,6 +374,14 @@ let fuzz_cmd =
     in
     Arg.(value & opt int 1 & info [ "cpus" ] ~doc ~docv:"N")
   in
+  let machines_arg =
+    let doc =
+      "Fuzz cluster scenarios: $(docv) machines behind the load balancer (random \
+       policy, tenants and arrival profile) with the cluster usage-rollup law \
+       armed on every machine."
+    in
+    Arg.(value & opt int 1 & info [ "machines" ] ~doc ~docv:"N")
+  in
   let inject_arg =
     let doc =
       "Plant a known accounting bug ($(b,mischarge)); every run must then be caught \
@@ -313,7 +393,7 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const run_fuzz $ jobs_flag $ seeds_arg $ seed_arg $ mode_arg $ cpus_arg
-      $ inject_arg $ trace_out_flag)
+      $ machines_arg $ inject_arg $ trace_out_flag)
 
 let term_of f =
   let apply jobs fast csv chart trace_out metrics_out =
@@ -346,6 +426,7 @@ let cmds =
     subcommand "trace" "Dump a kernel trace of a small RC scenario." run_trace;
     subcommand "ablation" "Run the design-choice ablations." run_ablation;
     subcommand "smp" "Run the SMP steering/fixed-share extension experiments." run_smp;
+    cluster_cmd;
     sweep_cmd;
     fuzz_cmd;
     subcommand "all" "Run every experiment." run_all;

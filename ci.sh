@@ -1,6 +1,6 @@
 #!/bin/sh
 # CI gate: build everything, run the test suites, and check the
-# fast-path benchmarks against the committed baseline (BENCH_PR6.json).
+# fast-path benchmarks against the committed baseline (BENCH_PR8.json).
 # Referenced from README.md "Install and build".
 set -eu
 cd "$(dirname "$0")"
@@ -18,7 +18,7 @@ echo "== dune build @bench-check"
 dune build @bench-check
 
 echo "== event-core A/B + PR1-to-now trend (informational, never fails)"
-dune exec bench/compare.exe -- BENCH_PR1.json BENCH_PR6.json --threshold 1000 || true
+dune exec bench/compare.exe -- BENCH_PR1.json BENCH_PR8.json --threshold 1000 || true
 
 echo "== sweep smoke (2 jobs must match the serial report byte-for-byte)"
 dune exec bin/rc_sim.exe -- sweep --fast --jobs 1 --json-out "${TMPDIR:-/tmp}/rc-sweep-j1.json"
@@ -31,6 +31,13 @@ dune exec bin/rc_sim.exe -- fuzz --seeds 5 --jobs 2
 echo "== fuzz smoke at 2 and 4 processors (same seeds, per-CPU laws armed)"
 dune exec bin/rc_sim.exe -- fuzz --seeds 3 --cpus 2 --jobs 2
 dune exec bin/rc_sim.exe -- fuzz --seeds 3 --cpus 4 --jobs 2
+
+echo "== cluster fuzz smoke (2 and 4 machines behind the balancer, rollup law armed)"
+dune exec bin/rc_sim.exe -- fuzz --seeds 4 --machines 2 --jobs 2
+dune exec bin/rc_sim.exe -- fuzz --seeds 4 --machines 4 --jobs 2
+
+echo "== cluster oracle gate (M/G/1-PS closed form within 5% at >= 1e5 concurrent conns)"
+dune exec bin/rc_sim.exe -- cluster --check > /dev/null
 
 echo "== SMP experiments smoke (steering livelock confinement + sharded fixed shares)"
 dune exec bin/rc_sim.exe -- smp --fast > /dev/null

@@ -1,0 +1,571 @@
+(* Cluster scale-out: many server machines behind one L4 load balancer.
+
+   Every machine is a full PR-7 rig — its own [Procsim.Machine] (optionally
+   SMP), container hierarchy, invariant registry and [Netsim.Stack] — but
+   all of them share ONE [Engine.Sim], so the cluster stays a pure function
+   of the seed and a single event loop drives every NIC and every CPU.
+
+   The balancer is the open-loop client population: a Poisson (or
+   spike-profiled) arrival process picks a machine per connection under a
+   pluggable policy — round-robin, least-connections (by the target
+   stacks' tracked-connection counts), consistent hashing on the shared
+   RSS flow hash, or replicated dispatch (the cloning model: d clones per
+   logical request, first response wins) — and injects the SYN directly
+   into the chosen stack with [Stack.inject_connect].  No closure is
+   allocated per arrival; in-flight requests live in fixed int rings
+   indexed by sequence number.
+
+   Tenants are the paper's resource principals stretched across machines:
+   each tenant owns one container per machine (filter-matched listens bind
+   accepted connections to it, §4.6+§4.8) and a [Rescont.Rollup] group
+   aggregates the per-machine ledgers into cluster-wide totals, certified
+   by the "cluster.usage-rollup" conservation law in every machine's
+   invariant registry.
+
+   The server application on each machine is a worker pool over an
+   edge-triggered ready queue ([Stack.set_on_readable]): O(1) per wakeup,
+   so a machine can hold 10^5+ open connections without the O(conns)
+   select-style scan of the single-machine experiments.  Workers serve one
+   request per connection (parse, a sampled service burn, respond) and
+   leave the connection open; the client holds it for [hold] and then
+   closes — that is how the cluster reaches 10^5-10^6 concurrent
+   connections at moderate arrival rates. *)
+
+module Sim = Engine.Sim
+module Simtime = Engine.Simtime
+module Rng = Engine.Rng
+module Dist = Engine.Dist
+module Stats = Engine.Stats
+module Machine = Procsim.Machine
+module Container = Rescont.Container
+module Attrs = Rescont.Attrs
+module Rollup = Rescont.Rollup
+module Stack = Netsim.Stack
+module Socket = Netsim.Socket
+module Ipaddr = Netsim.Ipaddr
+module Filter = Netsim.Filter
+module Costs = Httpsim.Costs
+
+type policy = Round_robin | Least_conns | Flow_hash | Replicate of int
+
+type profile =
+  | Poisson of float
+  | Spike of { base : float; peak : float; at : Simtime.span; until : Simtime.span }
+
+type tenant_spec = { ts_name : string; ts_weight : int; ts_attrs : Attrs.t }
+
+let tenant_spec ?(weight = 1) ?(attrs = Attrs.timeshare ()) name =
+  if weight <= 0 then invalid_arg "Cluster.tenant_spec: weight must be positive";
+  { ts_name = name; ts_weight = weight; ts_attrs = attrs }
+
+type node = {
+  index : int;
+  machine : Machine.t;
+  stack : Stack.t;
+  root : Container.t;
+  server_container : Container.t;
+  node_rng : Rng.t;
+  ready : Socket.conn Queue.t;
+  wq : Machine.Waitq.t;
+  mutable listens : Socket.listen array; (* one per tenant *)
+  mutable handlers : Socket.client_handlers;
+  mutable served : int; (* responses sent by this node *)
+}
+
+type tenant = {
+  spec : tenant_spec;
+  prefix : Ipaddr.t; (* /16 client block; arrivals draw sources from it *)
+  containers : Container.t array; (* one per node *)
+  group : Rollup.group;
+}
+
+type t = {
+  sim : Sim.t;
+  policy : policy;
+  profile : profile;
+  nodes : node array;
+  tenants : tenant array;
+  tenant_cum : int array; (* cumulative weights for the weighted pick *)
+  weight_total : int;
+  rollup : Rollup.t;
+  arrival_rng : Rng.t;
+  service : Dist.t; (* per-request CPU burn, in nanoseconds *)
+  request_bytes : int;
+  response_bytes : int;
+  hold : Simtime.span; (* client-side linger after the response *)
+  workers : int;
+  port : int;
+  rollup_period : Simtime.span;
+  (* In-flight request rings, indexed by [seq land mask].  [issue_seq]
+     detects eviction, [done_seq] dedups clone responses, [issue_ns] is
+     the client-side issue stamp. *)
+  mask : int;
+  issue_seq : int array;
+  issue_ns : int array;
+  done_seq : int array;
+  mutable next_seq : int;
+  mutable rr : int;
+  (* Consistent-hash ring: sorted hash points and their owning nodes. *)
+  ring_points : int array;
+  ring_nodes : int array;
+  (* Cluster-wide counters and distributions. *)
+  mutable issued : int;
+  mutable completed : int; (* logical completions (clone-deduped) *)
+  mutable refused : int;
+  mutable dup_responses : int; (* later clones of an already-answered request *)
+  mutable evicted : int; (* in-flight entries overwritten by ring reuse *)
+  mutable peak_concurrent : int;
+  mutable client_sojourn : Stats.Summary.t; (* connect -> response, seconds *)
+  mutable server_sojourn : Stats.Summary.t; (* SYN at NIC -> response sent, seconds *)
+  mutable started : bool;
+  mutable arrivals_on : bool;
+  mutable t0_ns : int; (* profile epoch: simulation time at [start] *)
+}
+
+(* Enough virtual nodes that arc-share imbalance is a few percent: with V
+   vnodes per machine the share standard deviation is ~1/sqrt(V). *)
+let ring_vnodes = 512
+
+(* Full-avalanche mix for the virtual points.  [Stack.flow_hash] is NOT
+   good enough here: its inputs per machine differ only in the small port
+   operand, whose contribution stays in the low bits through the weak
+   final multiply, so one machine's 512 points cluster into a few runs of
+   the ring and arc shares end up 0.6x-1.5x even — enough to saturate one
+   machine while the cluster-average utilisation looks moderate.  The
+   arrival keys keep using [Stack.flow_hash] (they are wide and verified
+   uniform); only the points need the stronger mixer. *)
+let mix_point h =
+  let h = h * 0x9E3779B1 in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0x85EBCA6B in
+  let h = h lxor (h lsr 32) in
+  let h = h * 0xC2B2AE35 in
+  let h = h lxor (h lsr 29) in
+  h land max_int
+
+let build_ring machines =
+  let pts = Array.init (machines * ring_vnodes) (fun k ->
+      let i = k / ring_vnodes and v = k mod ring_vnodes in
+      (mix_point ((i lsl 16) lor v), i))
+  in
+  Array.sort compare pts;
+  (Array.map fst pts, Array.map snd pts)
+
+(* Smallest ring point >= h, wrapping to the first point past the top. *)
+let ring_lookup t h =
+  let pts = t.ring_points in
+  let n = Array.length pts in
+  if h > pts.(n - 1) then t.ring_nodes.(0)
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if pts.(mid) >= h then hi := mid else lo := mid + 1
+    done;
+    t.ring_nodes.(!lo)
+  end
+
+let machines t = Array.length t.nodes
+let node_machine t i = t.nodes.(i).machine
+let node_stack t i = t.nodes.(i).stack
+let node_served t i = t.nodes.(i).served
+let node_root t i = t.nodes.(i).root
+let tenant_count t = Array.length t.tenants
+let tenant_name t k = t.tenants.(k).spec.ts_name
+let tenant_group t k = t.tenants.(k).group
+let tenant_container t ~tenant ~node = t.tenants.(tenant).containers.(node)
+let tenant_prefix t k = t.tenants.(k).prefix
+let rollup t = t.rollup
+let sim t = t.sim
+let now t = Sim.now t.sim
+let issued t = t.issued
+let completed t = t.completed
+let refused t = t.refused
+let dup_responses t = t.dup_responses
+let evicted t = t.evicted
+let peak_concurrent t = t.peak_concurrent
+let client_sojourn t = t.client_sojourn
+let server_sojourn t = t.server_sojourn
+
+let concurrent t =
+  Array.fold_left (fun acc n -> acc + Stack.tracked_conns n.stack) 0 t.nodes
+
+let busy_total t =
+  Array.fold_left
+    (fun acc n -> Simtime.span_add acc (Machine.busy_time n.machine))
+    Simtime.span_zero t.nodes
+
+(* ---------------- the server application ---------------- *)
+
+let serve_conn t node conn =
+  if conn.Socket.state <> Socket.Closed then begin
+    (* Bind the worker to the connection's container (rc_bind_thread) so
+       parsing and the service burn are charged to the tenant. *)
+    (match conn.Socket.container with
+    | Some c ->
+        Machine.cpu ~kernel:true Rescont.Ops.Cost.rebind_thread;
+        Machine.rebind node.machine (Machine.self ()) c
+    | None -> ());
+    match Stack.recv node.stack conn with
+    | Some req ->
+        Machine.cpu Costs.read_parse;
+        Machine.cpu (Simtime.ns (Dist.sample_int t.service node.node_rng));
+        Machine.cpu Costs.write_syscall;
+        Stack.send node.stack conn (Netsim.Payload.make ~bytes:t.response_bytes (Machine.now node.machine));
+        node.served <- node.served + 1;
+        (* Server-side sojourn: request hits the NIC -> response handed to
+           the wire.  The arrival instant is recovered from the client's
+           send stamp plus the wire time, so handshake round trips (pure
+           network) stay out and the whole in-server path — kernel rx
+           processing, worker queueing, parse, service, write — stays in.
+           This is the PS-oracle observable. *)
+        let arrived_ns =
+          Simtime.to_ns req.Netsim.Payload.created
+          + Simtime.span_to_ns (Stack.delivery_delay node.stack req)
+        in
+        let soj = Simtime.to_ns (Machine.now node.machine) - arrived_ns in
+        Stats.Summary.add t.server_sojourn (float_of_int soj /. 1e9)
+    | None ->
+        (* EOF: the client closed after its hold; finish the passive close. *)
+        if conn.Socket.state = Socket.Close_wait then begin
+          Machine.cpu Costs.close_syscall;
+          Stack.close node.stack conn
+        end
+  end
+
+let drain_accepts t node =
+  Array.iter
+    (fun l ->
+      let rec go () =
+        match Stack.accept node.stack l with
+        | Some conn ->
+            Machine.cpu Costs.accept_syscall;
+            Machine.cpu Costs.conn_setup_misc;
+            (* The accepted connection inherits its listen's (tenant)
+               container; [conn.container <> None] doubles as the
+               "accepted" marker for the edge-triggered push below. *)
+            Socket.bind_container conn
+              (Socket.conn_container_or conn ~default:node.server_container);
+            if Socket.readable conn then Queue.push conn node.ready;
+            go ()
+        | None -> ()
+      in
+      go ())
+    node.listens;
+  ignore t
+
+let rec worker_body t node =
+  drain_accepts t node;
+  (match Queue.take_opt node.ready with
+  | Some conn -> serve_conn t node conn
+  | None -> Machine.Waitq.wait node.wq);
+  worker_body t node
+
+(* ---------------- the client population / balancer ---------------- *)
+
+let make_handlers t node =
+  {
+    Socket.on_established =
+      (fun conn ->
+        (* Request immediately; the hold happens after the response. *)
+        Stack.client_send node.stack conn
+          (Netsim.Payload.make ~bytes:t.request_bytes (Sim.now t.sim)));
+    on_refused = (fun () -> t.refused <- t.refused + 1);
+    on_response =
+      (fun conn _payload ->
+        let seq = conn.Socket.src_port in
+        let i = seq land t.mask in
+        if t.issue_seq.(i) = seq then
+          if t.done_seq.(i) <> seq then begin
+            t.done_seq.(i) <- seq;
+            t.completed <- t.completed + 1;
+            let soj = Simtime.to_ns (Sim.now t.sim) - t.issue_ns.(i) in
+            Stats.Summary.add t.client_sojourn (float_of_int soj /. 1e9)
+          end
+          else t.dup_responses <- t.dup_responses + 1;
+        if Simtime.span_to_ns t.hold = 0 then Stack.client_close node.stack conn
+        else
+          Sim.post t.sim t.hold (fun () ->
+              if conn.Socket.state = Socket.Established then
+                Stack.client_close node.stack conn));
+    on_closed = (fun _ -> ());
+  }
+
+let pick_tenant t =
+  let r = Rng.int t.arrival_rng t.weight_total in
+  let k = ref 0 in
+  while t.tenant_cum.(!k) <= r do
+    incr k
+  done;
+  t.tenants.(!k)
+
+let pick_node t ~src ~src_port =
+  match t.policy with
+  | Round_robin ->
+      let i = t.rr in
+      t.rr <- (i + 1) mod machines t;
+      i
+  | Least_conns ->
+      let best = ref 0 and bestc = ref max_int in
+      Array.iter
+        (fun n ->
+          let c = Stack.tracked_conns n.stack in
+          if c < !bestc then begin
+            bestc := c;
+            best := n.index
+          end)
+        t.nodes;
+      !best
+  | Flow_hash -> ring_lookup t (Stack.flow_hash src src_port)
+  | Replicate _ -> assert false
+
+let inject_one t =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let tn = pick_tenant t in
+  (* Spread sources over the tenant's /16 (an odd multiplier is a
+     bijection mod 2^16, so low bits vary for the flow hash). *)
+  let src = Ipaddr.offset tn.prefix ((seq * 0x2545F491) land 0xFFFF) in
+  let src_port = seq in
+  let i = seq land t.mask in
+  if t.issue_seq.(i) >= 0 && t.done_seq.(i) <> t.issue_seq.(i) then
+    t.evicted <- t.evicted + 1;
+  t.issue_seq.(i) <- seq;
+  t.issue_ns.(i) <- Simtime.to_ns (Sim.now t.sim);
+  t.done_seq.(i) <- min_int;
+  t.issued <- t.issued + 1;
+  match t.policy with
+  | Replicate d ->
+      let d = max 1 (min d (machines t)) in
+      let base = t.rr in
+      t.rr <- (base + 1) mod machines t;
+      for k = 0 to d - 1 do
+        let node = t.nodes.((base + k) mod machines t) in
+        Stack.inject_connect node.stack ~src ~src_port ~port:t.port ~handlers:node.handlers
+      done
+  | _ ->
+      let node = t.nodes.(pick_node t ~src ~src_port) in
+      Stack.inject_connect node.stack ~src ~src_port ~port:t.port ~handlers:node.handlers
+
+let rate_at t =
+  match t.profile with
+  | Poisson r -> r
+  | Spike s ->
+      let dt = Simtime.to_ns (Sim.now t.sim) - t.t0_ns in
+      if dt >= Simtime.span_to_ns s.at && dt < Simtime.span_to_ns s.until then s.peak
+      else s.base
+
+(* ---------------- construction ---------------- *)
+
+let create ?backend ?(machines = 4) ?(cpus = 1) ?(mode = Stack.Rc) ?(policy = Round_robin)
+    ?(profile = Poisson 1000.) ?service ?(request_bytes = 256) ?(response_bytes = 4096)
+    ?(hold = Simtime.span_zero) ?(workers = 32) ?(quantum = Simtime.us 50)
+    ?(rollup_period = Simtime.ms 10) ?(ring_bits = 20) ?(syn_backlog = 1024)
+    ?(tenants = [ tenant_spec "tenant0" ]) ?(seed = 1) () =
+  if machines <= 0 then invalid_arg "Cluster.create: machines must be positive";
+  if tenants = [] then invalid_arg "Cluster.create: at least one tenant";
+  if List.length tenants > 64 then invalid_arg "Cluster.create: at most 64 tenants";
+  (match policy with
+  | Replicate d when d < 1 -> invalid_arg "Cluster.create: Replicate degree must be >= 1"
+  | _ -> ());
+  let service =
+    match service with Some d -> d | None -> Dist.exponential ~mean:400_000. (* 400 µs *)
+  in
+  let sim = Sim.create ?backend () in
+  let rng = Rng.create ~seed in
+  let arrival_rng = Rng.split rng in
+  let nodes =
+    Array.init machines (fun i ->
+        let root = Container.create_root () in
+        let invariants = Engine.Invariant.create () in
+        let make_policy _cpu =
+          match mode with
+          | Stack.Rc -> Sched.Multilevel.make ~window:(Simtime.ms 100) ~invariants ~root ()
+          | Stack.Softirq | Stack.Lrp -> Sched.Timeshare.make ()
+        in
+        let policy0 = make_policy 0 in
+        let machine =
+          if cpus > 1 then
+            Machine.create ~cpus ~shard_policy:make_policy ~quantum ~invariants ~sim
+              ~policy:policy0 ~root ()
+          else Machine.create ~quantum ~invariants ~sim ~policy:policy0 ~root ()
+        in
+        let server_container =
+          Container.create ~name:(Printf.sprintf "node%d.server" i) ~parent:root ()
+        in
+        let stack = Stack.create ~machine ~mode ~owner:server_container () in
+        {
+          index = i;
+          machine;
+          stack;
+          root;
+          server_container;
+          node_rng = Rng.split rng;
+          ready = Queue.create ();
+          wq = Machine.Waitq.create ~name:(Printf.sprintf "node%d.ready" i) machine;
+          listens = [||];
+          handlers = Socket.null_handlers;
+          served = 0;
+        })
+  in
+  let rollup = Rollup.create () in
+  let tenant_arr =
+    Array.of_list tenants
+    |> Array.mapi (fun k spec ->
+           let prefix = Ipaddr.v 10 (40 + k) 0 0 in
+           let containers =
+             Array.map
+               (fun node ->
+                 Container.create ~name:spec.ts_name ~attrs:spec.ts_attrs ~parent:node.root
+                   ())
+               nodes
+           in
+           let group = Rollup.group rollup ~name:spec.ts_name in
+           Array.iter (fun c -> Rollup.enroll group (Container.usage c)) containers;
+           { spec; prefix; containers; group })
+  in
+  let weight_total = Array.fold_left (fun a tn -> a + tn.spec.ts_weight) 0 tenant_arr in
+  let tenant_cum =
+    let acc = ref 0 in
+    Array.map
+      (fun tn ->
+        acc := !acc + tn.spec.ts_weight;
+        !acc)
+      tenant_arr
+  in
+  let ring_points, ring_nodes = build_ring machines in
+  let mask = (1 lsl ring_bits) - 1 in
+  let t =
+    {
+      sim;
+      policy;
+      profile;
+      nodes;
+      tenants = tenant_arr;
+      tenant_cum;
+      weight_total;
+      rollup;
+      arrival_rng;
+      service;
+      request_bytes;
+      response_bytes;
+      hold;
+      workers;
+      port = 80;
+      rollup_period;
+      mask;
+      issue_seq = Array.make (mask + 1) (-1);
+      issue_ns = Array.make (mask + 1) 0;
+      done_seq = Array.make (mask + 1) min_int;
+      next_seq = 0;
+      rr = 0;
+      ring_points;
+      ring_nodes;
+      issued = 0;
+      completed = 0;
+      refused = 0;
+      dup_responses = 0;
+      evicted = 0;
+      peak_concurrent = 0;
+      client_sojourn = Stats.Summary.create ();
+      server_sojourn = Stats.Summary.create ();
+      started = false;
+      arrivals_on = true;
+      t0_ns = 0;
+    }
+  in
+  (* Tenant listens: port 80 shared, filter-demuxed on the tenant's /16,
+     bound to that tenant's per-machine container (§4.6 + §4.8). *)
+  Array.iter
+    (fun node ->
+      node.handlers <- make_handlers t node;
+      node.listens <-
+        Array.map
+          (fun tn ->
+            let l =
+              Socket.make_listen
+                ~filter:(Filter.prefix ~template:tn.prefix ~bits:16)
+                ~backlog:4096 ~syn_backlog
+                ~container:tn.containers.(node.index)
+                ~port:t.port ()
+            in
+            Stack.add_listen node.stack l;
+            l)
+          tenant_arr;
+      Stack.add_on_event node.stack (fun () -> Machine.Waitq.signal node.wq);
+      Stack.set_on_readable node.stack (fun conn ->
+          (* Only accepted connections go on the ready list; a request that
+             lands before the accept is picked up by the readable check in
+             [drain_accepts]. *)
+          if conn.Socket.container <> None then begin
+            Queue.push conn node.ready;
+            Machine.Waitq.signal node.wq
+          end);
+      (* The rollup conservation law is checked at every machine's quiesce
+         points (and by armed sweeps), like any other kernel law. *)
+      Rollup.register t.rollup (Machine.invariants node.machine))
+    nodes;
+  t
+
+let start t =
+  if t.started then invalid_arg "Cluster.start: already started";
+  t.started <- true;
+  t.t0_ns <- Simtime.to_ns (Sim.now t.sim);
+  Array.iter
+    (fun node ->
+      for w = 1 to t.workers do
+        ignore
+          (Machine.spawn node.machine
+             ~name:(Printf.sprintf "node%d.worker%d" node.index w)
+             ~container:node.server_container
+             (fun () -> worker_body t node))
+      done)
+    t.nodes;
+  (* One closure for the whole arrival process: it reschedules itself at
+     exponential gaps from the profile's current rate. *)
+  let rec tick () =
+    if t.arrivals_on then begin
+      inject_one t;
+      let u = 1.0 -. Rng.float t.arrival_rng 1.0 in
+      let gap_ns = int_of_float (-1e9 /. rate_at t *. log u) in
+      Sim.post t.sim (Simtime.ns (max 1 gap_ns)) tick
+    end
+  in
+  Sim.post t.sim (Simtime.ns 1) tick;
+  let (_ : Sim.event) =
+    Sim.every t.sim t.rollup_period (fun () ->
+        Rollup.aggregate t.rollup;
+        let c = concurrent t in
+        if c > t.peak_concurrent then t.peak_concurrent <- c)
+  in
+  ()
+
+let stop_arrivals t = t.arrivals_on <- false
+
+let run_for t span =
+  let horizon = Simtime.add (Sim.now t.sim) span in
+  Array.iter (fun n -> Machine.run_until n.machine horizon) t.nodes
+
+let arm_invariants ?interval t =
+  Array.iter
+    (fun n ->
+      match interval with
+      | Some interval -> Machine.arm_invariants ~interval n.machine
+      | None -> Machine.arm_invariants n.machine)
+    t.nodes
+
+let check_invariants t =
+  Array.fold_left (fun acc n -> acc @ Machine.check_invariants n.machine) [] t.nodes
+
+let rollup_law t = Rollup.law t.rollup ()
+
+let reset_stats t =
+  t.issued <- 0;
+  t.completed <- 0;
+  t.refused <- 0;
+  t.dup_responses <- 0;
+  t.evicted <- 0;
+  t.peak_concurrent <- concurrent t;
+  t.client_sojourn <- Stats.Summary.create ();
+  t.server_sojourn <- Stats.Summary.create ();
+  Array.iter (fun n -> n.served <- 0) t.nodes

@@ -142,6 +142,7 @@ module Rate = struct
     mutable len : int; (* retained marks, <= capacity *)
     mutable count : int;
     mutable latest : int; (* ns of the most recent mark *)
+    mutable dropped : int; (* weighted marks overwritten by ring wrap *)
   }
 
   let create ?(capacity = 4096) () =
@@ -154,10 +155,12 @@ module Rate = struct
       len = 0;
       count = 0;
       latest = min_int;
+      dropped = 0;
     }
 
   let mark t ?(weight = 1) now =
     let ns = Simtime.to_ns now in
+    if t.len = t.capacity then t.dropped <- t.dropped + t.weights.(t.head);
     t.times.(t.head) <- ns;
     t.weights.(t.head) <- weight;
     t.head <- (t.head + 1) mod t.capacity;
@@ -167,6 +170,14 @@ module Rate = struct
 
   let count t = t.count
   let retained t = t.len
+  let dropped t = t.dropped
+
+  (* Timestamp of the oldest retained mark (only meaningful when len > 0). *)
+  let earliest_ns t =
+    let start = ((t.head - t.len) mod t.capacity + t.capacity) mod t.capacity in
+    t.times.(start)
+
+  let covered_since t = if t.len = 0 || t.dropped = 0 then None else Some (Simtime.of_ns (earliest_ns t))
 
   let fold_marks t f init =
     let acc = ref init in
@@ -182,10 +193,31 @@ module Rate = struct
     if secs <= 0. || t.len = 0 then 0.
     else begin
       let cutoff = t.latest - Simtime.span_to_ns window in
-      let in_window =
-        fold_marks t (fun acc ts w -> if ts > cutoff && ts <= t.latest then acc + w else acc) 0
-      in
-      float_of_int in_window /. secs
+      if t.dropped = 0 || earliest_ns t <= cutoff then begin
+        (* Every mark inside the window is still retained: exact. *)
+        let in_window =
+          fold_marks t (fun acc ts w -> if ts > cutoff && ts <= t.latest then acc + w else acc) 0
+        in
+        float_of_int in_window /. secs
+      end
+      else begin
+        (* Ring saturated inside the window: marks that old were
+           overwritten, so dividing the retained weight by the full window
+           would under-report (the pre-fix behaviour capped the result near
+           capacity/window).  Report the rate over the span the ring still
+           covers, (earliest retained, latest]; the earliest mark itself is
+           excluded because the gap preceding it is unknown. *)
+        let e = earliest_ns t in
+        let covered_secs = float_of_int (t.latest - e) /. 1e9 in
+        if covered_secs <= 0. then
+          (* Degenerate: every retained mark shares one timestamp; fall
+             back to the requested window. *)
+          float_of_int (fold_marks t (fun acc _ w -> acc + w) 0) /. secs
+        else begin
+          let in_cov = fold_marks t (fun acc ts w -> if ts > e then acc + w else acc) 0 in
+          float_of_int in_cov /. covered_secs
+        end
+      end
     end
 
   let rate_between t t0 t1 =

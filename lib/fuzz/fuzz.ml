@@ -38,7 +38,8 @@ let all_modes = [ Stack.Softirq; Stack.Lrp; Stack.Rc ]
 type outcome = {
   seed : int;
   mode : Stack.mode;
-  cpus : int;  (** processors the scenario ran on *)
+  cpus : int;  (** processors per machine *)
+  machines : int;  (** 1 = single rig; > 1 = cluster behind the balancer *)
   scenario : string;  (** one-line description of the generated scenario *)
   checks : int;  (** invariant sweeps that ran *)
   completed : int;  (** client requests completed *)
@@ -49,10 +50,11 @@ type outcome = {
   trace_file : string option;  (** JSONL trace written on violation *)
 }
 
-let replay_command ?(inject = false) ?(cpus = 1) ~mode ~seed () =
-  Printf.sprintf "dune exec bin/rc_sim.exe -- fuzz --seed %d --mode %s%s%s" seed
+let replay_command ?(inject = false) ?(cpus = 1) ?(machines = 1) ~mode ~seed () =
+  Printf.sprintf "dune exec bin/rc_sim.exe -- fuzz --seed %d --mode %s%s%s%s" seed
     (mode_name mode)
     (if cpus > 1 then Printf.sprintf " --cpus %d" cpus else "")
+    (if machines > 1 then Printf.sprintf " --machines %d" machines else "")
     (if inject then " --inject mischarge" else "")
 
 (* The generated scenario, described so a violating run is understandable
@@ -78,8 +80,127 @@ let scenario_summary s =
 
 let doc_paths = [| "/doc/1k"; "/doc/8k"; "/doc/64k" |]
 
-let run_seed ?(inject = false) ?(cpus = 1) ?trace_path ~mode ~seed () =
+(* The cluster scenario family: N machines behind the balancer, random
+   policy/tenants/profile, an optional SYN flood on a random machine, and
+   every machine's registry armed — including the cluster-wide
+   "cluster.usage-rollup" law that ties the per-machine tenant ledgers to
+   the rollup totals.  Same contract as the single-rig path: the scenario
+   is a pure function of (seed, mode); [cpus] and [machines] only change
+   where the work lands. *)
+let run_cluster_seed ~inject ~cpus ~machines ~mode ~seed () =
+  let module Cluster = Clustersim.Cluster in
+  let rng = Rng.create ~seed in
+  let pick arr = arr.(Rng.int rng (Array.length arr)) in
+  let strict_before = Rescont.Usage.strict_memory_enabled () in
+  Fun.protect
+    ~finally:(fun () -> Rescont.Usage.set_strict_memory strict_before)
+    (fun () ->
+      let policy_desc, policy =
+        pick
+          [|
+            ("round-robin", Cluster.Round_robin);
+            ("least-conns", Cluster.Least_conns);
+            ("flow-hash", Cluster.Flow_hash);
+            ("replicate-2", Cluster.Replicate 2);
+          |]
+      in
+      let tenant_count = 1 + Rng.int rng 2 in
+      let tenants =
+        List.init tenant_count (fun i ->
+            Cluster.tenant_spec
+              ~weight:(1 + Rng.int rng 3)
+              ~attrs:(Attrs.timeshare ~priority:(10 + Rng.int rng 40) ())
+              (Printf.sprintf "t%d" i))
+      in
+      let rate = float_of_int (500 + Rng.int rng 3_000) in
+      let profile =
+        if Rng.bool rng then
+          Cluster.Spike
+            { base = rate; peak = 3. *. rate; at = Simtime.ms 30; until = Simtime.ms 70 }
+        else Cluster.Poisson rate
+      in
+      let flood_node = Rng.int rng machines in
+      let flood_rate =
+        if Rng.bool rng then Some (float_of_int (2_000 + Rng.int rng 20_000)) else None
+      in
+      let c =
+        Cluster.create ~machines ~cpus ~mode ~policy ~profile ~tenants
+          ~workers:(4 + Rng.int rng 12)
+          ~seed:(Rng.int rng 1_000_000)
+          ()
+      in
+      let attacker =
+        Option.map
+          (fun rate_per_sec ->
+            Workload.Synflood.create ~stack:(Cluster.node_stack c flood_node) ~rate_per_sec ())
+          flood_rate
+      in
+      let duration = Simtime.ms (80 + Rng.int rng 170) in
+      let check_interval = Simtime.ms (2 + Rng.int rng 6) in
+      Cluster.arm_invariants ~interval:check_interval c;
+      (if inject then
+         (* Same planted bug as the single rig, on a random machine: its
+            cpu.conservation law must catch it at the next sweep. *)
+         let detached = Container.create_detached ~name:"mischarge-sink" () in
+         let victim = Cluster.node_machine c (Rng.int rng machines) in
+         ignore
+           (Sim.after (Cluster.sim c)
+              (Simtime.span_scale 0.5 duration)
+              (fun () ->
+                Machine.steal_time victim ~cost:(Simtime.us 50) ~charge:(`Container detached))));
+      let violation =
+        try
+          Cluster.start c;
+          Option.iter Workload.Synflood.start attacker;
+          Cluster.run_for c duration;
+          Cluster.stop_arrivals c;
+          Option.iter Workload.Synflood.stop attacker;
+          Cluster.run_for c (Simtime.ms 100);
+          None
+        with
+        | Engine.Invariant.Violation v ->
+            Some (Format.asprintf "%a" Engine.Invariant.pp_violation v)
+        | Rescont.Usage.Negative_memory _ as e -> Some (Printexc.to_string e)
+        | e -> Some ("unexpected exception: " ^ Printexc.to_string e)
+      in
+      let packets = ref 0 and established = ref 0 and checks = ref 0 in
+      for i = 0 to machines - 1 do
+        let s = Stack.stats (Cluster.node_stack c i) in
+        packets := !packets + s.Stack.packets_processed;
+        established := !established + s.Stack.conns_established;
+        checks :=
+          !checks + Engine.Invariant.checks_run (Machine.invariants (Cluster.node_machine c i))
+      done;
+      {
+        seed;
+        mode;
+        cpus;
+        machines;
+        scenario =
+          Format.asprintf "cluster/%s machines=%d tenants=%d rate=%.0f/s%s%s dur=%a check=%a%s"
+            policy_desc machines tenant_count rate
+            (match profile with Cluster.Spike _ -> " spike" | _ -> "")
+            (match flood_rate with
+            | Some r -> Printf.sprintf " flood=%.0f/s@%d" r flood_node
+            | None -> "")
+            Simtime.pp_span duration Simtime.pp_span check_interval
+            (if cpus > 1 then Printf.sprintf " cpus=%d" cpus else "");
+        checks = !checks;
+        completed = Cluster.completed c;
+        packets = !packets;
+        established = !established;
+        injected = inject;
+        violation;
+        trace_file = None;
+      })
+
+let rec run_seed ?(inject = false) ?(cpus = 1) ?(machines = 1) ?trace_path ~mode ~seed () =
   if cpus < 1 then invalid_arg "Fuzz.run_seed: cpus must be >= 1";
+  if machines < 1 then invalid_arg "Fuzz.run_seed: machines must be >= 1";
+  if machines > 1 then run_cluster_seed ~inject ~cpus ~machines ~mode ~seed ()
+  else run_single_seed ~inject ~cpus ?trace_path ~mode ~seed ()
+
+and run_single_seed ~inject ~cpus ?trace_path ~mode ~seed () =
   let rng = Rng.create ~seed in
   let pick arr = arr.(Rng.int rng (Array.length arr)) in
   let strict_before = Rescont.Usage.strict_memory_enabled () in
@@ -289,6 +410,7 @@ let run_seed ?(inject = false) ?(cpus = 1) ?trace_path ~mode ~seed () =
         seed;
         mode;
         cpus;
+        machines = 1;
         scenario =
           scenario_summary scenario
           ^ (if cpus > 1 then Printf.sprintf " cpus=%d" cpus else "");
@@ -310,17 +432,19 @@ let pp_outcome ppf o =
       Format.fprintf ppf
         "seed %-6d %-7s FAIL  %s@\n  scenario: %s@\n  replay:   %s%s" o.seed
         (mode_name o.mode) v o.scenario
-        (replay_command ~inject:o.injected ~cpus:o.cpus ~mode:o.mode ~seed:o.seed ())
+        (replay_command ~inject:o.injected ~cpus:o.cpus ~machines:o.machines ~mode:o.mode
+           ~seed:o.seed ())
         (match o.trace_file with
         | Some f -> Printf.sprintf "\n  trace:    %s" f
         | None -> "")
 
-let run_batch ?(inject = false) ?(cpus = 1) ?(log = fun _ -> ()) ~modes ~seeds () =
+let run_batch ?(inject = false) ?(cpus = 1) ?(machines = 1) ?(log = fun _ -> ()) ~modes ~seeds
+    () =
   List.concat_map
     (fun seed ->
       List.map
         (fun mode ->
-          let o = run_seed ~inject ~cpus ~mode ~seed () in
+          let o = run_seed ~inject ~cpus ~machines ~mode ~seed () in
           log o;
           o)
         modes)

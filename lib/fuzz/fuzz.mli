@@ -10,7 +10,13 @@
 
     A scenario is a pure function of [(seed, mode)]: a failing seed
     replays bit-for-bit with the printed command on any machine, and the
-    run's kernel trace is dumped as JSON lines next to it. *)
+    run's kernel trace is dumped as JSON lines next to it.
+
+    With [machines > 1] the generated scenario is a cluster instead: N
+    machines behind the {!Clustersim.Cluster} load balancer (random
+    policy, tenants, arrival profile, optional SYN flood on a random
+    machine), with every machine's registry — including the cluster-wide
+    "cluster.usage-rollup" law — armed. *)
 
 type server_model = Event | Threaded | Forked
 
@@ -25,7 +31,8 @@ val all_modes : Netsim.Stack.mode list
 type outcome = {
   seed : int;
   mode : Netsim.Stack.mode;
-  cpus : int;  (** processors the scenario ran on (1 = uniprocessor) *)
+  cpus : int;  (** processors per machine (1 = uniprocessor) *)
+  machines : int;  (** 1 = single rig; > 1 = cluster behind the balancer *)
   scenario : string;  (** one-line description of the generated scenario *)
   checks : int;  (** invariant sweeps that ran *)
   completed : int;  (** client requests completed *)
@@ -37,12 +44,19 @@ type outcome = {
 }
 
 val replay_command :
-  ?inject:bool -> ?cpus:int -> mode:Netsim.Stack.mode -> seed:int -> unit -> string
+  ?inject:bool ->
+  ?cpus:int ->
+  ?machines:int ->
+  mode:Netsim.Stack.mode ->
+  seed:int ->
+  unit ->
+  string
 (** The one-command replay line printed with a violation. *)
 
 val run_seed :
   ?inject:bool ->
   ?cpus:int ->
+  ?machines:int ->
   ?trace_path:string ->
   mode:Netsim.Stack.mode ->
   seed:int ->
@@ -58,13 +72,16 @@ val run_seed :
     workload at every CPU count.  [trace_path] overrides where the JSONL
     trace is written on violation (default
     [fuzz-<mode>-seed<seed>.trace.jsonl] in the working directory).
-    Restores the process-wide strict-memory flag on exit. *)
+    [machines > 1] selects the cluster scenario family (no trace file is
+    written — cluster machines run untraced).  Restores the process-wide
+    strict-memory flag on exit. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
 val run_batch :
   ?inject:bool ->
   ?cpus:int ->
+  ?machines:int ->
   ?log:(outcome -> unit) ->
   modes:Netsim.Stack.mode list ->
   seeds:int list ->

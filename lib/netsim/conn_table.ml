@@ -1,7 +1,7 @@
 (* Struct-of-arrays connection registry.  The previous representation kept
    one [Socket.conn array] of boxed records; here the per-slot state is
-   split into parallel field arrays — the connection pointer, a 16-bit
-   wrapping generation stamp, and a buffered-rx-bytes mirror — so the
+   split into parallel field arrays — the connection pointer, a wrapping
+   generation stamp, and a buffered-rx-bytes mirror — so the
    table-wide scans the stack runs (the memory-conservation law, reaps,
    slot-order batch processing) walk flat int arrays instead of chasing a
    record per connection.
@@ -9,13 +9,17 @@
    Slots are reused through a free list; the generation stamp is bumped on
    every vacate, and a {!handle} packs (slot, stamp-at-issue) into one int
    so a held handle from before the slot turned over is rejected by
-   {!find} instead of resolving to the slot's new occupant.  Stamps wrap
-   at 2^16: a handle can alias again only after exactly 65536 reuses of
-   its slot, which the wraparound test pins as the contract. *)
+   {!find} instead of resolving to the slot's new occupant.  The stamp is
+   28 bits wide: aliasing needs 2^28 (~2.7*10^8) reuses of a single slot,
+   unreachable even for cluster runs churning 10^6 connections.  (The
+   original 16-bit stamp wrapped at 65536 reuses — reachable churn for one
+   hot slot at cluster scale, caught by the staleness regression test.)
+   The slot index gets the remaining bits: 2^34 slots on 64-bit, far above
+   any real population. *)
 
-type handle = int (* (slot lsl 16) lor stamp *)
+type handle = int (* (slot lsl 28) lor stamp *)
 
-let stamp_bits = 16
+let stamp_bits = 28
 let stamp_mask = (1 lsl stamp_bits) - 1
 let null_handle = -1
 let handle_slot h = h lsr stamp_bits
@@ -23,7 +27,7 @@ let handle_stamp h = h land stamp_mask
 
 type t = {
   mutable conns : Socket.conn array; (* [dummy] marks a vacant slot *)
-  mutable stamps : int array; (* 16-bit generation, bumped when a slot vacates *)
+  mutable stamps : int array; (* generation stamp, bumped when a slot vacates *)
   mutable rx_bytes : int array; (* buffered rx bytes of the slot's occupant *)
   dummy : Socket.conn;
   mutable free : int array; (* stack of vacant slot indexes *)
@@ -100,7 +104,7 @@ let find t h =
       if conn != t.dummy && t.stamps.(slot) = handle_stamp h then Some conn else None
 
 (* Vacate a slot: drop the occupant, zero the rx mirror, advance the
-   generation (wrapping at 2^16) so outstanding handles go stale. *)
+   generation (wrapping at 2^28) so outstanding handles go stale. *)
 let vacate t slot =
   t.conns.(slot) <- t.dummy;
   t.rx_bytes.(slot) <- 0;
@@ -160,3 +164,5 @@ let reap_closed t =
     end
   done;
   !removed
+
+let generation_bits = stamp_bits

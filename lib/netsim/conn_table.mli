@@ -1,7 +1,7 @@
 (** Struct-of-arrays registry of the connections a {!Stack} has created.
 
     Per-slot state lives in parallel field arrays — the connection, a
-    16-bit wrapping generation stamp, and a mirror of the connection's
+    wrapping generation stamp, and a mirror of the connection's
     buffered rx bytes — so table-wide scans (the memory-conservation law,
     reap sweeps, slot-order batch processing) walk flat arrays instead of
     chasing one boxed record per connection.  Each tracked connection is
@@ -35,12 +35,15 @@ val mem : t -> Socket.conn -> bool
 
 (** {1 Generation-stamped handles}
 
-    A handle packs (slot, 16-bit generation at issue) into one immediate
-    int: storable in flat int arrays and across events without pinning the
+    A handle packs (slot, generation at issue) into one immediate int:
+    storable in flat int arrays and across events without pinning the
     connection.  {!find} rejects a handle once its slot has been vacated —
-    the slot's next occupant carries a new generation.  Generations wrap
-    at 2^16, so a handle can alias again only after exactly 65536 reuses
-    of its slot (the wraparound test pins this contract). *)
+    the slot's next occupant carries a new generation.  Generations are
+    {!generation_bits} (28) bits wide, so aliasing a handle needs 2^28
+    reuses of one slot — unreachable even for cluster runs that churn 10^6
+    connections.  (The original 16-bit stamp wrapped at 65536 reuses of a
+    hot slot, which cluster-scale churn can reach; the staleness
+    regression test pins the widened bound.) *)
 
 type handle = int
 
@@ -83,3 +86,7 @@ val reap_closed : t -> int
 (** Remove every tracked connection in state [Closed], returning how many
     were removed.  With the stack untracking on close this is normally a
     scan that removes nothing and allocates nothing. *)
+
+val generation_bits : int
+(** Width of the per-slot generation stamp: a handle can alias again only
+    after [2^generation_bits] reuses of its slot. *)

@@ -62,6 +62,7 @@ type t = {
   mutable listen_sockets : Socket.listen list; (* reference demux walks this *)
   demux : Demux.t; (* port-indexed fast path, mirrors [listen_sockets] *)
   mutable on_event : unit -> unit;
+  mutable on_readable : Socket.conn -> unit;
   mutable on_syn_drop : Socket.listen -> Ipaddr.t -> unit;
   pool : Workpool.t;
   queues : (int, Workpool.queue * Container.t) Hashtbl.t;
@@ -105,6 +106,7 @@ let add_on_event t f =
       f ())
 
 let set_on_event = add_on_event
+let set_on_readable t f = t.on_readable <- f
 let set_on_syn_drop t f = t.on_syn_drop <- f
 let pending_work t = t.pending
 let queue_table_size t = Hashtbl.length t.queues
@@ -194,19 +196,25 @@ let container_of_work t (w : Workpool.item) =
 
 let is_idle_class container = Attrs.is_idle_class (Container.attrs container)
 
-(* RSS-style receive-side steering: hash the flow (source address, source
-   port) to a processor, so every packet of a connection takes its
-   interrupt — and its charge — on the same CPU.  A cheap avalanche mix;
-   always 0 on a uniprocessor. *)
-let rss_steer t src src_port =
-  if t.ncpus <= 1 then 0
-  else begin
-    let h = Ipaddr.hash src lxor ((src_port + 1) * 0x9E3779B1) in
-    let h = h lxor (h lsr 16) in
-    let h = h * 0x45D9F3B land max_int in
-    let h = h lxor (h lsr 13) in
-    h mod t.ncpus
-  end
+(* Flow identity hash: a cheap avalanche mix of (source address, source
+   port).  The multiplies overflow into the sign bit for src_port >= 23,
+   so the mask to non-negative must be the LAST step — the original code
+   masked mid-pipeline, which kept [rss_steer]'s final [mod] in range only
+   by accident and handed any other consumer (the balancer's consistent
+   hashing, which reduces the hash mod a ring size) a possibly negative
+   value.  Masking last makes the result non-negative by construction, for
+   every consumer. *)
+let flow_hash src src_port =
+  let h = Ipaddr.hash src lxor ((src_port + 1) * 0x9E3779B1) in
+  let h = h lxor (h lsr 16) in
+  let h = h * 0x45D9F3B in
+  let h = h lxor (h lsr 13) in
+  h land max_int
+
+(* RSS-style receive-side steering: hash the flow to a processor, so every
+   packet of a connection takes its interrupt — and its charge — on the
+   same CPU.  Always 0 on a uniprocessor. *)
+let rss_steer t src src_port = if t.ncpus <= 1 then 0 else flow_hash src src_port mod t.ncpus
 
 (* Where a unit of protocol work takes its interrupt: SYNs hash the flow,
    everything else follows the steering stamped on its connection. *)
@@ -439,7 +447,11 @@ let rec perform t (w : Workpool.item) =
           Container.charge_memory owner payload.Payload.bytes;
           Queue.push payload conn.Socket.rx_queue;
           Conn_table.rx_add t.conns conn payload.Payload.bytes;
-          t.on_event ()
+          t.on_event ();
+          (* Edge-triggered readability: fire only on the empty->non-empty
+             transition so scan-free servers can keep a duplicate-free
+             ready list. *)
+          if Queue.length conn.Socket.rx_queue = 1 then t.on_readable conn
         end
       end
   | Workpool.Fin -> (
@@ -448,7 +460,10 @@ let rec perform t (w : Workpool.item) =
       match conn.Socket.state with
       | Socket.Established ->
           conn.Socket.state <- Socket.Close_wait;
-          t.on_event ()
+          t.on_event ();
+          (* Peer close is a readability event too (EOF), so ready-list
+             servers notice half-closed connections without scanning. *)
+          if Queue.is_empty conn.Socket.rx_queue then t.on_readable conn
       | Socket.Syn_rcvd | Socket.Close_wait | Socket.Closed -> ())
 
 (* Deferred-processing queues, one per container (RC) or one for the owner
@@ -732,6 +747,7 @@ let create ?(mtu = 1460) ?(latency = Simtime.us 150) ?(costs = default_costs)
       listen_sockets = [];
       demux = Demux.create ();
       on_event = (fun () -> ());
+      on_readable = (fun _ -> ());
       on_syn_drop = (fun _ _ -> ());
       pool = Workpool.create ();
       queues = Hashtbl.create 64;
@@ -924,6 +940,15 @@ let close t conn =
 let connect t ~src ?(src_port = 0) ~port ~handlers () =
   schedule t t.latency (fun () ->
       syn_arrival t ~src ~src_port ~port ~client:handlers ~completes:true)
+
+(* External arrival injection: the SYN hits the NIC at the instant of the
+   call, with no scheduled closure per arrival.  Open-loop arrival
+   processes (the cluster balancer) model their own wire delay and fire
+   from inside a sim event, so the per-connection [connect] closure and
+   its fixed client-side latency would be pure overhead at 10^5-10^6
+   arrivals. *)
+let inject_connect t ~src ~src_port ~port ~handlers =
+  syn_arrival t ~src ~src_port ~port ~client:handlers ~completes:true
 
 let client_send t conn payload =
   schedule t (delivery_delay t payload) (fun () -> data_arrival t conn payload)

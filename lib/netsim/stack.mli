@@ -99,6 +99,16 @@ val set_on_event : t -> (unit -> unit) -> unit
 (** Alias of {!add_on_event} (kept for symmetry with the single-server
     experiments). *)
 
+val set_on_readable : t -> (Socket.conn -> unit) -> unit
+(** Register the edge-triggered readability callback: invoked with the
+    connection when its rx queue goes from empty to non-empty, and when
+    the peer closes an [Established] connection with nothing buffered
+    (EOF).  Unlike {!add_on_event} this identifies {i which} connection
+    woke up, so a server over 10^5+ connections can keep a ready list
+    instead of scanning every tracked connection per wakeup (the
+    select-style {!add_on_event} servers are O(connections) per poll).
+    One callback per stack; registering replaces the previous one. *)
+
 val set_on_syn_drop : t -> (Socket.listen -> Ipaddr.t -> unit) -> unit
 (** The §5.7 kernel modification: notify the application when a SYN is
     dropped due to queue overflow, identifying the source. *)
@@ -144,6 +154,15 @@ val inject_syn : t -> src:Ipaddr.t -> port:int -> unit
 (** A bogus SYN (spoofed source, never completes the handshake): the
     SYN-flood attack packet of §5.7.  Arrives immediately. *)
 
+val inject_connect :
+  t -> src:Ipaddr.t -> src_port:int -> port:int -> handlers:Socket.client_handlers -> unit
+(** External arrival injection: a genuine connection attempt whose SYN
+    hits the NIC at the instant of the call — no per-arrival scheduled
+    closure and no client-side latency (the injector models its own wire
+    delay).  Must be called from inside a simulation event; open-loop
+    arrival processes (the cluster balancer) use this to drive 10^5-10^6
+    connections without allocating a closure per arrival. *)
+
 val add_service :
   ?cpu:int ->
   t ->
@@ -160,10 +179,18 @@ val add_service :
     work signals the kthread pinned to its flow's CPU first).  No-op in
     [Softirq] mode. *)
 
+val flow_hash : Ipaddr.t -> int -> int
+(** [flow_hash src src_port] is the flow-identity hash shared by RSS
+    steering and the cluster balancer's consistent hashing: deterministic,
+    avalanche-mixed, and guaranteed non-negative (the sign bit is masked
+    as the final step, after the overflowing multiplies — consumers may
+    reduce it with [mod] directly). *)
+
 val rss_steer : t -> Ipaddr.t -> int -> int
 (** [rss_steer t src src_port] is the processor the flow hashes to:
-    deterministic, uniform-ish over [0, cpus), always 0 on a
-    uniprocessor.  Every packet of a connection shares its steering. *)
+    [flow_hash src src_port mod cpus] — deterministic, uniform-ish over
+    [0, cpus), always 0 on a uniprocessor.  Every packet of a connection
+    shares its steering. *)
 
 (** {1 Introspection} *)
 
@@ -189,6 +216,12 @@ val demux_reference : t -> port:int -> src:Ipaddr.t -> Socket.listen option
     the most specific match, ties to the earliest bound.  Executable
     specification for the QCheck equivalence property; not on the packet
     path. *)
+
+val delivery_delay : t -> Payload.t -> Engine.Simtime.span
+(** Wire time of a payload on the access link: one-way latency plus
+    serialisation at the link rate.  Exposed so measurement code can
+    recover a message's arrival instant from its [created] stamp (the
+    cluster experiments compute server-side sojourns this way). *)
 
 val reap : t -> int
 (** Remove closed connections from the registry, returning how many were

@@ -234,6 +234,20 @@ let reset_stats t =
   t.reservoir <- Stats.Reservoir.create (Engine.Rng.create ~seed:1)
 
 let completions_in t t0 t1 =
+  (* The marks ring is bounded; if completions ever arrive fast enough to
+     wrap it inside the queried window (open-loop cluster rates can),
+     counting only the retained marks would silently under-report.  Fail
+     loudly instead: the caller must query a window the ring still covers
+     (reset_stats at the window start guarantees that for the suite's
+     measure windows). *)
+  (match Stats.Rate.covered_since t.marks with
+  | Some covered when Simtime.compare t0 covered < 0 ->
+      invalid_arg
+        (Printf.sprintf
+           "Sclient.completions_in: %d completion marks dropped before the queried window; \
+            reset_stats at the window start or raise the ring capacity"
+           (Stats.Rate.dropped t.marks))
+  | _ -> ());
   let lo = Simtime.to_ns t0 and hi = Simtime.to_ns t1 in
   Stats.Rate.fold_marks t.marks
     (fun acc ts w -> if ts >= lo && ts < hi then acc + w else acc)

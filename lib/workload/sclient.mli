@@ -66,4 +66,8 @@ val reset_stats : t -> unit
 
 val completions_in : t -> Engine.Simtime.t -> Engine.Simtime.t -> int
 (** Responses received within the half-open window (for steady-state
-    throughput measurements). *)
+    throughput measurements).
+    @raise Invalid_argument if completion marks inside the window have
+    been dropped by the bounded ring (the count would silently
+    under-report); call {!reset_stats} at the window start, or widen the
+    ring, rather than trusting a partial count. *)

@@ -1,0 +1,184 @@
+(* Tests for Clustersim.Cluster: the multi-machine load-balanced rig and
+   the cluster-wide usage rollup. *)
+
+module Cluster = Clustersim.Cluster
+module Simtime = Engine.Simtime
+module Stats = Engine.Stats
+module Rollup = Rescont.Rollup
+
+let run_small ?(machines = 2) ?(cpus = 1) ?(policy = Cluster.Round_robin)
+    ?(profile = Cluster.Poisson 2000.) ?(tenants = [ Cluster.tenant_spec "t0" ]) ?(seed = 7)
+    ?(span = Simtime.ms 500) () =
+  let c = Cluster.create ~machines ~cpus ~policy ~profile ~tenants ~seed () in
+  Cluster.start c;
+  Cluster.run_for c span;
+  c
+
+let test_smoke () =
+  let c = run_small () in
+  Alcotest.(check bool) "requests flowed" true (Cluster.issued c > 500);
+  Alcotest.(check bool)
+    "most requests completed" true
+    (Cluster.completed c > Cluster.issued c * 8 / 10);
+  Alcotest.(check int) "no refusals" 0 (Cluster.refused c);
+  Alcotest.(check int) "no ring evictions" 0 (Cluster.evicted c);
+  Alcotest.(check bool)
+    "both machines served" true
+    (Cluster.node_served c 0 > 0 && Cluster.node_served c 1 > 0);
+  Alcotest.(check bool)
+    "client sojourn sane (>300us one-way latency x2)" true
+    (Stats.Summary.mean (Cluster.client_sojourn c) > 300e-6);
+  Alcotest.(check bool)
+    "server sojourn below client sojourn" true
+    (Stats.Summary.mean (Cluster.server_sojourn c)
+    < Stats.Summary.mean (Cluster.client_sojourn c));
+  match Cluster.check_invariants c with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "invariant violated: %s: %s" v.Engine.Invariant.law v.Engine.Invariant.detail
+
+let test_rr_even_split () =
+  let c = run_small ~machines:4 ~policy:Cluster.Round_robin () in
+  let served = Array.init 4 (Cluster.node_served c) in
+  let total = Array.fold_left ( + ) 0 served in
+  Array.iteri
+    (fun i s ->
+      let frac = float_of_int s /. float_of_int total in
+      if frac < 0.15 || frac > 0.35 then
+        Alcotest.failf "round-robin split uneven: node %d served %d of %d" i s total)
+    served
+
+let test_flow_hash_deterministic_and_covering () =
+  let c1 = run_small ~machines:4 ~policy:Cluster.Flow_hash ~seed:11 () in
+  let c2 = run_small ~machines:4 ~policy:Cluster.Flow_hash ~seed:11 () in
+  for i = 0 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "node %d served deterministically" i)
+      (Cluster.node_served c1 i) (Cluster.node_served c2 i)
+  done;
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d got a share" i)
+      true
+      (Cluster.node_served c1 i > 0)
+  done
+
+let test_replicate_dedups () =
+  let c = run_small ~machines:3 ~policy:(Cluster.Replicate 2) () in
+  Alcotest.(check bool) "completed once per logical request" true
+    (Cluster.completed c <= Cluster.issued c);
+  Alcotest.(check bool) "clone losers recorded" true (Cluster.dup_responses c > 0);
+  (* Every served clone is either the winner or a recorded duplicate. *)
+  let served = ref 0 in
+  for i = 0 to 2 do
+    served := !served + Cluster.node_served c i
+  done;
+  Alcotest.(check bool) "served >= completed + dups" true
+    (!served >= Cluster.completed c + Cluster.dup_responses c)
+
+let test_hold_builds_concurrency () =
+  let c =
+    Cluster.create ~machines:2 ~profile:(Cluster.Poisson 2000.) ~hold:(Simtime.ms 200)
+      ~seed:3 ()
+  in
+  Cluster.start c;
+  Cluster.run_for c (Simtime.ms 600);
+  (* Steady state holds ~ rate x hold = 400 connections open. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "held connections accumulate (peak %d)" (Cluster.peak_concurrent c))
+    true
+    (Cluster.peak_concurrent c > 250);
+  Alcotest.(check int) "no refusals under hold" 0 (Cluster.refused c)
+
+let test_tenant_rollup_accumulates () =
+  let tenants = [ Cluster.tenant_spec "gold" ~weight:3; Cluster.tenant_spec "bronze" ] in
+  let c = run_small ~machines:2 ~tenants () in
+  Alcotest.(check int) "two groups" 2 (Cluster.tenant_count c);
+  let gold = Cluster.tenant_group c 0 and bronze = Cluster.tenant_group c 1 in
+  Alcotest.(check bool) "gold billed cpu" true (Rollup.cpu_ns gold > 0);
+  Alcotest.(check bool) "bronze billed cpu" true (Rollup.cpu_ns bronze > 0);
+  (* 3:1 arrival weights should show up in cluster-wide CPU at coarse
+     grain. *)
+  let ratio = float_of_int (Rollup.cpu_ns gold) /. float_of_int (Rollup.cpu_ns bronze) in
+  Alcotest.(check bool)
+    (Printf.sprintf "gold/bronze cpu ratio %.2f reflects 3:1 weights" ratio)
+    true
+    (ratio > 1.8 && ratio < 5.0);
+  Alcotest.(check bool) "rx billed" true (Rollup.rx_bytes gold > 0);
+  Alcotest.(check bool) "tx billed" true (Rollup.tx_bytes gold > 0);
+  match Cluster.rollup_law c with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rollup law: %s" e
+
+let test_armed_run () =
+  let c =
+    Cluster.create ~machines:2 ~cpus:2 ~profile:(Cluster.Poisson 3000.) ~seed:5 ()
+  in
+  Cluster.arm_invariants ~interval:(Simtime.ms 20) c;
+  Cluster.start c;
+  (* Armed sweeps raise on any law violation, including the rollup law,
+     across every machine's registry. *)
+  Cluster.run_for c (Simtime.ms 300);
+  Alcotest.(check bool) "work happened under armed laws" true (Cluster.completed c > 300)
+
+let test_spike_profile () =
+  let c =
+    Cluster.create ~machines:2
+      ~profile:
+        (Cluster.Spike
+           { base = 500.; peak = 8000.; at = Simtime.ms 200; until = Simtime.ms 400 })
+      ~seed:9 ()
+  in
+  Cluster.start c;
+  Cluster.run_for c (Simtime.ms 200) (* base *);
+  let before = Cluster.issued c in
+  Cluster.run_for c (Simtime.ms 200) (* peak *);
+  let during = Cluster.issued c - before in
+  Alcotest.(check bool)
+    (Printf.sprintf "spike raises arrivals (%d then %d)" before during)
+    true
+    (during > before * 4)
+
+(* The rollup conservation law under a seeded grid of balancer policies x
+   machine counts: sum of per-machine tenant usage must equal the cluster
+   rollup at every quiesce point (satellite 4; the same grid the fuzzer
+   drives via --machines). *)
+let prop_rollup_law =
+  QCheck2.Test.make ~name:"cluster rollup law across policies x machines" ~count:12
+    QCheck2.Gen.(
+      triple (int_range 1 4) (int_range 0 3) (int_range 0 1000))
+    (fun (machines, policy_ix, seed) ->
+      let policy =
+        match policy_ix with
+        | 0 -> Cluster.Round_robin
+        | 1 -> Cluster.Least_conns
+        | 2 -> Cluster.Flow_hash
+        | _ -> Cluster.Replicate 2
+      in
+      let tenants =
+        [ Cluster.tenant_spec "a" ~weight:2; Cluster.tenant_spec "b" ] in
+      let c =
+        Cluster.create ~machines ~policy ~profile:(Cluster.Poisson 1500.) ~tenants ~seed ()
+      in
+      Cluster.start c;
+      let ok = ref true in
+      for _ = 1 to 4 do
+        Cluster.run_for c (Simtime.ms 50);
+        (match Cluster.rollup_law c with Ok () -> () | Error _ -> ok := false);
+        if Cluster.check_invariants c <> [] then ok := false
+      done;
+      !ok && Cluster.completed c > 0)
+
+let suite =
+  [
+    Alcotest.test_case "smoke: requests flow and complete" `Quick test_smoke;
+    Alcotest.test_case "round-robin splits evenly" `Quick test_rr_even_split;
+    Alcotest.test_case "flow-hash deterministic + covering" `Quick
+      test_flow_hash_deterministic_and_covering;
+    Alcotest.test_case "replicate dedups clone responses" `Quick test_replicate_dedups;
+    Alcotest.test_case "hold builds concurrency" `Quick test_hold_builds_concurrency;
+    Alcotest.test_case "tenant rollup accumulates by weight" `Quick
+      test_tenant_rollup_accumulates;
+    Alcotest.test_case "armed invariants over a busy cluster" `Quick test_armed_run;
+    Alcotest.test_case "spike profile raises arrivals" `Quick test_spike_profile;
+    QCheck_alcotest.to_alcotest prop_rollup_law;
+  ]

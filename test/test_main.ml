@@ -27,4 +27,5 @@ let () =
       ("sweep", Test_sweep.suite);
       ("observability", Test_observability.suite);
       ("integration", Test_integration.suite);
+      ("cluster", Test_cluster.suite);
     ]

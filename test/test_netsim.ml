@@ -27,6 +27,54 @@ let test_ipaddr_invalid () =
   Alcotest.(check bool) "octet range" true
     (try ignore (Ipaddr.v 256 0 0 0); false with Invalid_argument _ -> true)
 
+(* {1 Flow hash sign}
+
+   The avalanche mix behind RSS steering multiplies by two odd constants;
+   for src_port >= 23 the products overflow into OCaml's 63-bit sign bit,
+   so a mix without a final mask is negative for most real ports — and
+   [mod] of a negative hash yields a negative CPU / ring index.  The fix
+   masks as the LAST step of [Stack.flow_hash]; this test drives the hash
+   with inputs whose unmasked mix is provably negative and pins
+   non-negativity plus steering range. *)
+
+let test_flow_hash_nonnegative () =
+  (* Replicate the mix WITHOUT the final mask to certify the inputs are
+     adversarial (sign bit set), then check the exported hash. *)
+  let unmasked src port =
+    let h = Ipaddr.hash src lxor ((port + 1) * 0x9E3779B1) in
+    let h = h lxor (h lsr 16) in
+    let h = h * 0x45D9F3B in
+    h lxor (h lsr 13)
+  in
+  let adversarial = ref 0 in
+  let cases = ref 0 in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      let src = Ipaddr.v 10 a b 7 in
+      List.iter
+        (fun port ->
+          incr cases;
+          if unmasked src port < 0 then incr adversarial;
+          let h = Stack.flow_hash src port in
+          if h < 0 then
+            Alcotest.failf "flow_hash %s:%d negative (%d)" (Ipaddr.to_string src) port h;
+          List.iter
+            (fun ncpus ->
+              let cpu = h mod ncpus in
+              if cpu < 0 || cpu >= ncpus then
+                Alcotest.failf "steer %s:%d at %d cpus out of range (%d)"
+                  (Ipaddr.to_string src) port ncpus cpu)
+            [ 2; 3; 4; 7; 16 ])
+        [ 0; 1; 22; 23; 80; 1024; 49152; 65535; 1 lsl 30; max_int lsr 8 ]
+    done
+  done;
+  (* The grid must actually exercise the overflow: a large fraction of
+     ports >= 23 set the sign bit in the unmasked mix. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/%d grid points have a negative unmasked mix" !adversarial !cases)
+    true
+    (!adversarial > !cases / 4)
+
 let test_ipaddr_prefix () =
   let base = Ipaddr.v 192 168 66 0 in
   Alcotest.(check bool) "inside /24" true
@@ -721,6 +769,7 @@ let suite =
     Alcotest.test_case "ipaddr roundtrip" `Quick test_ipaddr_roundtrip;
     Alcotest.test_case "ipaddr invalid" `Quick test_ipaddr_invalid;
     Alcotest.test_case "ipaddr prefix" `Quick test_ipaddr_prefix;
+    Alcotest.test_case "flow hash non-negative" `Quick test_flow_hash_nonnegative;
     Alcotest.test_case "ipaddr offset" `Quick test_ipaddr_offset;
     Alcotest.test_case "filter matching" `Quick test_filter_matching;
     Alcotest.test_case "filter complement" `Quick test_filter_complement;

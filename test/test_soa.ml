@@ -23,13 +23,15 @@ let fresh_conn =
       ~src:(Ipaddr.v 10 3 (!n / 256 mod 256) (!n mod 256))
       ~src_port:0 ~client:Socket.null_handlers ~now:Simtime.zero
 
-(* {1 Handle staleness and 16-bit stamp wraparound} *)
+(* {1 Handle staleness across slot churn} *)
 
 (* With capacity 1 every add reuses slot 0, so the slot's generation
-   advances by exactly one per remove: a handle issued at generation 0
-   must be rejected for occupants 1..65535 and alias again at occupant
-   65536 — the wraparound contract the mli documents. *)
-let test_handle_wraparound () =
+   advances by exactly one per remove.  A handle issued at generation 0
+   must stay stale well past 2^16 reuses: the original 16-bit stamp
+   wrapped there, which is reachable churn for a single hot slot once a
+   cluster drives 10^5-10^6 connections through the table.  (Regression:
+   with 16-bit stamps this loop aliased at occupant 65536.) *)
+let test_handle_stale_past_16bit () =
   let table = Conn_table.create ~capacity:1 () in
   let c0 = fresh_conn () in
   Conn_table.add table c0;
@@ -42,7 +44,8 @@ let test_handle_wraparound () =
   Alcotest.(check bool)
     "handle of an untracked conn is null" true
     (Conn_table.handle table c0 = Conn_table.null_handle);
-  for i = 1 to 65535 do
+  let reuses = 2 * 65536 in
+  for i = 1 to reuses do
     let c = fresh_conn () in
     Conn_table.add table c;
     if c.Socket.track_slot <> 0 then
@@ -51,13 +54,59 @@ let test_handle_wraparound () =
     | None -> ()
     | Some _ -> Alcotest.failf "stale handle resolved after %d slot reuses" i);
     ignore (Conn_table.remove table c)
+  done
+
+(* The wraparound contract itself: generations are [generation_bits] wide,
+   so aliasing needs 2^generation_bits reuses of one slot.  The bound must
+   be far beyond any reachable churn (the cluster experiments turn over
+   ~10^6 connections spread across all slots). *)
+let test_generation_width () =
+  Alcotest.(check bool)
+    (Printf.sprintf "generation field is %d bits (>= 28)" Conn_table.generation_bits)
+    true
+    (Conn_table.generation_bits >= 28)
+
+(* Cluster-scale churn: drive 3*10^5 connections through a small table
+   (every slot reused thousands of times), holding on to one handle per
+   departed occupant from a sample of generations.  No stale handle may
+   ever resolve, and the live population must stay consistent. *)
+let test_cluster_scale_churn () =
+  let table = Conn_table.create ~capacity:64 () in
+  let live = Queue.create () in
+  let stale = ref [] in
+  let churned = ref 0 in
+  let target = 300_000 in
+  while !churned < target do
+    (* Fill to a plateau of 128 live conns, then drain half. *)
+    while Queue.length live < 128 do
+      let c = fresh_conn () in
+      Conn_table.add table c;
+      Queue.add (c, Conn_table.handle table c) live
+    done;
+    for _ = 1 to 64 do
+      let c, h = Queue.pop live in
+      ignore (Conn_table.remove table c);
+      incr churned;
+      (* Keep a sparse sample of dead handles alive across the whole run. *)
+      if !churned land 1023 = 0 then stale := h :: !stale
+    done;
+    (match Conn_table.find table Conn_table.null_handle with
+    | None -> ()
+    | Some _ -> Alcotest.fail "null handle resolved");
+    List.iter
+      (fun h ->
+        match Conn_table.find table h with
+        | None -> ()
+        | Some _ -> Alcotest.failf "stale handle resolved after %d churns" !churned)
+      !stale
   done;
-  let c = fresh_conn () in
-  Conn_table.add table c;
-  match Conn_table.find table h0 with
-  | Some c' when c' == c -> () (* generation wrapped: aliasing at exactly 2^16 reuses *)
-  | Some _ -> Alcotest.fail "wrapped handle resolved to an unexpected conn"
-  | None -> Alcotest.fail "handle must alias after exactly 65536 reuses of its slot"
+  Alcotest.(check int) "live population tracked" (Queue.length live) (Conn_table.length table);
+  Queue.iter
+    (fun (c, h) ->
+      match Conn_table.find table h with
+      | Some c' when c' == c -> ()
+      | Some _ | None -> Alcotest.fail "live handle lost during churn")
+    live
 
 let test_growth_keeps_handles () =
   let table = Conn_table.create ~capacity:2 () in
@@ -209,7 +258,10 @@ let prop_usage_lockstep =
 
 let suite =
   [
-    Alcotest.test_case "conn handle stamp wraparound" `Quick test_handle_wraparound;
+    Alcotest.test_case "conn handle stale past 2^16 slot reuses" `Quick
+      test_handle_stale_past_16bit;
+    Alcotest.test_case "conn handle generation width" `Quick test_generation_width;
+    Alcotest.test_case "conn handle churn at cluster scale" `Quick test_cluster_scale_churn;
     Alcotest.test_case "conn handles survive growth; stale rejected" `Quick
       test_growth_keeps_handles;
     Alcotest.test_case "buffered-rx mirror" `Quick test_rx_mirror;

@@ -108,9 +108,42 @@ let test_rate_bounded_memory () =
   done;
   Alcotest.(check int) "retention capped at capacity" 8 (Stats.Rate.retained r);
   Alcotest.(check int) "all-time count unaffected" 100 (Stats.Rate.count r);
-  (* Only the retained (most recent) marks participate in windowed rates. *)
-  Alcotest.(check (float 1e-9)) "windowed rate over retained marks" 8.
-    (Stats.Rate.rate_over r (Simtime.sec 1))
+  Alcotest.(check int) "overwritten marks counted" 92 (Stats.Rate.dropped r);
+  (match Stats.Rate.covered_since r with
+  | Some t -> Alcotest.(check int) "coverage starts at oldest retained" 93_000 (Simtime.to_ns t)
+  | None -> Alcotest.fail "saturated ring must report partial coverage")
+
+(* Regression: when marks arrive faster than capacity-per-window — the
+   window "saturates" the ring — [rate_over] used to divide the retained
+   weight by the full window, flattening the reported rate at
+   capacity/window (8 marks/s here) no matter how fast marks really came.
+   Marks 1µs apart are a true rate of 10^6/s; the saturated query must
+   report the rate over the span the ring covers, not the floor. *)
+let test_rate_window_saturation () =
+  let r = Stats.Rate.create ~capacity:8 () in
+  for i = 1 to 100 do
+    Stats.Rate.mark r (Simtime.of_ns (i * 1_000))
+  done;
+  Alcotest.(check (float 1.)) "saturated 1s window reports the true rate" 1e6
+    (Stats.Rate.rate_over r (Simtime.sec 1));
+  (* A window the ring fully covers is still computed exactly: the last
+     5µs hold marks 96..100. *)
+  Alcotest.(check (float 1e-6)) "covered window stays exact" 1e6
+    (Stats.Rate.rate_over r (Simtime.us 5));
+  (* Unsaturated ring: behaviour unchanged even for huge windows. *)
+  let fresh = Stats.Rate.create ~capacity:8 () in
+  Stats.Rate.mark fresh (Simtime.of_ns 0);
+  Stats.Rate.mark fresh (Simtime.of_ns 10_000_000_000);
+  Alcotest.(check (float 1e-9)) "unsaturated wide window unchanged" 0.1
+    (Stats.Rate.rate_over fresh (Simtime.sec 20))
+
+(* The S-client surfaces ring saturation instead of silently undercounting
+   completions in a measurement window. *)
+let test_rate_covered_since_none () =
+  let r = Stats.Rate.create ~capacity:8 () in
+  Stats.Rate.mark r (Simtime.of_ns 5);
+  Alcotest.(check bool) "no drops -> full coverage" true (Stats.Rate.covered_since r = None);
+  Alcotest.(check int) "no drops counted" 0 (Stats.Rate.dropped r)
 
 let prop_summary_mean_bounded =
   QCheck2.Test.make ~name:"summary mean within [min,max]" ~count:300
@@ -134,5 +167,7 @@ let suite =
     Alcotest.test_case "rate" `Quick test_rate;
     Alcotest.test_case "rate window aware" `Quick test_rate_window_aware;
     Alcotest.test_case "rate bounded memory" `Quick test_rate_bounded_memory;
+    Alcotest.test_case "rate window saturation" `Quick test_rate_window_saturation;
+    Alcotest.test_case "rate coverage accessors" `Quick test_rate_covered_since_none;
     QCheck_alcotest.to_alcotest prop_summary_mean_bounded;
   ]
