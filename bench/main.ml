@@ -508,7 +508,7 @@ let emit_json ~label metrics =
    that still exercises the code: CI runs it on every push so the bench
    harness (including both Sim backends) cannot rot between baseline
    regenerations.  Smoke numbers are far too noisy to gate on. *)
-let run_json ~fast ~smoke ~label =
+let run_json ~fast ~smoke ~mega ~label =
   let scale cfg_quota =
     if smoke then cfg_quota /. 20. else if fast then cfg_quota /. 2. else cfg_quota
   in
@@ -634,6 +634,27 @@ let run_json ~fast ~smoke ~label =
     ( wall /. sim_seconds,
       if completed > 0 then words /. float_of_int completed else words )
   in
+  (* Sharded execution: one 16-machine cluster at shards=1 vs shards=8.
+     The windowed mailbox protocol is the only execution path, so both
+     runs compute byte-identical results; the pair measures what sharding
+     costs (barriers, mailboxes) and what it buys (domains).  On a
+     multicore host the ratio approaches the core count; on a single core
+     the domain cap makes shards=8 run sequentially and the ratio ~1 —
+     the honest number either way. *)
+  let shard_wall shards =
+    renew ();
+    let module Cluster = Clustersim.Cluster in
+    let c =
+      Cluster.create ~machines:16 ~shards ~policy:Cluster.Flow_hash
+        ~profile:(Cluster.Poisson 8_000.) ~seed:1 ()
+    in
+    Cluster.start c;
+    let t0 = Unix.gettimeofday () in
+    Cluster.run_for c (Simtime.span_add warmup measure);
+    (Unix.gettimeofday () -. t0) /. sim_seconds
+  in
+  let shard1_wall = shard_wall 1 in
+  let shard8_wall = shard_wall 8 in
   (* Sweep throughput: the same 9-point grid serially and fanned across 4
      domains.  On a multicore host jobs=4 divides the wall time; on a
      single core it only adds domain overhead — both are worth knowing. *)
@@ -703,8 +724,60 @@ let run_json ~fast ~smoke ~label =
           m_unit = "mw/op";
           m_value = cluster_mw;
         };
+        {
+          m_name =
+            "endtoend/wall-clock per simulated second, cluster, 16 machines, shards=1";
+          m_unit = "s/simsec";
+          m_value = shard1_wall;
+        };
+        {
+          m_name =
+            "endtoend/wall-clock per simulated second, cluster, 16 machines, shards=8";
+          m_unit = "s/simsec";
+          m_value = shard8_wall;
+        };
+        {
+          (* shards=8 wall over shards=1 wall: 1.0 = parity, below 1 =
+             sharded speedup (0.33 would be the 3x multicore target),
+             above 1 = protocol overhead.  Expressed as a cost ratio so
+             the compare tool's larger-is-worse convention applies. *)
+          m_name = "cluster.shard-overhead/16 machines, shards=8 wall over shards=1";
+          m_unit = "x";
+          m_value = shard8_wall /. shard1_wall;
+        };
       ]
     @ sweep_metrics
+    @
+    if not mega then []
+    else begin
+      (* The 10^6-concurrent-connection run: minutes of wall clock, opt-in
+         via --mega.  Sizes are fixed (never shrunk by --fast/--smoke) so
+         the metric means the same thing in every report that carries it. *)
+      let module C = Experiments.Exp_cluster in
+      let t0 = Unix.gettimeofday () in
+      let p = C.mega_point () in
+      let wall = Unix.gettimeofday () -. t0 in
+      [
+        {
+          m_name =
+            Printf.sprintf
+              "megaconn/peak concurrent connections, %d machines, shards=%d"
+              p.C.mp_machines p.C.mp_shards;
+          m_unit = "conns";
+          m_value = float_of_int p.C.mp_peak_concurrent;
+        };
+        {
+          m_name = "megaconn/wall-clock per simulated second";
+          m_unit = "s/simsec";
+          m_value = wall /. p.C.mp_sim_seconds;
+        };
+        {
+          m_name = "megaconn/completed requests in the 6 s measure window";
+          m_unit = "req";
+          m_value = float_of_int p.C.mp_completed;
+        };
+      ]
+    end
   in
   emit_json ~label metrics
 
@@ -774,6 +847,7 @@ let run_experiments ~fast =
 let () =
   let fast = Array.exists (String.equal "--fast") Sys.argv in
   let smoke = Array.exists (String.equal "--smoke") Sys.argv in
+  let mega = Array.exists (String.equal "--mega") Sys.argv in
   let opt_value name =
     let result = ref None in
     Array.iteri
@@ -789,7 +863,7 @@ let () =
      let label =
        match opt_value "--label" with Some label -> label | None -> "current"
      in
-     run_json ~fast ~smoke ~label
+     run_json ~fast ~smoke ~mega ~label
    end
    else begin
      Format.printf "=== Part 1: primitive costs (real wall clock, Bechamel OLS) ===@.";

@@ -206,17 +206,23 @@ let run_sweep jobs fast json_out =
 (* Cluster scale-out: the multi-machine balancer rig, gated against the
    M/G/1-PS closed form.  --check runs the 10^5-concurrent-connection gate
    configuration and fails the command if the oracle error exceeds 5%. *)
-let run_cluster fast csv check json_out =
+let run_cluster fast csv check machines shards json_out =
   let module C = Experiments.Exp_cluster in
-  let machines = if fast then 2 else 4 in
+  let machines =
+    match machines with Some m -> m | None -> if fast then 2 else 4
+  in
+  if shards < 1 then begin
+    Format.eprintf "cluster: --shards must be >= 1@.";
+    Stdlib.exit 2
+  end;
   let rhos = if fast then [ 0.3; 0.6 ] else [ 0.3; 0.5; 0.7 ] in
   let warmup = if fast then Simtime.ms 500 else Simtime.sec 2 in
   let measure = if fast then Simtime.sec 2 else Simtime.sec 6 in
-  let curve = C.oracle_curve ~machines ~rhos ~warmup ~measure () in
+  let curve = C.oracle_curve ~machines ~shards ~rhos ~warmup ~measure () in
   print_table ~csv (C.oracle_table curve);
   let gate =
     if check then begin
-      let g = C.gate_point () in
+      let g = C.gate_point ~shards () in
       Format.printf
         "gate: %d machines, %d peak concurrent conns, measured %.3f ms vs predicted \
          %.3f ms (err %.1f%%)@."
@@ -265,9 +271,26 @@ let cluster_cmd =
     let doc = "Write the oracle points as JSON to $(docv)." in
     Arg.(value & opt (some string) None & info [ "json-out" ] ~doc ~docv:"FILE")
   in
+  let machines_arg =
+    let doc = "Machines in the oracle-curve cluster (default: 2 with --fast, else 4)." in
+    Arg.(value & opt (some int) None & info [ "machines" ] ~doc ~docv:"N")
+  in
+  let shards_arg =
+    let doc =
+      "Execute the oracle and gate clusters across $(docv) event-core shards \
+       (parallel across domains when the host has them).  Results are \
+       byte-identical for every value — that is the contract CI's determinism \
+       stage checks by comparing --json-out files.  This command takes no --jobs: \
+       sharding is the only parallelism here, so the two cannot oversubscribe \
+       each other."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~doc ~docv:"N")
+  in
   let doc = "Run the cluster scale-out experiments (balancer + PS oracle)." in
   Cmd.v (Cmd.info "cluster" ~doc)
-    Term.(const run_cluster $ fast_flag $ csv_flag $ check_flag $ json_out_arg)
+    Term.(
+      const run_cluster $ fast_flag $ csv_flag $ check_flag $ machines_arg $ shards_arg
+      $ json_out_arg)
 
 let sweep_cmd =
   let json_out_arg =
@@ -280,7 +303,7 @@ let sweep_cmd =
 (* Conservation-law fuzzing: run seeded random scenarios with every
    invariant armed.  Exit status 0 means every law held on every run (or,
    under --inject, that the planted bug was caught on every run). *)
-let run_fuzz jobs seeds seed mode cpus machines inject trace_out =
+let run_fuzz jobs seeds seed mode cpus machines shards inject trace_out =
   let jobs = resolve_jobs jobs in
   if cpus < 1 then begin
     Format.eprintf "fuzz: --cpus must be >= 1@.";
@@ -288,6 +311,22 @@ let run_fuzz jobs seeds seed mode cpus machines inject trace_out =
   end;
   if machines < 1 then begin
     Format.eprintf "fuzz: --machines must be >= 1@.";
+    Stdlib.exit 2
+  end;
+  if shards < 1 then begin
+    Format.eprintf "fuzz: --shards must be >= 1@.";
+    Stdlib.exit 2
+  end;
+  if jobs > 1 && shards > 1 then begin
+    (* Both flags claim the host's domains: --jobs runs whole scenarios on
+       worker domains, --shards splits each scenario across domains.
+       Composing them oversubscribes every core without buying anything
+       (outcomes are identical either way), so refuse rather than
+       silently thrash. *)
+    Format.eprintf
+      "fuzz: --jobs %d and --shards %d both parallelise across domains; use one or \
+       the other (scenario outcomes are identical under both)@."
+      jobs shards;
     Stdlib.exit 2
   end;
   let modes =
@@ -315,7 +354,8 @@ let run_fuzz jobs seeds seed mode cpus machines inject trace_out =
     | [ s ], [ m ] ->
         (* Single replay: honour --trace-out for the violation dump. *)
         let o =
-          Fuzz.run_seed ~inject ~cpus ~machines ?trace_path:trace_out ~mode:m ~seed:s ()
+          Fuzz.run_seed ~inject ~cpus ~machines ~shards ?trace_path:trace_out ~mode:m
+            ~seed:s ()
         in
         Format.printf "%a@." Fuzz.pp_outcome o;
         [ o ]
@@ -335,7 +375,7 @@ let run_fuzz jobs seeds seed mode cpus machines inject trace_out =
         Array.iter (fun o -> Format.printf "%a@." Fuzz.pp_outcome o) outcomes;
         Array.to_list outcomes
     | _ ->
-        Fuzz.run_batch ~inject ~cpus ~machines
+        Fuzz.run_batch ~inject ~cpus ~machines ~shards
           ~log:(fun o -> Format.printf "%a@." Fuzz.pp_outcome o)
           ~modes ~seeds:seed_list ()
   in
@@ -382,6 +422,17 @@ let fuzz_cmd =
     in
     Arg.(value & opt int 1 & info [ "machines" ] ~doc ~docv:"N")
   in
+  let shards_arg =
+    let doc =
+      "Execute each cluster scenario across $(docv) event-core shards (requires \
+       --machines > 1 to matter).  Outcomes are byte-identical at every shard \
+       count — a differing outcome IS a determinism bug.  Mutually exclusive \
+       with --jobs > 1: both parallelise across the host's domains (--jobs at \
+       the scenario grain, --shards inside one scenario), and composing them \
+       would oversubscribe every core, so the command refuses the combination."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~doc ~docv:"N")
+  in
   let inject_arg =
     let doc =
       "Plant a known accounting bug ($(b,mischarge)); every run must then be caught \
@@ -393,7 +444,7 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const run_fuzz $ jobs_flag $ seeds_arg $ seed_arg $ mode_arg $ cpus_arg
-      $ machines_arg $ inject_arg $ trace_out_flag)
+      $ machines_arg $ shards_arg $ inject_arg $ trace_out_flag)
 
 let term_of f =
   let apply jobs fast csv chart trace_out metrics_out =

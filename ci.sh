@@ -1,7 +1,8 @@
 #!/bin/sh
-# CI gate: build everything, run the test suites, and check the
-# fast-path benchmarks against the committed baseline (BENCH_PR8.json).
-# Referenced from README.md "Install and build".
+# CI gate: build everything, run the test suites, check the fast-path
+# benchmarks against the committed baseline (BENCH_PR9.json), and verify
+# the sharded-execution determinism contract (shards=N byte-identical to
+# shards=1).  Referenced from README.md "Install and build".
 set -eu
 cd "$(dirname "$0")"
 
@@ -18,12 +19,19 @@ echo "== dune build @bench-check"
 dune build @bench-check
 
 echo "== event-core A/B + PR1-to-now trend (informational, never fails)"
-dune exec bench/compare.exe -- BENCH_PR1.json BENCH_PR8.json --threshold 1000 || true
+dune exec bench/compare.exe -- BENCH_PR1.json BENCH_PR9.json --threshold 1000 || true
 
 echo "== sweep smoke (2 jobs must match the serial report byte-for-byte)"
 dune exec bin/rc_sim.exe -- sweep --fast --jobs 1 --json-out "${TMPDIR:-/tmp}/rc-sweep-j1.json"
 dune exec bin/rc_sim.exe -- sweep --fast --jobs 2 --json-out "${TMPDIR:-/tmp}/rc-sweep-j2.json"
 cmp "${TMPDIR:-/tmp}/rc-sweep-j1.json" "${TMPDIR:-/tmp}/rc-sweep-j2.json"
+
+echo "== sharded determinism (cluster oracle at shards=4 must match shards=1 byte-for-byte)"
+dune exec bin/rc_sim.exe -- cluster --fast --machines 4 --shards 1 \
+  --json-out "${TMPDIR:-/tmp}/rc-cluster-s1.json" > /dev/null
+dune exec bin/rc_sim.exe -- cluster --fast --machines 4 --shards 4 \
+  --json-out "${TMPDIR:-/tmp}/rc-cluster-s4.json" > /dev/null
+cmp "${TMPDIR:-/tmp}/rc-cluster-s1.json" "${TMPDIR:-/tmp}/rc-cluster-s4.json"
 
 echo "== fuzz smoke (fixed seeds, invariants armed, 2 jobs)"
 dune exec bin/rc_sim.exe -- fuzz --seeds 5 --jobs 2
@@ -36,8 +44,11 @@ echo "== cluster fuzz smoke (2 and 4 machines behind the balancer, rollup law ar
 dune exec bin/rc_sim.exe -- fuzz --seeds 4 --machines 2 --jobs 2
 dune exec bin/rc_sim.exe -- fuzz --seeds 4 --machines 4 --jobs 2
 
-echo "== cluster oracle gate (M/G/1-PS closed form within 5% at >= 1e5 concurrent conns)"
-dune exec bin/rc_sim.exe -- cluster --check > /dev/null
+echo "== sharded cluster fuzz smoke (same scenarios split over 4 event cores)"
+dune exec bin/rc_sim.exe -- fuzz --seeds 3 --machines 4 --shards 4
+
+echo "== cluster oracle gate (M/G/1-PS closed form within 5% at >= 1e5 concurrent conns, sharded)"
+dune exec bin/rc_sim.exe -- cluster --check --shards 8 > /dev/null
 
 echo "== SMP experiments smoke (steering livelock confinement + sharded fixed shares)"
 dune exec bin/rc_sim.exe -- smp --fast > /dev/null

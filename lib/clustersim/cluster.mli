@@ -1,25 +1,44 @@
-(** Cluster scale-out: N server machines behind one L4 load balancer.
+(** Cluster scale-out: N server machines behind one L4 load balancer,
+    executed as ONE sharded deterministic simulation.
 
     Every machine is a full single-server rig — its own {!Procsim.Machine}
     (optionally SMP), container hierarchy, invariant registry and
-    {!Netsim.Stack} — sharing ONE {!Engine.Sim}, so the whole cluster is a
-    pure function of the seed.  An open-loop arrival process (Poisson or a
-    step/spike profile) plays the client population: each logical request
-    opens a connection to a machine chosen by the balancer policy, sends
-    one request on establishment, holds the connection for [hold] after
-    the response, and closes.  Holding is how the cluster reaches
-    10^5-10^6 concurrent connections at moderate arrival rates: the
-    steady-state population is roughly [rate × hold].
+    {!Netsim.Stack}.  Machine [i] runs in event core [i mod shards]; the
+    balancer (the open-loop client population) runs in shard 0.  Shards
+    advance in lockstep time windows under {!Engine.Shard}'s conservative
+    barrier protocol: the window length equals the balancer→machine
+    dispatch latency (a SYN's wire time by default), every cross-shard
+    message travels through a per-node mailbox drained at the barrier in a
+    canonical order, and therefore the run is a pure function of the seed
+    — [shards = N] is byte-identical to [shards = 1], whatever the domain
+    count, because the windowed mailbox protocol is the only execution
+    path.  [~window:Engine.Simtime.span_zero] opts out into the
+    pre-sharding synchronous semantics (direct injection, live least-conns
+    counts) and is only legal at [shards = 1].
+
+    An open-loop arrival process (Poisson or a step/spike profile) plays
+    the client population: each logical request opens a connection to a
+    machine chosen by the balancer policy, sends one request on
+    establishment, holds the connection for [hold] after the response, and
+    closes.  Holding is how the cluster reaches 10^5-10^6 concurrent
+    connections at moderate arrival rates: the steady-state population is
+    roughly [rate × hold].
 
     Tenants are resource principals that span machines: one container per
     machine (accepted connections bind to it via filter-matched listens,
     §4.6+§4.8) and a {!Rescont.Rollup} group aggregating the per-machine
     ledgers into cluster totals, certified by the "cluster.usage-rollup"
-    law registered in every machine's invariant registry. *)
+    law in the cluster-level registry — checked at rollup barriers and at
+    every {!run_for} horizon.  Each machine's containers live in their own
+    ledger arena, so concurrent shards never share accounting arrays. *)
 
 type policy =
   | Round_robin
-  | Least_conns  (** fewest tracked connections; ties to the lowest index *)
+  | Least_conns
+      (** fewest tracked connections; ties to the lowest index.  Under the
+          windowed protocol the counts are the previous barrier's snapshot
+          (stale by at most one window) — live counts would depend on the
+          shard count; synchronous mode reads live counts. *)
   | Flow_hash
       (** consistent hashing on {!Netsim.Stack.flow_hash} — per-arrival
           Bernoulli thinning of the Poisson stream, so each machine sees a
@@ -47,6 +66,8 @@ type t
 val create :
   ?backend:Engine.Sim.backend ->
   ?machines:int ->
+  ?shards:int ->
+  ?domains:int ->
   ?cpus:int ->
   ?mode:Netsim.Stack.mode ->
   ?policy:policy ->
@@ -60,36 +81,54 @@ val create :
   ?rollup_period:Engine.Simtime.span ->
   ?ring_bits:int ->
   ?syn_backlog:int ->
+  ?latency:Engine.Simtime.span ->
+  ?window:Engine.Simtime.span ->
   ?tenants:tenant_spec list ->
   ?seed:int ->
   unit ->
   t
-(** Defaults: 4 machines × 1 CPU, [Rc] mode, round-robin, Poisson 1000/s,
-    exponential 400 µs service (sampled in nanoseconds of CPU burn),
-    256 B requests, 4 KB responses, zero hold, 32 workers per machine,
-    50 µs quantum (workers approximate processor sharing), 10 ms rollup
-    period, 2^20-entry in-flight rings, one unit-weight tenant.  The
-    server on each machine is a worker pool over an edge-triggered ready
-    queue ({!Netsim.Stack.set_on_readable}): O(1) per wakeup however many
-    connections are open. *)
+(** Defaults: 4 machines × 1 CPU, 1 shard, [Rc] mode, round-robin,
+    Poisson 1000/s, exponential 400 µs service (sampled in nanoseconds of
+    CPU burn), 256 B requests, 4 KB responses, zero hold, 32 workers per
+    machine, 50 µs quantum (workers approximate processor sharing), 10 ms
+    rollup period, 2^20-entry in-flight rings, one unit-weight tenant.
+
+    [shards] partitions the machines over that many event cores
+    (clamped to [machines]); [domains] caps how many OS domains run them
+    (default: min of shards and the host's recommended domain count — see
+    {!Engine.Shard.create}).  [latency] is each stack's one-way wire
+    latency (default 150 µs); [window] overrides the dispatch window
+    (default: a SYN's wire time, {!Netsim.Stack.syn_delivery_delay} — the
+    largest conservative lookahead).  A larger window amortises barriers
+    at the price of added dispatch latency; a zero window selects the
+    synchronous single-core semantics and requires [shards = 1].
+
+    The server on each machine is a worker pool over an edge-triggered
+    ready queue ({!Netsim.Stack.set_on_readable}): O(1) per wakeup however
+    many connections are open.
+    @raise Invalid_argument on [shards > 1] with a zero window. *)
 
 val start : t -> unit
 (** Spawn the worker pools and begin the arrival process.  Call once;
     drive the cluster with {!run_for}. *)
 
 val run_for : t -> Engine.Simtime.span -> unit
-(** Advance the shared simulation, quiesce-checking every machine's
-    invariant registry (including the rollup law) at the horizon. *)
+(** Advance the whole cluster by [span]: windowed barrier execution across
+    the shards (parallel when [domains > 1]), then a horizon quiesce that
+    checks every machine's invariant registry and the cluster-level laws.
+    May be called repeatedly; windows never straddle a call boundary. *)
 
 val stop_arrivals : t -> unit
 (** Stop injecting new connections (existing ones drain normally). *)
 
 val arm_invariants : ?interval:Engine.Simtime.span -> t -> unit
 (** Arm every machine's registry for periodic sweeps and strict memory
-    accounting. *)
+    accounting (worker domains inherit the strict flag), plus the
+    cluster-level law checks at rollup barriers. *)
 
 val check_invariants : t -> Engine.Invariant.violation list
-(** Run every machine's laws once, collecting violations. *)
+(** Run every machine's laws and the cluster-level laws once, collecting
+    violations. *)
 
 val rollup_law : t -> (unit, string) result
 (** Check just the cluster usage-rollup conservation law. *)
@@ -97,8 +136,21 @@ val rollup_law : t -> (unit, string) result
 (** {1 Introspection} *)
 
 val sim : t -> Engine.Sim.t
+(** Shard 0's event core (the balancer's).  At [shards = 1] this is the
+    only one; cross-machine schedules (fuzz fault injection) must target
+    [Machine.sim] of the victim machine instead. *)
+
 val now : t -> Engine.Simtime.t
 val machines : t -> int
+
+val shards : t -> int
+val domains : t -> int
+(** Actual counts after clamping (see {!create}). *)
+
+val lookahead : t -> Engine.Simtime.span
+(** The dispatch window / conservative lookahead in force; zero means
+    synchronous mode. *)
+
 val node_machine : t -> int -> Procsim.Machine.t
 val node_stack : t -> int -> Netsim.Stack.t
 val node_root : t -> int -> Rescont.Container.t
@@ -148,7 +200,8 @@ val server_sojourn : t -> Engine.Stats.Summary.t
     arrival instant is recovered from the request's send stamp plus its
     wire time, so network round trips are excluded while the whole
     in-server path (kernel rx processing, worker queueing, parse, service,
-    write) is covered. *)
+    write) is covered.  Accumulated per node and merged in node order, so
+    the value is shard-count independent. *)
 
 val reset_stats : t -> unit
 (** Zero the request counters and distributions (measurement-window

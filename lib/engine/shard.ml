@@ -1,0 +1,168 @@
+(* Conservative time-window barrier executor.  See shard.mli for the
+   protocol and its determinism argument.
+
+   The barrier is a generation-counted mutex/condvar pair, the same shape
+   as Harness.Sweep's pool: the coordinator publishes (generation,
+   horizon) and broadcasts; each worker runs the shards of its lane and
+   decrements [pending]; the coordinator waits for [pending = 0], runs
+   the exchange, and publishes the next window.  Workers are spawned per
+   [run_windows] call and joined on exit (including the exception paths),
+   so the executor owns no long-lived threads. *)
+
+module Intbox = struct
+  type t = { mutable buf : int array; mutable len : int }
+
+  let create () = { buf = Array.make 64 0; len = 0 }
+
+  let ensure t extra =
+    let cap = Array.length t.buf in
+    if t.len + extra > cap then begin
+      let cap' = ref (cap * 2) in
+      while t.len + extra > !cap' do
+        cap' := !cap' * 2
+      done;
+      let buf = Array.make !cap' 0 in
+      Array.blit t.buf 0 buf 0 t.len;
+      t.buf <- buf
+    end
+
+  let push2 t a b =
+    ensure t 2;
+    t.buf.(t.len) <- a;
+    t.buf.(t.len + 1) <- b;
+    t.len <- t.len + 2
+
+  let push3 t a b c =
+    ensure t 3;
+    t.buf.(t.len) <- a;
+    t.buf.(t.len + 1) <- b;
+    t.buf.(t.len + 2) <- c;
+    t.len <- t.len + 3
+
+  let length t = t.len
+
+  let get t i =
+    if i < 0 || i >= t.len then invalid_arg "Shard.Intbox.get: out of bounds";
+    t.buf.(i)
+
+  let clear t = t.len <- 0
+end
+
+type t = { shards : int; domains : int }
+
+let create ?domains ~shards () =
+  if shards < 1 then invalid_arg "Shard.create: shards must be >= 1";
+  let domains =
+    match domains with
+    | Some d ->
+        if d < 1 then invalid_arg "Shard.create: domains must be >= 1";
+        Stdlib.min d shards
+    | None -> Stdlib.min shards (Domain.recommended_domain_count ())
+  in
+  { shards; domains }
+
+let shards t = t.shards
+let domains t = t.domains
+
+let run_sequential ~prepare ~shards ~next ~work ~exchange =
+  prepare ();
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some h ->
+        for s = 0 to shards - 1 do
+          work s h
+        done;
+        exchange h;
+        loop ()
+  in
+  loop ()
+
+let run_parallel ~prepare t ~next ~work ~exchange =
+  let m = Mutex.create () in
+  let go = Condition.create () in
+  let all_done = Condition.create () in
+  let horizon = ref 0 in
+  let gen = ref 0 in
+  let pending = ref 0 in
+  let stop = ref false in
+  let failure = ref None in
+  let record e bt =
+    Mutex.lock m;
+    (match !failure with None -> failure := Some (e, bt) | Some _ -> ());
+    Mutex.unlock m
+  in
+  (* Lane [l] owns shards l, l+domains, l+2*domains, ... — a static
+     assignment, so which domain runs a shard never depends on timing. *)
+  let lane_work lane h =
+    let s = ref lane in
+    while !s < t.shards do
+      work !s h;
+      s := !s + t.domains
+    done
+  in
+  let worker lane () =
+    (try prepare () with e -> record e (Printexc.get_raw_backtrace ()));
+    let seen = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock m;
+      while (not !stop) && !gen = !seen do
+        Condition.wait go m
+      done;
+      if !stop then begin
+        Mutex.unlock m;
+        running := false
+      end
+      else begin
+        let h = !horizon in
+        seen := !gen;
+        Mutex.unlock m;
+        (match !failure with
+        | Some _ -> () (* a window already failed; just drain the barrier *)
+        | None -> (
+            try lane_work lane h with e -> record e (Printexc.get_raw_backtrace ())));
+        Mutex.lock m;
+        decr pending;
+        if !pending = 0 then Condition.signal all_done;
+        Mutex.unlock m
+      end
+    done
+  in
+  let workers = Array.init (t.domains - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  let shutdown () =
+    Mutex.lock m;
+    stop := true;
+    Condition.broadcast go;
+    Mutex.unlock m;
+    Array.iter Domain.join workers
+  in
+  Fun.protect ~finally:shutdown (fun () ->
+      prepare ();
+      let rec loop () =
+        match next () with
+        | None -> ()
+        | Some h ->
+            Mutex.lock m;
+            horizon := h;
+            incr gen;
+            pending := t.domains - 1;
+            Condition.broadcast go;
+            Mutex.unlock m;
+            (try lane_work 0 h with e -> record e (Printexc.get_raw_backtrace ()));
+            Mutex.lock m;
+            while !pending > 0 do
+              Condition.wait all_done m
+            done;
+            Mutex.unlock m;
+            (match !failure with
+            | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+            | None -> ());
+            exchange h;
+            loop ()
+      in
+      loop ())
+
+let run_windows ?(prepare = fun () -> ()) t ~next ~work ~exchange =
+  if t.domains = 1 then run_sequential ~prepare ~shards:t.shards ~next ~work ~exchange
+  else run_parallel ~prepare t ~next ~work ~exchange

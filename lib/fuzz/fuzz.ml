@@ -50,11 +50,13 @@ type outcome = {
   trace_file : string option;  (** JSONL trace written on violation *)
 }
 
-let replay_command ?(inject = false) ?(cpus = 1) ?(machines = 1) ~mode ~seed () =
-  Printf.sprintf "dune exec bin/rc_sim.exe -- fuzz --seed %d --mode %s%s%s%s" seed
+let replay_command ?(inject = false) ?(cpus = 1) ?(machines = 1) ?(shards = 1) ~mode ~seed
+    () =
+  Printf.sprintf "dune exec bin/rc_sim.exe -- fuzz --seed %d --mode %s%s%s%s%s" seed
     (mode_name mode)
     (if cpus > 1 then Printf.sprintf " --cpus %d" cpus else "")
     (if machines > 1 then Printf.sprintf " --machines %d" machines else "")
+    (if shards > 1 then Printf.sprintf " --shards %d" shards else "")
     (if inject then " --inject mischarge" else "")
 
 (* The generated scenario, described so a violating run is understandable
@@ -86,8 +88,11 @@ let doc_paths = [| "/doc/1k"; "/doc/8k"; "/doc/64k" |]
    "cluster.usage-rollup" law that ties the per-machine tenant ledgers to
    the rollup totals.  Same contract as the single-rig path: the scenario
    is a pure function of (seed, mode); [cpus] and [machines] only change
-   where the work lands. *)
-let run_cluster_seed ~inject ~cpus ~machines ~mode ~seed () =
+   where the work lands, and [shards] must not change anything at all —
+   the outcome record deliberately has no shards field, so running the
+   same seed at different shard counts and comparing outcomes IS the
+   sharded-determinism check. *)
+let run_cluster_seed ~inject ~cpus ~machines ~shards ~mode ~seed () =
   let module Cluster = Clustersim.Cluster in
   let rng = Rng.create ~seed in
   let pick arr = arr.(Rng.int rng (Array.length arr)) in
@@ -124,7 +129,7 @@ let run_cluster_seed ~inject ~cpus ~machines ~mode ~seed () =
         if Rng.bool rng then Some (float_of_int (2_000 + Rng.int rng 20_000)) else None
       in
       let c =
-        Cluster.create ~machines ~cpus ~mode ~policy ~profile ~tenants
+        Cluster.create ~machines ~shards ~cpus ~mode ~policy ~profile ~tenants
           ~workers:(4 + Rng.int rng 12)
           ~seed:(Rng.int rng 1_000_000)
           ()
@@ -143,8 +148,12 @@ let run_cluster_seed ~inject ~cpus ~machines ~mode ~seed () =
             cpu.conservation law must catch it at the next sweep. *)
          let detached = Container.create_detached ~name:"mischarge-sink" () in
          let victim = Cluster.node_machine c (Rng.int rng machines) in
+         (* Scheduled on the victim's own event core: under sharding the
+            balancer's sim is another shard, and a cross-shard schedule
+            would both race and make the outcome depend on the shard
+            count. *)
          ignore
-           (Sim.after (Cluster.sim c)
+           (Sim.after (Machine.sim victim)
               (Simtime.span_scale 0.5 duration)
               (fun () ->
                 Machine.steal_time victim ~cost:(Simtime.us 50) ~charge:(`Container detached))));
@@ -194,10 +203,12 @@ let run_cluster_seed ~inject ~cpus ~machines ~mode ~seed () =
         trace_file = None;
       })
 
-let rec run_seed ?(inject = false) ?(cpus = 1) ?(machines = 1) ?trace_path ~mode ~seed () =
+let rec run_seed ?(inject = false) ?(cpus = 1) ?(machines = 1) ?(shards = 1) ?trace_path
+    ~mode ~seed () =
   if cpus < 1 then invalid_arg "Fuzz.run_seed: cpus must be >= 1";
   if machines < 1 then invalid_arg "Fuzz.run_seed: machines must be >= 1";
-  if machines > 1 then run_cluster_seed ~inject ~cpus ~machines ~mode ~seed ()
+  if shards < 1 then invalid_arg "Fuzz.run_seed: shards must be >= 1";
+  if machines > 1 then run_cluster_seed ~inject ~cpus ~machines ~shards ~mode ~seed ()
   else run_single_seed ~inject ~cpus ?trace_path ~mode ~seed ()
 
 and run_single_seed ~inject ~cpus ?trace_path ~mode ~seed () =
@@ -438,13 +449,13 @@ let pp_outcome ppf o =
         | Some f -> Printf.sprintf "\n  trace:    %s" f
         | None -> "")
 
-let run_batch ?(inject = false) ?(cpus = 1) ?(machines = 1) ?(log = fun _ -> ()) ~modes ~seeds
-    () =
+let run_batch ?(inject = false) ?(cpus = 1) ?(machines = 1) ?(shards = 1)
+    ?(log = fun _ -> ()) ~modes ~seeds () =
   List.concat_map
     (fun seed ->
       List.map
         (fun mode ->
-          let o = run_seed ~inject ~cpus ~machines ~mode ~seed () in
+          let o = run_seed ~inject ~cpus ~machines ~shards ~mode ~seed () in
           log o;
           o)
         modes)

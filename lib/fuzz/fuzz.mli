@@ -47,6 +47,7 @@ val replay_command :
   ?inject:bool ->
   ?cpus:int ->
   ?machines:int ->
+  ?shards:int ->
   mode:Netsim.Stack.mode ->
   seed:int ->
   unit ->
@@ -57,6 +58,7 @@ val run_seed :
   ?inject:bool ->
   ?cpus:int ->
   ?machines:int ->
+  ?shards:int ->
   ?trace_path:string ->
   mode:Netsim.Stack.mode ->
   seed:int ->
@@ -73,8 +75,13 @@ val run_seed :
     trace is written on violation (default
     [fuzz-<mode>-seed<seed>.trace.jsonl] in the working directory).
     [machines > 1] selects the cluster scenario family (no trace file is
-    written — cluster machines run untraced).  Restores the process-wide
-    strict-memory flag on exit. *)
+    written — cluster machines run untraced).  [shards] (default 1,
+    cluster family only) executes the cluster across that many event
+    cores — deliberately absent from {!outcome}, because sharded
+    execution is byte-identical by contract: the same seed at any shard
+    count must produce the same outcome, and comparing them is exactly
+    the determinism check the driver's CI stage performs.  Restores the
+    process-wide strict-memory flag on exit. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
@@ -82,6 +89,7 @@ val run_batch :
   ?inject:bool ->
   ?cpus:int ->
   ?machines:int ->
+  ?shards:int ->
   ?log:(outcome -> unit) ->
   modes:Netsim.Stack.mode list ->
   seeds:int list ->

@@ -950,6 +950,21 @@ let connect t ~src ?(src_port = 0) ~port ~handlers () =
 let inject_connect t ~src ~src_port ~port ~handlers =
   syn_arrival t ~src ~src_port ~port ~client:handlers ~completes:true
 
+(* Deferred variant for cross-shard dispatch: the balancer runs in another
+   shard's event core and hands the arrival over at a window barrier, so
+   the SYN must hit this NIC at a future instant of this machine's sim
+   rather than "now".  One fire-and-forget event per arrival. *)
+let inject_connect_at t ~at ~src ~src_port ~port ~handlers =
+  Sim.post_at (Machine.sim t.machine) at (fun () ->
+      syn_arrival t ~src ~src_port ~port ~client:handlers ~completes:true)
+
+(* The SYN segment as charged by the receive path (charge_rx 1 40): what a
+   connection attempt costs on the wire, and therefore the term the
+   cluster's dispatch lookahead is derived from. *)
+let syn_wire_bytes = 40
+
+let syn_delivery_delay t = delivery_delay t (Payload.make ~bytes:syn_wire_bytes Simtime.zero)
+
 let client_send t conn payload =
   schedule t (delivery_delay t payload) (fun () -> data_arrival t conn payload)
 

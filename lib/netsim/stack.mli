@@ -163,6 +163,30 @@ val inject_connect :
     arrival processes (the cluster balancer) use this to drive 10^5-10^6
     connections without allocating a closure per arrival. *)
 
+val inject_connect_at :
+  t ->
+  at:Engine.Simtime.t ->
+  src:Ipaddr.t ->
+  src_port:int ->
+  port:int ->
+  handlers:Socket.client_handlers ->
+  unit
+(** {!inject_connect} deferred to a future instant of this machine's sim:
+    the cross-shard dispatch primitive.  A balancer running in another
+    shard's event core records the arrival in a mailbox during a window
+    and the barrier posts it here with [at >= window end], which is what
+    keeps sharded execution conservative (no event is ever delivered into
+    a shard's past).  Unlike {!inject_connect} this schedules one
+    fire-and-forget event per arrival.
+    @raise Invalid_argument if [at] is in this machine's past. *)
+
+val syn_delivery_delay : t -> Engine.Simtime.span
+(** Wire time of a bare SYN segment (40 bytes, the size the receive path
+    charges per connection attempt): one-way latency plus serialisation
+    at the link rate.  This is the balancer->machine delivery delay, and
+    therefore the lookahead bound the cluster's window protocol derives
+    its default window from. *)
+
 val add_service :
   ?cpu:int ->
   t ->

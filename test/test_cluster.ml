@@ -168,6 +168,138 @@ let prop_rollup_law =
       done;
       !ok && Cluster.completed c > 0)
 
+(* ---------------- sharded determinism ---------------- *)
+
+(* Everything observable about a run, floats bit-cast so "equal" means
+   bit-identical, not approximately-equal: the sharded executor promises
+   shards=N reproduces shards=1 exactly. *)
+let fingerprint c =
+  let summary s =
+    if Stats.Summary.count s = 0 then "empty"
+    else
+      Printf.sprintf "n=%d mean=%Lx min=%Lx max=%Lx" (Stats.Summary.count s)
+        (Int64.bits_of_float (Stats.Summary.mean s))
+        (Int64.bits_of_float (Stats.Summary.min s))
+        (Int64.bits_of_float (Stats.Summary.max s))
+  in
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "issued=%d completed=%d refused=%d dup=%d evicted=%d peak=%d conc=%d "
+       (Cluster.issued c) (Cluster.completed c) (Cluster.refused c)
+       (Cluster.dup_responses c) (Cluster.evicted c) (Cluster.peak_concurrent c)
+       (Cluster.concurrent c));
+  for i = 0 to Cluster.machines c - 1 do
+    Buffer.add_string b
+      (Printf.sprintf "served%d=%d busy%d=%d " i (Cluster.node_served c i) i
+         (Simtime.span_to_ns (Procsim.Machine.busy_time (Cluster.node_machine c i))))
+  done;
+  for k = 0 to Cluster.tenant_count c - 1 do
+    let g = Cluster.tenant_group c k in
+    Buffer.add_string b
+      (Printf.sprintf "t%d.cpu=%d t%d.rx=%d t%d.tx=%d " k (Rollup.cpu_ns g) k
+         (Rollup.rx_bytes g) k (Rollup.tx_bytes g))
+  done;
+  Buffer.add_string b (Printf.sprintf "client[%s] " (summary (Cluster.client_sojourn c)));
+  Buffer.add_string b (Printf.sprintf "server[%s] " (summary (Cluster.server_sojourn c)));
+  Buffer.add_string b (Printf.sprintf "now=%d" (Simtime.to_ns (Cluster.now c)));
+  Buffer.contents b
+
+let sharded_run ?(machines = 4) ?(policy = Cluster.Round_robin) ?window ?(seed = 7)
+    ?(rate = 1500.) ~shards ~domains () =
+  let tenants = [ Cluster.tenant_spec "gold" ~weight:3; Cluster.tenant_spec "bronze" ] in
+  let c =
+    Cluster.create ~machines ~shards ~domains ~policy ~profile:(Cluster.Poisson rate)
+      ~hold:(Simtime.ms 20) ?window ~tenants ~seed ()
+  in
+  Cluster.start c;
+  (* Two run_for calls so the truncated-final-window path is exercised
+     twice and windows never straddle a call boundary. *)
+  Cluster.run_for c (Simtime.ms 130);
+  Cluster.run_for c (Simtime.ms 70);
+  c
+
+let test_shards_byte_identical () =
+  let base = fingerprint (sharded_run ~shards:1 ~domains:1 ()) in
+  (* domains:4 forces real cross-domain execution even on a 1-core host. *)
+  let sharded = fingerprint (sharded_run ~shards:4 ~domains:4 ()) in
+  Alcotest.(check string) "shards=4/domains=4 == shards=1" base sharded;
+  let two = fingerprint (sharded_run ~shards:2 ~domains:2 ()) in
+  Alcotest.(check string) "shards=2/domains=2 == shards=1" base two
+
+let test_shards_identical_tiny_window () =
+  (* A window much smaller than the default lookahead is still
+     conservative (it only has to be <= the dispatch latency): the run
+     crosses thousands of barriers and must still be bit-identical. *)
+  let w = Simtime.us 10 in
+  let base = fingerprint (sharded_run ~window:w ~shards:1 ~domains:1 ()) in
+  let sharded = fingerprint (sharded_run ~window:w ~shards:2 ~domains:2 ()) in
+  Alcotest.(check string) "10us windows: shards=2 == shards=1" base sharded
+
+let test_sync_mode_zero_window () =
+  (* window=0 selects the synchronous pre-sharding semantics: still a
+     working cluster... *)
+  let c =
+    Cluster.create ~machines:2 ~window:Simtime.span_zero
+      ~profile:(Cluster.Poisson 2000.) ~seed:7 ()
+  in
+  Alcotest.(check int) "zero lookahead recorded" 0 (Simtime.span_to_ns (Cluster.lookahead c));
+  Cluster.start c;
+  Cluster.run_for c (Simtime.ms 300);
+  Alcotest.(check bool) "sync mode serves" true (Cluster.completed c > 300);
+  (* ...but cannot be sharded: zero lookahead has no conservative window. *)
+  Alcotest.check_raises "shards>1 with zero window refused"
+    (Invalid_argument
+       "Cluster.create: a zero window (no lookahead) degenerates to the synchronous \
+        protocol and requires shards = 1")
+    (fun () ->
+      ignore (Cluster.create ~machines:2 ~shards:2 ~window:Simtime.span_zero ()))
+
+let test_empty_machine_no_stall () =
+  (* At 20 arrivals/s over 200 ms some machines see no traffic at all;
+     their shards must still advance with the windows (an empty wheel is a
+     pure clock advance, not a stall). *)
+  let c =
+    Cluster.create ~machines:4 ~shards:4 ~domains:4 ~profile:(Cluster.Poisson 20.)
+      ~seed:3 ()
+  in
+  Cluster.start c;
+  Cluster.run_for c (Simtime.ms 200);
+  Alcotest.(check int) "balancer clock at horizon" 200_000_000
+    (Simtime.to_ns (Cluster.now c));
+  for i = 0 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "machine %d clock at horizon" i)
+      200_000_000
+      (Simtime.to_ns (Procsim.Machine.now (Cluster.node_machine c i)))
+  done
+
+(* Satellite: the usage-rollup property under sharding — same seeded
+   scenario at shards=1 and shards=4 must produce identical tenant rollup
+   totals and identical violation counts (and the law must hold in both). *)
+let prop_sharded_rollup =
+  QCheck2.Test.make ~name:"cluster.usage-rollup: shards=4 == shards=1" ~count:6
+    QCheck2.Gen.(pair (int_range 0 2) (int_range 0 1000))
+    (fun (policy_ix, seed) ->
+      let policy =
+        match policy_ix with
+        | 0 -> Cluster.Round_robin
+        | 1 -> Cluster.Least_conns
+        | _ -> Cluster.Flow_hash
+      in
+      let totals shards domains =
+        let c = sharded_run ~machines:4 ~policy ~seed ~rate:1200. ~shards ~domains () in
+        let per_tenant =
+          List.init (Cluster.tenant_count c) (fun k ->
+              let g = Cluster.tenant_group c k in
+              (Rollup.cpu_ns g, Rollup.rx_bytes g, Rollup.tx_bytes g))
+        in
+        let law_ok = match Cluster.rollup_law c with Ok () -> true | Error _ -> false in
+        (per_tenant, law_ok, List.length (Cluster.check_invariants c))
+      in
+      let t1, ok1, v1 = totals 1 1 in
+      let t4, ok4, v4 = totals 4 4 in
+      t1 = t4 && ok1 && ok4 && v1 = 0 && v4 = 0)
+
 let suite =
   [
     Alcotest.test_case "smoke: requests flow and complete" `Quick test_smoke;
@@ -181,4 +313,13 @@ let suite =
     Alcotest.test_case "armed invariants over a busy cluster" `Quick test_armed_run;
     Alcotest.test_case "spike profile raises arrivals" `Quick test_spike_profile;
     QCheck_alcotest.to_alcotest prop_rollup_law;
+    Alcotest.test_case "shards=N byte-identical to shards=1" `Quick
+      test_shards_byte_identical;
+    Alcotest.test_case "tiny 10us windows stay identical" `Quick
+      test_shards_identical_tiny_window;
+    Alcotest.test_case "zero window = sync mode, shards=1 only" `Quick
+      test_sync_mode_zero_window;
+    Alcotest.test_case "idle machines advance with the windows" `Quick
+      test_empty_machine_no_stall;
+    QCheck_alcotest.to_alcotest prop_sharded_rollup;
   ]

@@ -28,4 +28,5 @@ let () =
       ("observability", Test_observability.suite);
       ("integration", Test_integration.suite);
       ("cluster", Test_cluster.suite);
+      ("shard", Test_shard.suite);
     ]
