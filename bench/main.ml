@@ -464,6 +464,110 @@ let run_sim_microbench () =
     estimates;
   Format.printf "%a@." Engine.Series.pp_table table
 
+(* {1 Part 1e: file-cache churn and popularity-sampling micro-benchmarks}
+
+   The million-document file layer's two O(1) claims, kept measured:
+
+   - churn: a standing cache holding ~1/8 of the corpus bytes; per op, one
+     lookup of a pseudo-random document drawn uniformly over the corpus,
+     so most lookups miss, load and evict.  The arena pays a doc-table
+     probe plus a few int-array writes regardless of population — the
+     1e6-doc point must cost about the same as the 1e3-doc one (the
+     flatness ratio emitted with --json) — where the reference
+     implementation's eviction folds over every registered document.
+   - zipf sampling: one popularity draw over 1e6 ranks, alias method vs
+     the CDF-inversion executable spec (O(1) vs O(log n)). *)
+
+let cache_doc_bytes i = 1024 * (1 + (i land 7))
+
+let cache_corpus_bytes docs =
+  let total = ref 0 in
+  for i = 0 to docs - 1 do
+    total := !total + cache_doc_bytes i
+  done;
+  !total
+
+(* Pseudo-random doc-index sequence shared by both implementations — the
+   same LCG, the same wrap — so the hit/miss mix is identical. *)
+let cache_sequence docs =
+  let rng = ref 0x2545F49 in
+  Array.init 4096 (fun _ ->
+      rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+      !rng mod docs)
+
+let bench_cache_churn_arena docs =
+  let cache =
+    Httpsim.File_cache.create ~capacity_bytes:(max 4096 (cache_corpus_bytes docs / 8)) ()
+  in
+  let ids =
+    Array.init docs (fun i -> Httpsim.Docset.intern (Printf.sprintf "/bench/%d/%d" docs i))
+  in
+  Array.iteri
+    (fun i id -> Httpsim.File_cache.add_doc cache ~doc:id ~bytes:(cache_doc_bytes i))
+    ids;
+  Httpsim.File_cache.warm cache;
+  let seq = Array.map (fun i -> ids.(i)) (cache_sequence docs) in
+  let k = ref 0 in
+  Test.make
+    ~name:(Printf.sprintf "lookup churn, arena, %d docs" docs)
+    (Staged.stage (fun () ->
+         k := (!k + 1) land 4095;
+         ignore (Httpsim.File_cache.lookup_doc cache ~doc:(Array.unsafe_get seq !k))))
+
+let bench_cache_churn_ref docs =
+  let cache =
+    Httpsim.File_cache_ref.create ~capacity_bytes:(max 4096 (cache_corpus_bytes docs / 8)) ()
+  in
+  let paths = Array.init docs (fun i -> Printf.sprintf "/bench-ref/%d/%d" docs i) in
+  Array.iteri
+    (fun i path -> Httpsim.File_cache_ref.add_document cache ~path ~bytes:(cache_doc_bytes i))
+    paths;
+  Httpsim.File_cache_ref.warm cache;
+  let seq = Array.map (fun i -> paths.(i)) (cache_sequence docs) in
+  let k = ref 0 in
+  Test.make
+    ~name:(Printf.sprintf "lookup churn, reference, %d docs" docs)
+    (Staged.stage (fun () ->
+         k := (!k + 1) land 4095;
+         ignore (Httpsim.File_cache_ref.lookup cache ~path:(Array.unsafe_get seq !k))))
+
+let cache_tests () =
+  [
+    bench_cache_churn_arena 1_000;
+    bench_cache_churn_arena 1_000_000;
+    bench_cache_churn_ref 1_000;
+    bench_cache_churn_ref 10_000;
+  ]
+
+let bench_zipf_sample ~alias =
+  let n = 1_000_000 in
+  let d = if alias then Engine.Dist.zipf ~n ~s:0.9 else Engine.Dist.zipf_cdf ~n ~s:0.9 in
+  let rng = Engine.Rng.create ~seed:42 in
+  Test.make
+    ~name:
+      (Printf.sprintf "zipf sample, %s, 1e6 ranks"
+         (if alias then "alias method" else "cdf reference"))
+    (Staged.stage (fun () -> ignore (Engine.Dist.sample_index d rng)))
+
+let dist_tests () = [ bench_zipf_sample ~alias:true; bench_zipf_sample ~alias:false ]
+
+let run_cache_microbench () =
+  let estimates =
+    ols_estimates2 ~group:"cache" ~cfg:(sim_cfg ()) (cache_tests ())
+    @ ols_estimates2 ~group:"dist" ~cfg:(sim_cfg ()) (dist_tests ())
+  in
+  let table =
+    Engine.Series.table
+      ~title:"File-cache churn (arena vs reference) and Zipf sampling (alias vs CDF)"
+      ~columns:[ "workload"; "ns per op"; "minor words per op" ]
+  in
+  List.iter
+    (fun (name, ns, mw) ->
+      let fmt = function Some v -> Printf.sprintf "%.0f" v | None -> "-" in
+      Engine.Series.add_row table [ name; fmt ns; fmt mw ])
+    estimates;
+  Format.printf "%a@." Engine.Series.pp_table table
+
 (* {1 Machine-readable output (--json)}
 
    Emits the fast-path metrics — Table-1 primitive costs, the scheduler
@@ -678,6 +782,60 @@ let run_json ~fast ~smoke ~mega ~label =
       { m_name = "sweep/wall-clock, 9-point grid, jobs=4"; m_unit = "s"; m_value = time_with 4 };
     ]
   in
+  (* The million-document stages run LAST: interning 1e6 paths leaves the
+     global docset (and the per-doc response memos) live in the major heap
+     for the rest of the process, which measurably inflates the GC cost of
+     every later in-process stage — a 19x swing on the jobs=1 sweep when
+     these ran first.  Ordering them after everything gated against older
+     baselines keeps those metrics comparable. *)
+  renew ();
+  let cache =
+    ols_estimates2 ~group:"cache"
+      ~cfg:(Benchmark.cfg ~limit:1000 ~quota:(Time.second (scale 0.25)) ())
+      (cache_tests ())
+  in
+  let dist =
+    ols_estimates2 ~group:"dist"
+      ~cfg:(Benchmark.cfg ~limit:1000 ~quota:(Time.second (scale 0.25)) ())
+      (dist_tests ())
+  in
+  (* The headline O(1) claim as one gate-able number: arena churn ns/op at
+     1e6 docs over 1e3 docs.  1.0 = perfectly flat; the reference
+     implementation's same ratio would be ~1000. *)
+  let estimate_named name rows =
+    List.find_map (fun (n, ns, _) -> if String.equal n name then ns else None) rows
+  in
+  let cache_flatness =
+    match
+      ( estimate_named "cache/lookup churn, arena, 1000 docs" cache,
+        estimate_named "cache/lookup churn, arena, 1000000 docs" cache )
+    with
+    | Some small, Some large when small > 0. ->
+        [
+          {
+            m_name = "cache.flatness/arena churn ns at 1e6 docs over 1e3";
+            m_unit = "x";
+            m_value = large /. small;
+          };
+        ]
+    | _ -> []
+  in
+  (* The Zipf flash-crowd rig end to end: a 2e4-document corpus (2e3 under
+     --smoke) on the RC system at s = 0.9, cold-start warmup, steady and
+     flash-crowd phases, invariants armed — the cache/alias/doc-id path as
+     the server actually drives it. *)
+  let zipf_endtoend =
+    renew ();
+    let z_warmup = if smoke then Simtime.ms 50 else Simtime.ms 250 in
+    let z_measure = if smoke then Simtime.ms 100 else Simtime.ms 500 in
+    let z_docs = if smoke then 2_000 else 20_000 in
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Experiments.Exp_zipf.run_point ~docs:z_docs ~warmup:z_warmup ~measure:z_measure
+         ~spike_measure:z_measure ~s:0.9 Experiments.Harness.Rc_sys);
+    (Unix.gettimeofday () -. t0)
+    /. (Simtime.span_to_sec_f z_warmup +. (2. *. Simtime.span_to_sec_f z_measure))
+  in
   let metrics =
     List.filter_map
       (fun (name, estimate) ->
@@ -686,13 +844,14 @@ let run_json ~fast ~smoke ~mega ~label =
     @ List.filter_map
         (fun (name, ns, _) ->
           Option.map (fun v -> { m_name = name; m_unit = "ns/op"; m_value = v }) ns)
-        (sim @ netsim)
+        (sim @ netsim @ cache @ dist)
     @ List.filter_map
         (fun (name, _, mw) ->
           Option.map
             (fun v -> { m_name = "gc.minor_words_per_op/" ^ name; m_unit = "mw/op"; m_value = v })
             mw)
-        (sim @ netsim)
+        (sim @ netsim @ cache @ dist)
+    @ cache_flatness
     @ [
         {
           m_name = "fig11/wall-clock per simulated second, event api, 20 low clients";
@@ -735,6 +894,11 @@ let run_json ~fast ~smoke ~mega ~label =
             "endtoend/wall-clock per simulated second, cluster, 16 machines, shards=8";
           m_unit = "s/simsec";
           m_value = shard8_wall;
+        };
+        {
+          m_name = "endtoend/wall-clock per simulated second, zipf flash-crowd rig, rc mode";
+          m_unit = "s/simsec";
+          m_value = zipf_endtoend;
         };
         {
           (* shards=8 wall over shards=1 wall: 1.0 = parity, below 1 =
@@ -875,6 +1039,8 @@ let () =
      Rescont.Usage.renew_domain_arena ();
      run_sim_microbench ();
      run_netsim_microbench ();
+     Rescont.Usage.renew_domain_arena ();
+     run_cache_microbench ();
      Rescont.Usage.renew_domain_arena ();
      Format.printf "@.=== Part 2: reproduction of the paper's evaluation (simulated) ===@.";
      run_experiments ~fast

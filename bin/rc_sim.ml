@@ -300,10 +300,55 @@ let sweep_cmd =
   let doc = "Run the multi-point throughput sweep (parallel with --jobs)." in
   Cmd.v (Cmd.info "sweep" ~doc) Term.(const run_sweep $ jobs_flag $ fast_flag $ json_out_arg)
 
+(* The Zipf corpus experiment (ROADMAP item 4): heavy-tailed popularity
+   over 10^5-10^6 documents, cache eviction against the disk model, and a
+   uniform flash crowd, with the machine invariants (including
+   cache.bytes-consistency over the arena) armed throughout. *)
+let run_zipf fast csv docs s json_out =
+  let module Z = Experiments.Exp_zipf in
+  let docs = match docs with Some d -> d | None -> if fast then 20_000 else 100_000 in
+  if docs < 1 then begin
+    Format.eprintf "zipf: --docs must be >= 1@.";
+    Stdlib.exit 2
+  end;
+  let exponents =
+    match s with Some v -> [ v ] | None -> if fast then [ 0.9 ] else Z.default_exponents
+  in
+  let warmup = if fast then Simtime.ms 500 else Simtime.sec 1 in
+  let measure = if fast then Simtime.sec 1 else Simtime.sec 2 in
+  let points = Z.run ~docs ~exponents ~warmup ~measure ~spike_measure:measure () in
+  print_table ~csv (Z.table points);
+  match json_out with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Engine.Jsonx.to_string (Z.json ~docs points)));
+      Format.printf "zipf: %d docs, %d point(s), QoS table written to %s@." docs
+        (List.length points) path
+  | None -> ()
+
+let zipf_cmd =
+  let docs_arg =
+    let doc = "Corpus size in documents (default: 20000 with --fast, else 100000)." in
+    Arg.(value & opt (some int) None & info [ "docs" ] ~doc ~docv:"N")
+  in
+  let s_arg =
+    let doc = "Run only this Zipf exponent (default: the 0.6/0.9/1.1 sweep)." in
+    Arg.(value & opt (some float) None & info [ "s" ] ~doc ~docv:"S")
+  in
+  let json_out_arg =
+    let doc = "Write the QoS table as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json-out" ] ~doc ~docv:"FILE")
+  in
+  let doc = "Run the Zipf-corpus flash-crowd experiment (item 4 scenario)." in
+  Cmd.v (Cmd.info "zipf" ~doc)
+    Term.(const run_zipf $ fast_flag $ csv_flag $ docs_arg $ s_arg $ json_out_arg)
+
 (* Conservation-law fuzzing: run seeded random scenarios with every
    invariant armed.  Exit status 0 means every law held on every run (or,
    under --inject, that the planted bug was caught on every run). *)
-let run_fuzz jobs seeds seed mode cpus machines shards inject trace_out =
+let run_fuzz jobs seeds seed mode cpus machines shards zipf inject trace_out =
   let jobs = resolve_jobs jobs in
   if cpus < 1 then begin
     Format.eprintf "fuzz: --cpus must be >= 1@.";
@@ -311,6 +356,10 @@ let run_fuzz jobs seeds seed mode cpus machines shards inject trace_out =
   end;
   if machines < 1 then begin
     Format.eprintf "fuzz: --machines must be >= 1@.";
+    Stdlib.exit 2
+  end;
+  if zipf && machines > 1 then begin
+    Format.eprintf "fuzz: --zipf is a single-rig scenario family (drop --machines)@.";
     Stdlib.exit 2
   end;
   if shards < 1 then begin
@@ -354,8 +403,8 @@ let run_fuzz jobs seeds seed mode cpus machines shards inject trace_out =
     | [ s ], [ m ] ->
         (* Single replay: honour --trace-out for the violation dump. *)
         let o =
-          Fuzz.run_seed ~inject ~cpus ~machines ~shards ?trace_path:trace_out ~mode:m
-            ~seed:s ()
+          Fuzz.run_seed ~inject ~cpus ~machines ~shards ~zipf ?trace_path:trace_out
+            ~mode:m ~seed:s ()
         in
         Format.printf "%a@." Fuzz.pp_outcome o;
         [ o ]
@@ -369,13 +418,13 @@ let run_fuzz jobs seeds seed mode cpus machines shards inject trace_out =
         in
         let outcomes =
           Experiments.Harness.Sweep.map ~jobs
-            (fun (m, s) -> Fuzz.run_seed ~inject ~cpus ~machines ~mode:m ~seed:s ())
+            (fun (m, s) -> Fuzz.run_seed ~inject ~cpus ~machines ~zipf ~mode:m ~seed:s ())
             pairs
         in
         Array.iter (fun o -> Format.printf "%a@." Fuzz.pp_outcome o) outcomes;
         Array.to_list outcomes
     | _ ->
-        Fuzz.run_batch ~inject ~cpus ~machines ~shards
+        Fuzz.run_batch ~inject ~cpus ~machines ~shards ~zipf
           ~log:(fun o -> Format.printf "%a@." Fuzz.pp_outcome o)
           ~modes ~seeds:seed_list ()
   in
@@ -440,11 +489,20 @@ let fuzz_cmd =
     in
     Arg.(value & opt (some string) None & info [ "inject" ] ~doc ~docv:"BUG")
   in
+  let zipf_arg =
+    let doc =
+      "Force the large-Zipf corpus scenario family: thousands of documents against \
+       a small cache, clients on a Zipf popularity mix, churning the cache \
+       eviction path under the armed cache.bytes-consistency law (single-rig \
+       only)."
+    in
+    Arg.(value & flag & info [ "zipf" ] ~doc)
+  in
   let doc = "Fuzz random scenarios under the conservation-law invariants." in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const run_fuzz $ jobs_flag $ seeds_arg $ seed_arg $ mode_arg $ cpus_arg
-      $ machines_arg $ shards_arg $ inject_arg $ trace_out_flag)
+      $ machines_arg $ shards_arg $ zipf_arg $ inject_arg $ trace_out_flag)
 
 let term_of f =
   let apply jobs fast csv chart trace_out metrics_out =
@@ -479,6 +537,7 @@ let cmds =
     subcommand "smp" "Run the SMP steering/fixed-share extension experiments." run_smp;
     cluster_cmd;
     sweep_cmd;
+    zipf_cmd;
     fuzz_cmd;
     subcommand "all" "Run every experiment." run_all;
   ]

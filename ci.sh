@@ -1,6 +1,6 @@
 #!/bin/sh
 # CI gate: build everything, run the test suites, check the fast-path
-# benchmarks against the committed baseline (BENCH_PR9.json), and verify
+# benchmarks against the committed baseline (BENCH_PR10.json), and verify
 # the sharded-execution determinism contract (shards=N byte-identical to
 # shards=1).  Referenced from README.md "Install and build".
 set -eu
@@ -19,7 +19,7 @@ echo "== dune build @bench-check"
 dune build @bench-check
 
 echo "== event-core A/B + PR1-to-now trend (informational, never fails)"
-dune exec bench/compare.exe -- BENCH_PR1.json BENCH_PR9.json --threshold 1000 || true
+dune exec bench/compare.exe -- BENCH_PR1.json BENCH_PR10.json --threshold 1000 || true
 
 echo "== sweep smoke (2 jobs must match the serial report byte-for-byte)"
 dune exec bin/rc_sim.exe -- sweep --fast --jobs 1 --json-out "${TMPDIR:-/tmp}/rc-sweep-j1.json"
@@ -39,6 +39,12 @@ dune exec bin/rc_sim.exe -- fuzz --seeds 5 --jobs 2
 echo "== fuzz smoke at 2 and 4 processors (same seeds, per-CPU laws armed)"
 dune exec bin/rc_sim.exe -- fuzz --seeds 3 --cpus 2 --jobs 2
 dune exec bin/rc_sim.exe -- fuzz --seeds 3 --cpus 4 --jobs 2
+
+echo "== zipf fuzz smoke (large-Zipf corpora, arena cache laws armed)"
+dune exec bin/rc_sim.exe -- fuzz --seeds 4 --zipf --jobs 2
+
+echo "== zipf experiment smoke (2e4-doc corpus, flash crowd, invariants armed)"
+dune exec bin/rc_sim.exe -- zipf --fast > /dev/null
 
 echo "== cluster fuzz smoke (2 and 4 machines behind the balancer, rollup law armed)"
 dune exec bin/rc_sim.exe -- fuzz --seeds 4 --machines 2 --jobs 2

@@ -109,7 +109,7 @@ let () =
   let respond conn path =
     Machine.cpu ~kernel:true (Simtime.span_add Costs.write_syscall Costs.request_misc);
     Stack.send proxy_stack conn
-      (Http.response ~now:(Sim.now sim) { Http.path; keep_alive = false } ~body_bytes:doc_bytes);
+      (Http.response ~now:(Sim.now sim) (Http.meta_of_path path) ~body_bytes:doc_bytes);
     Machine.cpu ~kernel:true Costs.close_syscall;
     Stack.close proxy_stack conn;
     conns := List.filter (fun c -> c.Socket.conn_id <> conn.Socket.conn_id) !conns

@@ -41,6 +41,7 @@ type outcome = {
   cpus : int;  (** processors per machine *)
   machines : int;  (** 1 = single rig; > 1 = cluster behind the balancer *)
   scenario : string;  (** one-line description of the generated scenario *)
+  zipf : bool;  (** the large-Zipf corpus family was forced *)
   checks : int;  (** invariant sweeps that ran *)
   completed : int;  (** client requests completed *)
   packets : int;  (** packets the stack processed *)
@@ -50,13 +51,14 @@ type outcome = {
   trace_file : string option;  (** JSONL trace written on violation *)
 }
 
-let replay_command ?(inject = false) ?(cpus = 1) ?(machines = 1) ?(shards = 1) ~mode ~seed
-    () =
-  Printf.sprintf "dune exec bin/rc_sim.exe -- fuzz --seed %d --mode %s%s%s%s%s" seed
+let replay_command ?(inject = false) ?(cpus = 1) ?(machines = 1) ?(shards = 1)
+    ?(zipf = false) ~mode ~seed () =
+  Printf.sprintf "dune exec bin/rc_sim.exe -- fuzz --seed %d --mode %s%s%s%s%s%s" seed
     (mode_name mode)
     (if cpus > 1 then Printf.sprintf " --cpus %d" cpus else "")
     (if machines > 1 then Printf.sprintf " --machines %d" machines else "")
     (if shards > 1 then Printf.sprintf " --shards %d" shards else "")
+    (if zipf then " --zipf" else "")
     (if inject then " --inject mischarge" else "")
 
 (* The generated scenario, described so a violating run is understandable
@@ -194,6 +196,7 @@ let run_cluster_seed ~inject ~cpus ~machines ~shards ~mode ~seed () =
             | None -> "")
             Simtime.pp_span duration Simtime.pp_span check_interval
             (if cpus > 1 then Printf.sprintf " cpus=%d" cpus else "");
+        zipf = false;
         checks = !checks;
         completed = Cluster.completed c;
         packets = !packets;
@@ -203,15 +206,17 @@ let run_cluster_seed ~inject ~cpus ~machines ~shards ~mode ~seed () =
         trace_file = None;
       })
 
-let rec run_seed ?(inject = false) ?(cpus = 1) ?(machines = 1) ?(shards = 1) ?trace_path
-    ~mode ~seed () =
+let rec run_seed ?(inject = false) ?(cpus = 1) ?(machines = 1) ?(shards = 1)
+    ?(zipf = false) ?trace_path ~mode ~seed () =
   if cpus < 1 then invalid_arg "Fuzz.run_seed: cpus must be >= 1";
   if machines < 1 then invalid_arg "Fuzz.run_seed: machines must be >= 1";
   if shards < 1 then invalid_arg "Fuzz.run_seed: shards must be >= 1";
+  if zipf && machines > 1 then
+    invalid_arg "Fuzz.run_seed: the zipf corpus family is a single-rig scenario";
   if machines > 1 then run_cluster_seed ~inject ~cpus ~machines ~shards ~mode ~seed ()
-  else run_single_seed ~inject ~cpus ?trace_path ~mode ~seed ()
+  else run_single_seed ~inject ~cpus ~zipf ?trace_path ~mode ~seed ()
 
-and run_single_seed ~inject ~cpus ?trace_path ~mode ~seed () =
+and run_single_seed ~inject ~cpus ~zipf ?trace_path ~mode ~seed () =
   let rng = Rng.create ~seed in
   let pick arr = arr.(Rng.int rng (Array.length arr)) in
   let strict_before = Rescont.Usage.strict_memory_enabled () in
@@ -244,19 +249,59 @@ and run_single_seed ~inject ~cpus ?trace_path ~mode ~seed () =
           ~owner:(Process.default_container server_proc)
           ()
       in
-      let cache = Httpsim.File_cache.create () in
-      Httpsim.File_cache.register_invariants cache invariants;
-      Array.iter
-        (fun path ->
-          let bytes =
-            match path with
-            | "/doc/1k" -> 1024
-            | "/doc/8k" -> 8192
-            | _ -> 65536
+      (* The large-Zipf corpus family (--zipf): thousands of documents of
+         heterogeneous size against a cache holding a small fraction of
+         the corpus, so every run churns the arena's eviction path while
+         cache.bytes-consistency (and the LRU-list structure check) sweep
+         it.  All of its rng draws sit inside the branch: non-zipf seeds
+         generate byte-for-byte the scenarios they always did. *)
+      let zipf_corpus =
+        if not zipf then None
+        else begin
+          let docs = 2_000 + Rng.int rng 8_000 in
+          let s = pick [| 0.6; 0.9; 1.1 |] in
+          let doc_bytes i = 256 * (1 + (i land 15)) in
+          let corpus = ref 0 in
+          for i = 0 to docs - 1 do
+            corpus := !corpus + doc_bytes i
+          done;
+          let capacity_bytes = max 4096 (!corpus / (4 + Rng.int rng 12)) in
+          let ids =
+            Array.init docs (fun i ->
+                Httpsim.Docset.intern (Printf.sprintf "/zipf/%d" i))
           in
-          Httpsim.File_cache.add_document cache ~path ~bytes)
-        doc_paths;
-      Httpsim.File_cache.warm cache;
+          Some (docs, s, doc_bytes, capacity_bytes, ids, Rng.bool rng (* warm? *))
+        end
+      in
+      let cache =
+        match zipf_corpus with
+        | None -> Httpsim.File_cache.create ()
+        | Some (_, _, _, capacity_bytes, _, _) -> Httpsim.File_cache.create ~capacity_bytes ()
+      in
+      Httpsim.File_cache.register_invariants cache invariants;
+      (match zipf_corpus with
+      | None ->
+          Array.iter
+            (fun path ->
+              let bytes =
+                match path with
+                | "/doc/1k" -> 1024
+                | "/doc/8k" -> 8192
+                | _ -> 65536
+              in
+              Httpsim.File_cache.add_document cache ~path ~bytes)
+            doc_paths;
+          Httpsim.File_cache.warm cache
+      | Some (_, _, doc_bytes, _, ids, warm) ->
+          Array.iteri
+            (fun i id -> Httpsim.File_cache.add_doc cache ~doc:id ~bytes:(doc_bytes i))
+            ids;
+          if warm then Httpsim.File_cache.warm cache);
+      let doc_mix =
+        Option.map
+          (fun (docs, s, _, _, ids, _) -> (Engine.Dist.zipf ~n:docs ~s, ids))
+          zipf_corpus
+      in
       (* --- scenario generation ------------------------------------- *)
       let server_model = pick [| Event; Threaded; Forked |] in
       let flood = Rng.bool rng in
@@ -336,6 +381,7 @@ and run_single_seed ~inject ~cpus ?trace_path ~mode ~seed () =
               ~name:(Printf.sprintf "g%d" i)
               ~src_base ~port:80
               ~path:doc_paths.(Rng.int rng (Array.length doc_paths))
+              ?doc_mix
               ~persistent:(Rng.bool rng)
               ~requests_per_conn:(1 + Rng.int rng 16)
               ~think_time:think
@@ -424,7 +470,13 @@ and run_single_seed ~inject ~cpus ?trace_path ~mode ~seed () =
         machines = 1;
         scenario =
           scenario_summary scenario
+          ^ (match zipf_corpus with
+            | Some (docs, s, _, cap, _, warm) ->
+                Printf.sprintf " zipf docs=%d s=%.1f cap=%dKB%s" docs s (cap / 1024)
+                  (if warm then " warm" else "")
+            | None -> "")
           ^ (if cpus > 1 then Printf.sprintf " cpus=%d" cpus else "");
+        zipf;
         checks = Engine.Invariant.checks_run invariants;
         completed = List.fold_left (fun acc c -> acc + Workload.Sclient.completed c) 0 sclients;
         packets = s.Stack.packets_processed;
@@ -443,19 +495,19 @@ let pp_outcome ppf o =
       Format.fprintf ppf
         "seed %-6d %-7s FAIL  %s@\n  scenario: %s@\n  replay:   %s%s" o.seed
         (mode_name o.mode) v o.scenario
-        (replay_command ~inject:o.injected ~cpus:o.cpus ~machines:o.machines ~mode:o.mode
-           ~seed:o.seed ())
+        (replay_command ~inject:o.injected ~cpus:o.cpus ~machines:o.machines ~zipf:o.zipf
+           ~mode:o.mode ~seed:o.seed ())
         (match o.trace_file with
         | Some f -> Printf.sprintf "\n  trace:    %s" f
         | None -> "")
 
-let run_batch ?(inject = false) ?(cpus = 1) ?(machines = 1) ?(shards = 1)
+let run_batch ?(inject = false) ?(cpus = 1) ?(machines = 1) ?(shards = 1) ?(zipf = false)
     ?(log = fun _ -> ()) ~modes ~seeds () =
   List.concat_map
     (fun seed ->
       List.map
         (fun mode ->
-          let o = run_seed ~inject ~cpus ~machines ~shards ~mode ~seed () in
+          let o = run_seed ~inject ~cpus ~machines ~shards ~zipf ~mode ~seed () in
           log o;
           o)
         modes)

@@ -34,6 +34,7 @@ type outcome = {
   cpus : int;  (** processors per machine (1 = uniprocessor) *)
   machines : int;  (** 1 = single rig; > 1 = cluster behind the balancer *)
   scenario : string;  (** one-line description of the generated scenario *)
+  zipf : bool;  (** the large-Zipf corpus family was forced *)
   checks : int;  (** invariant sweeps that ran *)
   completed : int;  (** client requests completed *)
   packets : int;  (** packets the stack processed *)
@@ -48,6 +49,7 @@ val replay_command :
   ?cpus:int ->
   ?machines:int ->
   ?shards:int ->
+  ?zipf:bool ->
   mode:Netsim.Stack.mode ->
   seed:int ->
   unit ->
@@ -59,6 +61,7 @@ val run_seed :
   ?cpus:int ->
   ?machines:int ->
   ?shards:int ->
+  ?zipf:bool ->
   ?trace_path:string ->
   mode:Netsim.Stack.mode ->
   seed:int ->
@@ -80,8 +83,13 @@ val run_seed :
     cores — deliberately absent from {!outcome}, because sharded
     execution is byte-identical by contract: the same seed at any shard
     count must produce the same outcome, and comparing them is exactly
-    the determinism check the driver's CI stage performs.  Restores the
-    process-wide strict-memory flag on exit. *)
+    the determinism check the driver's CI stage performs.  [zipf]
+    (default false, single-rig only) forces the large-Zipf corpus family:
+    thousands of heterogeneous documents against a cache a fraction of
+    the corpus size, clients on a Zipf doc mix, so the arena cache's
+    eviction path churns under the armed [cache.bytes-consistency] and
+    LRU-structure laws.  Restores the process-wide strict-memory flag on
+    exit. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
@@ -90,6 +98,7 @@ val run_batch :
   ?cpus:int ->
   ?machines:int ->
   ?shards:int ->
+  ?zipf:bool ->
   ?log:(outcome -> unit) ->
   modes:Netsim.Stack.mode list ->
   seeds:int list ->

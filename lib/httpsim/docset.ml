@@ -1,0 +1,60 @@
+(* Process-global document-id interning.
+
+   Ids must be global, not domain-local: under sharded cluster execution a
+   cache is populated on the main domain while requests are parsed on shard
+   domains, so per-domain id assignment would silently map lookups to the
+   wrong documents.  Interning takes a mutex (it is off the hot path — the
+   request path carries the already-interned int), while [path_of] reads an
+   atomically published array snapshot so hot readers never lock.
+
+   Ids travel between domains only through synchronized hand-offs (shard
+   barriers, domain spawns), which order the publishing writes before the
+   reads.  Because interning order can differ between runs when domains
+   race to intern, ids must never influence observable simulation order;
+   per-cache state is therefore kept in dense per-cache slots
+   (see {!File_cache}), never ordered by global id. *)
+
+let mutex = Mutex.create ()
+let ids : (string, int) Hashtbl.t = Hashtbl.create 1024 (* guarded by [mutex] *)
+let paths : string array Atomic.t = Atomic.make (Array.make 1024 "")
+let count = Atomic.make 0
+
+let intern path =
+  Mutex.lock mutex;
+  let id =
+    match Hashtbl.find_opt ids path with
+    | Some id -> id
+    | None ->
+        let id = Atomic.get count in
+        let arr = Atomic.get paths in
+        let arr =
+          if id < Array.length arr then arr
+          else begin
+            let bigger = Array.make (2 * Array.length arr) "" in
+            Array.blit arr 0 bigger 0 (Array.length arr);
+            Atomic.set paths bigger;
+            bigger
+          end
+        in
+        arr.(id) <- path;
+        Hashtbl.replace ids path id;
+        (* Publish after the slot is filled: a reader that observes
+           [count > id] also observes [arr.(id)]. *)
+        Atomic.set count (id + 1);
+        id
+  in
+  Mutex.unlock mutex;
+  id
+
+let find_id path =
+  Mutex.lock mutex;
+  let id = match Hashtbl.find_opt ids path with Some id -> id | None -> -1 in
+  Mutex.unlock mutex;
+  id
+
+let size () = Atomic.get count
+
+let path_of id =
+  if id < 0 || id >= Atomic.get count then
+    invalid_arg (Printf.sprintf "Docset.path_of: unknown doc id %d" id);
+  (Atomic.get paths).(id)

@@ -1,0 +1,27 @@
+(** Global document-id interning: paths to dense ints, once.
+
+    The request hot path used to hash a heap-allocated path string per
+    message; with a million-document working set that is the dominant
+    per-request cost.  [Docset] assigns each distinct path a small dense
+    int once, and everything downstream ({!Http} metas, {!File_cache}
+    lookups, the S-client popularity mixes) carries the int.  Paths remain
+    available as a compat view for traces and existing string call sites.
+
+    The table is process-global and safe to use from any domain: interning
+    is mutex-serialized (cold path), [path_of] is lock-free.  Ids are
+    assigned in interning order, which may vary between runs that intern
+    from parallel domains — callers must never let id {e order} affect
+    simulation outcomes (per-cache state uses its own dense slots). *)
+
+val intern : string -> int
+(** The id for [path], allocating one on first sight. *)
+
+val find_id : string -> int
+(** Like {!intern} but never allocates an id: [-1] if the path has never
+    been interned (and so cannot name a registered document). *)
+
+val path_of : int -> string
+(** @raise Invalid_argument on an id {!intern} never returned. *)
+
+val size : unit -> int
+(** Number of distinct interned paths. *)

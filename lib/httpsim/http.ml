@@ -1,49 +1,68 @@
 module Payload = Netsim.Payload
 
-type meta = { path : string; keep_alive : bool }
+type meta = { path : string; doc : int; keep_alive : bool }
 
 let request_bytes = 250
 let header_bytes = 200
 
-(* Workloads replay a small URL population millions of times, and the
-   string work per message — [Printf.sprintf] for a request line,
+(* Workloads replay a URL population millions of times, and the string
+   work per message — [Printf.sprintf] for a request line,
    [String.split_on_char] to parse it back, ["200 " ^ path] for the
-   response — dominated the simulator's own minor allocation.  All three
-   are memoized per domain (plain globals would race under the parallel
-   sweep): a path seen before costs one hashtable probe, and because the
-   request memo hands back the same physical tag string every time, the
-   parse memo's probe hashes an interned key.  The tables are keyed by
-   path/tag and never cleared; they are bounded by the URL population. *)
+   response — dominated the simulator's own minor allocation.  All of it
+   is memoized per domain (plain globals would race under the parallel
+   sweep), keyed by the interned {!Docset} id: a document seen before
+   costs one array load, and because the request memo hands back the same
+   physical tag string every time, the parse memo's probe hashes an
+   interned key.  The memos are lazy and never cleared; they are bounded
+   by the documents a domain actually touches, not the docset size, so a
+   10^6-document registration does not materialize 10^6 tag strings. *)
 
-let http10_tags : (string, string) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+type tag_memo = { mutable tags : string array (* doc id -> tag; "" = absent *) }
 
-let http11_tags : (string, string) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+let memo_key () = Domain.DLS.new_key (fun () -> { tags = Array.make 256 "" })
+let http10_tags = memo_key ()
+let http11_tags = memo_key ()
+let response_tags = memo_key ()
 
 let parse_memo : (string, meta) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 256)
 
-let response_tags : (string, string) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+let memo_find memo doc build =
+  if doc >= Array.length memo.tags then begin
+    let bigger = Array.make (max (doc + 1) (2 * Array.length memo.tags)) "" in
+    Array.blit memo.tags 0 bigger 0 (Array.length memo.tags);
+    memo.tags <- bigger
+  end;
+  let tag = Array.unsafe_get memo.tags doc in
+  if String.length tag > 0 then tag
+  else begin
+    let tag = build () in
+    memo.tags.(doc) <- tag;
+    tag
+  end
 
-let request ~now ?(keep_alive = false) ~path () =
-  let table = Domain.DLS.get (if keep_alive then http11_tags else http10_tags) in
+let request_doc ~now ?(keep_alive = false) ~doc () =
+  (* Bound-check before the memo: an id the docset never issued would
+     otherwise drive the memo array's growth arithmetic (and its
+     unsafe_get) out of bounds. *)
+  if doc < 0 || doc >= Docset.size () then
+    invalid_arg (Printf.sprintf "Http.request_doc: unknown doc id %d" doc);
+  let memo = Domain.DLS.get (if keep_alive then http11_tags else http10_tags) in
   let tag =
-    match Hashtbl.find table path with
-    | tag -> tag
-    | exception Not_found ->
-        let tag =
-          Printf.sprintf "GET %s HTTP/%s" path (if keep_alive then "1.1" else "1.0")
-        in
-        Hashtbl.replace table path tag;
-        tag
+    memo_find memo doc (fun () ->
+        Printf.sprintf "GET %s HTTP/%s" (Docset.path_of doc)
+          (if keep_alive then "1.1" else "1.0"))
   in
   Payload.make ~tag ~bytes:request_bytes now
 
+let request ~now ?keep_alive ~path () = request_doc ~now ?keep_alive ~doc:(Docset.intern path) ()
+
+let meta_of_path ?(keep_alive = false) path = { path; doc = Docset.intern path; keep_alive }
+
 let parse_tag tag =
   match String.split_on_char ' ' tag with
-  | [ "GET"; path; version ] -> { path; keep_alive = String.equal version "HTTP/1.1" }
+  | [ "GET"; path; version ] ->
+      { path; doc = Docset.intern path; keep_alive = String.equal version "HTTP/1.1" }
   | _ -> invalid_arg (Printf.sprintf "Http.parse: not a request: %S" tag)
 
 let parse payload =
@@ -57,15 +76,8 @@ let parse payload =
       meta
 
 let response ~now meta ~body_bytes =
-  let table = Domain.DLS.get response_tags in
-  let tag =
-    match Hashtbl.find table meta.path with
-    | tag -> tag
-    | exception Not_found ->
-        let tag = "200 " ^ meta.path in
-        Hashtbl.replace table meta.path tag;
-        tag
-  in
+  let memo = Domain.DLS.get response_tags in
+  let tag = memo_find memo meta.doc (fun () -> "200 " ^ meta.path) in
   Payload.make ~tag ~bytes:(body_bytes + header_bytes) now
 
 let is_dynamic meta =

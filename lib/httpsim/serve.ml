@@ -19,7 +19,7 @@ let trace_request ~stack conn meta =
 
 let static ~stack ~cache ?disk conn meta =
   trace_request ~stack conn meta;
-  let outcome = File_cache.lookup cache ~path:meta.Http.path in
+  let outcome = File_cache.lookup_doc cache ~doc:meta.Http.doc in
   let body_bytes =
     match (outcome, disk) with
     | File_cache.Hit bytes, _ ->

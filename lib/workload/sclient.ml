@@ -24,8 +24,8 @@ type t = {
   stack : Stack.t;
   name : string;
   port : int;
-  path : string;
-  path_mix : (Engine.Dist.t * string array) option;
+  doc : int; (* interned [path] *)
+  doc_mix : (Engine.Dist.t * int array) option;
   persistent : bool;
   requests_per_conn : int;
   think_time : Simtime.span;
@@ -50,7 +50,7 @@ type t = {
 let marks_capacity = 1 lsl 16
 
 let create ~stack ?(name = "clients") ?(src_base = Ipaddr.v 10 1 0 1) ?(port = 80)
-    ?(path = "/doc/1k") ?path_mix ?(persistent = false) ?(requests_per_conn = 64)
+    ?(path = "/doc/1k") ?path_mix ?doc_mix ?(persistent = false) ?(requests_per_conn = 64)
     ?(think_time = Simtime.span_zero) ?(jitter = Simtime.span_zero)
     ?(syn_timeout = Simtime.sec 3) ?(retry_delay = Simtime.ms 500) ?(seed = 42) ~count () =
   if count <= 0 then invalid_arg "Sclient.create: count must be positive";
@@ -66,24 +66,34 @@ let create ~stack ?(name = "clients") ?(src_base = Ipaddr.v 10 1 0 1) ?(port = 8
           handlers = Socket.null_handlers;
         })
   in
-  let path_mix =
-    match path_mix with
-    | None -> None
-    | Some [] -> invalid_arg "Sclient.create: empty path mix"
-    | Some pairs ->
+  (* Everything downstream works in interned doc ids; [path]/[path_mix]
+     are the string compat view over [doc]/[doc_mix].  The empirical
+     index distribution consumes the random stream exactly as it always
+     has (one float draw per request), so existing seeds replay. *)
+  let doc_mix =
+    match (path_mix, doc_mix) with
+    | Some _, Some _ -> invalid_arg "Sclient.create: both path_mix and doc_mix given"
+    | None, mix -> mix
+    | Some [], None -> invalid_arg "Sclient.create: empty path mix"
+    | Some pairs, None ->
         let weights = Array.of_list (List.map fst pairs) in
-        let paths = Array.of_list (List.map snd pairs) in
+        let docs =
+          Array.of_list (List.map (fun (_, path) -> Httpsim.Docset.intern path) pairs)
+        in
         let dist =
           Engine.Dist.empirical (Array.mapi (fun i w -> (w, float_of_int i)) weights)
         in
-        Some (dist, paths)
+        Some (dist, docs)
   in
+  (match doc_mix with
+  | Some (_, [||]) -> invalid_arg "Sclient.create: empty doc mix"
+  | Some _ | None -> ());
   {
     stack;
     name;
     port;
-    path;
-    path_mix;
+    doc = Httpsim.Docset.intern path;
+    doc_mix;
     persistent;
     requests_per_conn;
     think_time;
@@ -121,13 +131,13 @@ let record_response t client =
   Stats.Summary.add t.latencies latency_ms;
   Stats.Reservoir.add t.reservoir latency_ms
 
-let pick_path t =
-  match t.path_mix with
-  | None -> t.path
-  | Some (dist, paths) -> paths.(Engine.Dist.sample_int dist t.rng)
+let pick_doc t =
+  match t.doc_mix with
+  | None -> t.doc
+  | Some (dist, docs) -> docs.(Engine.Dist.sample_index dist t.rng)
 
 let request_payload t ~created =
-  Http.request ~now:created ~keep_alive:t.persistent ~path:(pick_path t) ()
+  Http.request_doc ~now:created ~keep_alive:t.persistent ~doc:(pick_doc t) ()
 
 let rec initiate t client =
   if t.running then begin

@@ -20,6 +20,7 @@ val create :
   ?port:int ->
   ?path:string ->
   ?path_mix:(float * string) list ->
+  ?doc_mix:Engine.Dist.t * int array ->
   ?persistent:bool ->
   ?requests_per_conn:int ->
   ?think_time:Engine.Simtime.span ->
@@ -39,7 +40,11 @@ val create :
     de-phasing otherwise deterministic closed loops; [seed] makes the
     jitter stream reproducible.  [path_mix], when given, overrides [path]
     with a weighted choice per request (e.g. a Zipf-popularity document
-    set). *)
+    set).  [doc_mix] is the scale form of the same thing: a finite
+    categorical distribution (see {!Engine.Dist.sample_index}) over an
+    array of interned {!Httpsim.Docset} ids — how a 10^6-document Zipf
+    population is expressed without materializing weighted path pairs.
+    Giving both mixes is an error. *)
 
 val start : t -> unit
 (** Begin all client loops (idempotent). *)

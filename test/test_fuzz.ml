@@ -52,6 +52,31 @@ let test_injected_mischarge_caught () =
          in
          contains "--seed 1" cmd && contains "--mode rc" cmd && contains "--inject" cmd))
 
+let test_zipf_family () =
+  (* The large-Zipf corpus family: thousands of documents churning an
+     undersized arena cache under the armed cache.bytes-consistency and
+     LRU-structure laws — clean, deterministic, and marked in the
+     scenario line and replay command. *)
+  let a = Fuzz.run_seed ~zipf:true ~mode:Netsim.Stack.Rc ~seed:3 () in
+  Alcotest.(check (option string)) "zipf seed clean" None a.Fuzz.violation;
+  Alcotest.(check bool) "outcome flagged zipf" true a.Fuzz.zipf;
+  Alcotest.(check bool) "invariant sweeps ran" true (a.Fuzz.checks > 5);
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "scenario names the corpus" true (contains " zipf docs=" a.Fuzz.scenario);
+  Alcotest.(check bool) "replay command carries --zipf" true
+    (contains "--zipf" (Fuzz.replay_command ~zipf:true ~mode:a.Fuzz.mode ~seed:a.Fuzz.seed ()));
+  let b = Fuzz.run_seed ~zipf:true ~mode:Netsim.Stack.Rc ~seed:3 () in
+  Alcotest.(check string) "deterministic scenario" a.Fuzz.scenario b.Fuzz.scenario;
+  Alcotest.(check int) "deterministic completions" a.Fuzz.completed b.Fuzz.completed;
+  Alcotest.(check int) "deterministic sweeps" a.Fuzz.checks b.Fuzz.checks;
+  Alcotest.check_raises "cluster family rejects zipf"
+    (Invalid_argument "Fuzz.run_seed: the zipf corpus family is a single-rig scenario")
+    (fun () -> ignore (Fuzz.run_seed ~zipf:true ~machines:2 ~mode:Netsim.Stack.Rc ~seed:1 ()))
+
 let test_mode_helpers () =
   List.iter
     (fun m ->
@@ -65,5 +90,6 @@ let suite =
     Alcotest.test_case "fixed seeds clean in all modes" `Quick test_fixed_seeds_clean;
     Alcotest.test_case "deterministic replay" `Quick test_determinism;
     Alcotest.test_case "injected mis-charge caught" `Quick test_injected_mischarge_caught;
+    Alcotest.test_case "zipf corpus family" `Quick test_zipf_family;
     Alcotest.test_case "mode helpers" `Quick test_mode_helpers;
   ]

@@ -49,9 +49,9 @@ let test_http_roundtrip () =
   Alcotest.(check bool) "HTTP/1.0 default" false (Http.parse req10).Http.keep_alive
 
 let test_http_dynamic () =
-  Alcotest.(check bool) "cgi path" true (Http.is_dynamic { Http.path = "/cgi/run"; keep_alive = false });
-  Alcotest.(check bool) "static path" false (Http.is_dynamic { Http.path = "/doc/1k"; keep_alive = false });
-  Alcotest.(check bool) "short path" false (Http.is_dynamic { Http.path = "/x"; keep_alive = false })
+  Alcotest.(check bool) "cgi path" true (Http.is_dynamic (Http.meta_of_path "/cgi/run"));
+  Alcotest.(check bool) "static path" false (Http.is_dynamic (Http.meta_of_path "/doc/1k"));
+  Alcotest.(check bool) "short path" false (Http.is_dynamic (Http.meta_of_path "/x"))
 
 let test_http_parse_error () =
   let bogus = Netsim.Payload.make ~tag:"hello" ~bytes:10 Simtime.zero in
@@ -59,9 +59,39 @@ let test_http_parse_error () =
     (try ignore (Http.parse bogus); false with Invalid_argument _ -> true)
 
 let test_http_response_size () =
-  let meta = { Http.path = "/doc/1k"; keep_alive = false } in
+  let meta = Http.meta_of_path "/doc/1k" in
   let resp = Http.response ~now:Simtime.zero meta ~body_bytes:1024 in
   Alcotest.(check int) "body plus headers" (1024 + Http.header_bytes) resp.Netsim.Payload.bytes
+
+(* {1 Docset interning} *)
+
+let test_docset_interning () =
+  let module Docset = Httpsim.Docset in
+  let id = Docset.intern "/docset-test/a" in
+  Alcotest.(check int) "idempotent" id (Docset.intern "/docset-test/a");
+  Alcotest.(check int) "find_id agrees" id (Docset.find_id "/docset-test/a");
+  Alcotest.(check string) "path_of round-trips" "/docset-test/a" (Docset.path_of id);
+  Alcotest.(check int) "unknown path is -1" (-1) (Docset.find_id "/docset-test/never-interned");
+  let id2 = Docset.intern "/docset-test/b" in
+  Alcotest.(check bool) "distinct paths, distinct ids" true (id <> id2);
+  Alcotest.(check bool) "size covers both" true (Docset.size () > max id id2)
+
+let test_http_doc_ids () =
+  (* The request carries the interned id end to end: building by path and
+     building by id produce payloads that parse to the same metadata. *)
+  let by_path = Http.request ~now:Simtime.zero ~keep_alive:true ~path:"/doc-id/x" () in
+  let meta = Http.parse by_path in
+  Alcotest.(check int) "meta.doc is the interned id" (Httpsim.Docset.find_id "/doc-id/x")
+    meta.Http.doc;
+  let by_doc = Http.request_doc ~now:Simtime.zero ~keep_alive:true ~doc:meta.Http.doc () in
+  let meta' = Http.parse by_doc in
+  Alcotest.(check string) "path survives the id round-trip" meta.Http.path meta'.Http.path;
+  Alcotest.(check int) "doc survives" meta.Http.doc meta'.Http.doc;
+  Alcotest.(check bool) "unknown id rejected" true
+    (try
+       ignore (Http.request_doc ~now:Simtime.zero ~doc:max_int ());
+       false
+     with Invalid_argument _ -> true)
 
 (* {1 File_cache} *)
 
@@ -477,6 +507,8 @@ let suite =
     Alcotest.test_case "http dynamic detection" `Quick test_http_dynamic;
     Alcotest.test_case "http parse error" `Quick test_http_parse_error;
     Alcotest.test_case "http response size" `Quick test_http_response_size;
+    Alcotest.test_case "docset interning" `Quick test_docset_interning;
+    Alcotest.test_case "http doc ids" `Quick test_http_doc_ids;
     Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
     Alcotest.test_case "cache warm" `Quick test_cache_warm;
     Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;

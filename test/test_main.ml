@@ -20,6 +20,7 @@ let () =
       ("netsim", Test_netsim.suite);
       ("pooling", Test_pooling.suite);
       ("soa", Test_soa.suite);
+      ("file_cache", Test_file_cache.suite);
       ("httpsim", Test_httpsim.suite);
       ("workload", Test_workload.suite);
       ("invariant", Test_invariant.suite);
